@@ -1,0 +1,32 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Each ``test_figXX``/``test_tableX`` file regenerates one artifact of the
+paper's evaluation section, asserts its *shape* (who wins, by roughly
+what factor, where crossovers sit), and writes the rendered rows/series
+to ``benchmarks/results/`` so a full run leaves the whole evaluation on
+disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

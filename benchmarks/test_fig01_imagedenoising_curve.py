@@ -1,0 +1,63 @@
+"""Figure 1: imageDenoising runtime vs occupancy on GTX680.
+
+Paper: a bell curve with ~3x spread — the worst occupancy (lowest)
+runs about three times slower than the best (50%), motivating
+occupancy tuning in the first place.
+"""
+
+import pytest
+
+from repro.harness import figure1
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure1()
+
+
+def check_bell(sweep):
+    """Best occupancy sits mid-range, not at either extreme."""
+    assert 0.25 <= sweep.best.occupancy <= 0.625
+
+
+def check_spread(sweep):
+    """Paper: ~3x between best and worst occupancy."""
+    assert sweep.worst.cycles / sweep.best.cycles >= 2.0
+
+
+def check_low_end(sweep):
+    """The left edge of the bell: latency cannot be hidden."""
+    assert sweep.points[0].cycles / sweep.best.cycles >= 1.8
+
+
+def check_high_end(sweep):
+    """The right edge: 63-register pressure forces spills at full occ."""
+    highest = sweep.points[-1]
+    assert highest.cycles / sweep.best.cycles >= 1.3
+    assert highest.version.outcome.spilled_variables > 0
+
+
+def test_figure1_regenerates(benchmark, sweep, save_artifact):
+    result = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    save_artifact("fig01_imagedenoising_gtx680", result.render(to="best"))
+    assert len(result.points) == 8  # 0.125 .. 1.0
+    check_bell(result)
+    check_spread(result)
+    check_low_end(result)
+    check_high_end(result)
+
+
+def test_shape_is_a_bell(sweep):
+    check_bell(sweep)
+
+
+def test_spread_is_large(sweep):
+    check_spread(sweep)
+
+
+def test_lowest_occupancy_is_slow(sweep):
+    check_low_end(sweep)
+
+
+def test_highest_occupancy_pays_spill_cost(sweep):
+    check_high_end(sweep)

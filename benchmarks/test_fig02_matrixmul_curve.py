@@ -1,0 +1,51 @@
+"""Figure 2: matrixMul runtime vs occupancy — the plateau case.
+
+Paper: performance improves with occupancy until ~50%, then stays flat
+to 100% because the kernel has little register pressure; the plateau is
+what makes "lowest occupancy with best performance" a useful target.
+"""
+
+import pytest
+
+from repro.harness import figure2
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure2()
+
+
+def check_low_end(sweep):
+    assert sweep.points[0].cycles / sweep.best.cycles >= 1.5
+
+
+def check_plateau(sweep):
+    """All levels at >=50% occupancy perform within ~25% of each other."""
+    upper = [p.cycles for p in sweep.points if p.occupancy >= 0.5]
+    assert max(upper) / min(upper) <= 1.25
+
+
+def check_no_spills_at_top(sweep):
+    """The plateau exists because pressure is low: no spilling at 100%."""
+    assert sweep.points[-1].version.outcome.spilled_variables == 0
+
+
+def test_figure2_regenerates(benchmark, sweep, save_artifact):
+    result = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    save_artifact("fig02_matrixmul_c2075", result.render(to="best"))
+    assert len(result.points) == 6  # 0.167 .. 1.0
+    check_low_end(result)
+    check_plateau(result)
+    check_no_spills_at_top(result)
+
+
+def test_low_occupancy_is_slow(sweep):
+    check_low_end(sweep)
+
+
+def test_plateau_above_half(sweep):
+    check_plateau(sweep)
+
+
+def test_no_spills_at_full_occupancy(sweep):
+    check_no_spills_at_top(sweep)

@@ -1,0 +1,60 @@
+"""Figure 5: optimised vs unoptimised inter-procedure allocation.
+
+Paper: disabling space minimisation or movement minimisation slows the
+seven call-heavy benchmarks by up to ~18%; "minimizing data movement is
+extremely critical for minimal space optimization to work".
+"""
+
+import pytest
+
+from repro.harness import figure5, render_figure5
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure5()
+
+
+def check_ablations_never_help(rows):
+    for row in rows:
+        assert row.no_space_minimization >= 0.98, row
+        assert row.no_movement_minimization >= 0.98, row
+
+
+def check_space_minimization_matters(rows):
+    assert max(r.no_space_minimization for r in rows) >= 1.05
+
+
+def check_km_layout_never_moves_more(rows):
+    for row in rows:
+        assert row.optimized_moves <= row.unoptimized_moves, row
+
+
+def check_moves_exist_to_save(rows):
+    assert any(r.unoptimized_moves > 0 for r in rows)
+
+
+def test_figure5_regenerates(benchmark, rows, save_artifact):
+    result = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    save_artifact("fig05_interproc_ablation_c2075", render_figure5(result))
+    assert len(result) == 7
+    check_ablations_never_help(result)
+    check_space_minimization_matters(result)
+    check_km_layout_never_moves_more(result)
+    check_moves_exist_to_save(result)
+
+
+def test_ablations_never_help(rows):
+    check_ablations_never_help(rows)
+
+
+def test_some_benchmark_pays_for_no_space_minimization(rows):
+    check_space_minimization_matters(rows)
+
+
+def test_movement_minimization_reduces_static_moves(rows):
+    check_km_layout_never_moves_more(rows)
+
+
+def test_call_heavy_benchmarks_have_moves_to_save(rows):
+    check_moves_exist_to_save(rows)

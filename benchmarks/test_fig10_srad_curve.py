@@ -1,0 +1,52 @@
+"""Figure 10: srad on Tesla C2075 — flat above half occupancy.
+
+Paper: "even reducing the occupancy by half yields nearly the same
+performance, and so reducing occupancy is suggested for this program."
+"""
+
+import pytest
+
+from repro.harness import figure10
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure10()
+
+
+def check_flat_top(sweep):
+    """Levels at >=2/3 occupancy within ~12% of full occupancy."""
+    for occupancy, runtime in sweep.normalized(to="max"):
+        if occupancy >= 0.66:
+            assert runtime <= 1.12, (occupancy, runtime)
+
+
+def check_half_close_to_full(sweep):
+    pairs = dict(sweep.normalized(to="max"))
+    half = pairs[min(pairs, key=lambda o: abs(o - 0.5))]
+    assert half <= 1.3
+
+
+def check_low_end(sweep):
+    assert sweep.normalized(to="max")[0][1] >= 1.7
+
+
+def test_figure10_regenerates(benchmark, sweep, save_artifact):
+    result = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    save_artifact("fig10_srad_c2075", result.render(to="max"))
+    assert len(result.points) == 6
+    check_flat_top(result)
+    check_half_close_to_full(result)
+    check_low_end(result)
+
+
+def test_flat_top(sweep):
+    check_flat_top(sweep)
+
+
+def test_half_occupancy_close_to_full(sweep):
+    check_half_close_to_full(sweep)
+
+
+def test_lowest_occupancy_clearly_slower(sweep):
+    check_low_end(sweep)

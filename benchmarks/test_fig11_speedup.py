@@ -1,0 +1,95 @@
+"""Figure 11: the headline — Orion-Min / nvcc / Orion-Max / Orion-Select.
+
+Paper: across the seven upward-tuned benchmarks Orion-Select averages
++26.17% over nvcc on the Tesla C2075 and +24.94% on the GTX680, peaking
+at 1.61x; the selected version sits close to the exhaustive-search best
+(Orion-Max) and the tuner converges in about three iterations.
+"""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.harness import average_select_speedup, figure11, render_figure11
+
+
+@pytest.fixture(scope="module")
+def rows_c2075():
+    return figure11(TESLA_C2075)
+
+
+@pytest.fixture(scope="module")
+def rows_gtx680():
+    return figure11(GTX680)
+
+
+def check_substantial_average(rows):
+    """Paper: ~25-26% average Orion-Select speedup on both machines."""
+    assert average_select_speedup(rows) >= 1.10
+
+
+def check_select_bounded_by_max(rows):
+    for row in rows:
+        assert row.orion_select <= row.orion_max * 1.01, row
+
+
+def check_select_close_to_best(rows):
+    gaps = [row.orion_select / row.orion_max for row in rows]
+    assert min(gaps) >= 0.75
+    assert sum(gaps) / len(gaps) >= 0.85
+
+
+def check_worst_level_loses(rows):
+    """Orion-Min shows how bad a wrong occupancy is (paper: down to ~0.4)."""
+    assert min(row.orion_min for row in rows) <= 0.8
+
+
+def check_fast_convergence(rows):
+    """Paper: 'less than three iterations on average'."""
+    iters = [r.iterations_to_converge or 0 for r in rows]
+    assert sum(iters) / len(iters) <= 4
+
+
+def _check_all(rows):
+    assert len(rows) == 7
+    check_substantial_average(rows)
+    check_select_bounded_by_max(rows)
+    check_select_close_to_best(rows)
+    check_worst_level_loses(rows)
+    check_fast_convergence(rows)
+
+
+def test_figure11_c2075(benchmark, rows_c2075, save_artifact):
+    result = benchmark.pedantic(figure11, args=(TESLA_C2075,), rounds=1, iterations=1)
+    save_artifact("fig11a_speedup_c2075", render_figure11(result, "Tesla C2075"))
+    _check_all(result)
+
+
+def test_figure11_gtx680(benchmark, rows_gtx680, save_artifact):
+    result = benchmark.pedantic(figure11, args=(GTX680,), rounds=1, iterations=1)
+    save_artifact("fig11b_speedup_gtx680", render_figure11(result, "GTX680"))
+    _check_all(result)
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_average_speedup_is_substantial(fixture, request):
+    check_substantial_average(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_select_never_beats_max(fixture, request):
+    check_select_bounded_by_max(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_select_close_to_exhaustive_best(fixture, request):
+    check_select_close_to_best(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_worst_occupancy_loses_to_nvcc(fixture, request):
+    check_worst_level_loses(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_convergence_within_a_few_iterations(fixture, request):
+    check_fast_convergence(request.getfixturevalue(fixture))

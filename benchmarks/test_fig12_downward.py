@@ -1,0 +1,84 @@
+"""Figure 12: downward occupancy tuning — registers saved, runtime kept.
+
+Paper: for the five low-pressure benchmarks Orion lowers occupancy and
+register-file use by ~19% on average with little performance loss (and
+a small average speedup on the C2075); backprop cannot be tuned and
+stays at 1.0/1.0.
+"""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.harness import average_register_saving, figure12, render_figure12
+
+
+@pytest.fixture(scope="module")
+def rows_c2075():
+    return figure12(TESLA_C2075)
+
+
+@pytest.fixture(scope="module")
+def rows_gtx680():
+    return figure12(GTX680)
+
+
+def check_average_saving(rows):
+    """Paper: 19.17% average occupancy/register reduction."""
+    assert average_register_saving(rows) >= 0.08
+
+
+def check_little_performance_loss(rows):
+    for row in rows:
+        assert row.normalized_runtime <= 1.06, row
+
+
+def check_backprop_untouched(rows):
+    """Paper: backprop's kernel is too small to tune — left as-is."""
+    backprop = next(r for r in rows if r.benchmark == "backprop")
+    assert backprop.normalized_registers == pytest.approx(1.0)
+    assert backprop.normalized_runtime == pytest.approx(1.0, abs=0.02)
+
+
+def check_deep_saving_somewhere(rows):
+    """srad/gaussian-like kernels drop occupancy substantially for free."""
+    assert min(r.normalized_registers for r in rows) <= 0.80
+
+
+def _check_all(rows):
+    assert len(rows) == 5
+    check_average_saving(rows)
+    check_little_performance_loss(rows)
+    check_backprop_untouched(rows)
+    check_deep_saving_somewhere(rows)
+
+
+def test_figure12_c2075(benchmark, rows_c2075, save_artifact):
+    result = benchmark.pedantic(figure12, args=(TESLA_C2075,), rounds=1, iterations=1)
+    save_artifact("fig12a_downward_c2075", render_figure12(result, "Tesla C2075"))
+    _check_all(result)
+
+
+def test_figure12_gtx680(benchmark, rows_gtx680, save_artifact):
+    result = benchmark.pedantic(figure12, args=(GTX680,), rounds=1, iterations=1)
+    save_artifact("fig12b_downward_gtx680", render_figure12(result, "GTX680"))
+    _check_all(result)
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_registers_saved_on_average(fixture, request):
+    check_average_saving(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_little_performance_loss(fixture, request):
+    check_little_performance_loss(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_backprop_not_tuned(fixture, request):
+    check_backprop_untouched(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_some_benchmark_halves_pressure(fixture, request):
+    check_deep_saving_somewhere(request.getfixturevalue(fixture))

@@ -1,0 +1,61 @@
+"""Figure 13: energy of the selected kernel on Tesla C2075.
+
+Paper: lowering occupancy at flat runtime cuts register-file power —
+up to 6.7% energy saving; the selected version sits close to the ideal
+(exhaustive-search) energy.
+"""
+
+import pytest
+
+from repro.harness import figure13, render_figure13
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure13()
+
+
+def check_never_worse(rows):
+    for row in rows:
+        assert row.selected_energy <= 1.03, row
+
+
+def check_saving_somewhere(rows):
+    """Paper: up to 6.7% saving on the tunable benchmarks."""
+    assert min(r.selected_energy for r in rows) <= 0.97
+
+
+def check_ideal_bounds_selected(rows):
+    for row in rows:
+        assert row.ideal_energy <= row.selected_energy + 1e-9, row
+
+
+def check_ideal_in_ballpark(rows):
+    savings = [1 - r.ideal_energy for r in rows]
+    assert max(savings) >= 0.03
+
+
+def test_figure13_regenerates(benchmark, rows, save_artifact):
+    result = benchmark.pedantic(figure13, rounds=1, iterations=1)
+    save_artifact("fig13_energy_c2075", render_figure13(result))
+    assert len(result) == 5
+    check_never_worse(result)
+    check_saving_somewhere(result)
+    check_ideal_bounds_selected(result)
+    check_ideal_in_ballpark(result)
+
+
+def test_selected_energy_never_worse(rows):
+    check_never_worse(rows)
+
+
+def test_tuning_saves_energy_somewhere(rows):
+    check_saving_somewhere(rows)
+
+
+def test_ideal_bounds_selected(rows):
+    check_ideal_bounds_selected(rows)
+
+
+def test_ideal_savings_in_paper_ballpark(rows):
+    check_ideal_in_ballpark(rows)

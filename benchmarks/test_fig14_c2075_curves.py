@@ -1,0 +1,57 @@
+"""Figure 14: occupancy curves on Tesla C2075 — gaussian and streamcluster.
+
+Paper: gaussian is insensitive to occupancy (flat — big resource/energy
+saving potential); streamcluster is a skewed bell, best around 75% and
+changing little above 50%.
+"""
+
+import pytest
+
+from repro.harness import figure14
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure14()
+
+
+def check_gaussian_flat(curves):
+    """Every occupancy level within ~8% — the insensitive case."""
+    cycles = [p.cycles for p in curves["gaussian"].points]
+    assert max(cycles) / min(cycles) <= 1.08
+
+
+def check_streamcluster_shape(curves):
+    pairs = dict(curves["streamcluster"].normalized(to="best"))
+    lowest = min(pairs)
+    assert pairs[lowest] >= 1.6  # low occupancy clearly slower
+    upper = [r for o, r in pairs.items() if o >= 0.5]
+    assert max(upper) <= 1.45  # little change above 50%
+
+
+def check_streamcluster_best_high(curves):
+    assert curves["streamcluster"].best.occupancy >= 0.5
+
+
+def test_figure14_regenerates(benchmark, curves, save_artifact):
+    result = benchmark.pedantic(figure14, rounds=1, iterations=1)
+    save_artifact("fig14a_gaussian_c2075", result["gaussian"].render(to="best"))
+    save_artifact(
+        "fig14b_streamcluster_c2075", result["streamcluster"].render(to="best")
+    )
+    assert set(result) == {"gaussian", "streamcluster"}
+    check_gaussian_flat(result)
+    check_streamcluster_shape(result)
+    check_streamcluster_best_high(result)
+
+
+def test_gaussian_is_flat(curves):
+    check_gaussian_flat(curves)
+
+
+def test_streamcluster_improves_then_flattens(curves):
+    check_streamcluster_shape(curves)
+
+
+def test_streamcluster_best_in_upper_half(curves):
+    check_streamcluster_best_high(curves)

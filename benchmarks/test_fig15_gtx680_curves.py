@@ -1,0 +1,69 @@
+"""Figure 15: occupancy curves on GTX680 — backprop and bfs.
+
+Paper: backprop is a skewed bell (roughly 2x penalty at the lowest
+occupancy, little change above 50%); bfs performs best at the highest
+occupancy but changes only slightly above 50%.
+"""
+
+import pytest
+
+from repro.harness import figure15
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure15()
+
+
+def check_low_end_penalty(curves):
+    for name in ("backprop", "bfs"):
+        pairs = curves[name].normalized(to="best")
+        assert pairs[0][1] >= 1.8, name  # paper: >2x at 0.125
+
+
+def check_flat_above_half(curves):
+    """Paper: 'changes only a little when above 50%'."""
+    for name in ("backprop", "bfs"):
+        pairs = dict(curves[name].normalized(to="best"))
+        upper = [r for o, r in pairs.items() if o >= 0.5]
+        assert max(upper) / min(upper) <= 2.0, name
+
+
+def check_bfs_best_high(curves):
+    assert curves["bfs"].best.occupancy >= 0.75
+
+
+def check_monotone_up_to_half(curves):
+    for name in ("backprop", "bfs"):
+        pairs = curves[name].normalized(to="best")
+        lower = [r for o, r in pairs if o <= 0.5]
+        assert all(a >= b * 0.98 for a, b in zip(lower, lower[1:])), name
+
+
+def test_figure15_regenerates(benchmark, curves, save_artifact):
+    result = benchmark.pedantic(figure15, rounds=1, iterations=1)
+    save_artifact("fig15a_backprop_gtx680", result["backprop"].render(to="best"))
+    save_artifact("fig15b_bfs_gtx680", result["bfs"].render(to="best"))
+    assert set(result) == {"backprop", "bfs"}
+    check_low_end_penalty(result)
+    check_flat_above_half(result)
+    check_bfs_best_high(result)
+    check_monotone_up_to_half(result)
+
+
+@pytest.mark.parametrize("name", ["backprop", "bfs"])
+def test_low_occupancy_penalty(curves, name):
+    pairs = curves[name].normalized(to="best")
+    assert pairs[0][1] >= 1.8
+
+
+def test_flat_above_half(curves):
+    check_flat_above_half(curves)
+
+
+def test_bfs_best_at_high_occupancy(curves):
+    check_bfs_best_high(curves)
+
+
+def test_monotone_improvement_up_to_half(curves):
+    check_monotone_up_to_half(curves)

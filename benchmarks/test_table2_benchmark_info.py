@@ -1,0 +1,64 @@
+"""Table 2: detailed benchmark information.
+
+Paper columns: Reg (registers needed to avoid spilling), Func (static
+function calls after inlining), Smem (user-allocated shared memory).
+Our generated benchmark suite reproduces all three per benchmark.
+"""
+
+import pytest
+
+from repro.harness import render_table2, table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2()
+
+
+def check_registers(rows):
+    for row in rows:
+        assert row.measured_regs == row.paper_regs, row
+
+
+def check_calls(rows):
+    for row in rows:
+        assert row.measured_calls == row.paper_calls, row
+
+
+def check_smem(rows):
+    for row in rows:
+        assert row.measured_smem == row.paper_smem, row
+
+
+def check_span(rows):
+    regs = {row.benchmark: row.measured_regs for row in rows}
+    assert regs["cfd"] == 63 and regs["imageDenoising"] == 63  # highest
+    assert regs["gaussian"] == 11  # lowest
+    assert max(r for b, r in regs.items() if b in
+               ("backprop", "bfs", "gaussian", "srad", "streamcluster")) <= 21
+
+
+def test_table2_regenerates(benchmark, rows, save_artifact):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_artifact("table2_benchmark_info", render_table2(result))
+    assert len(result) == 12
+    check_registers(result)
+    check_calls(result)
+    check_smem(result)
+    check_span(result)
+
+
+def test_register_pressure_matches_paper(rows):
+    check_registers(rows)
+
+
+def test_static_calls_match_paper(rows):
+    check_calls(rows)
+
+
+def test_shared_memory_matches_paper(rows):
+    check_smem(rows)
+
+
+def test_pressure_spans_both_tuning_groups(rows):
+    check_span(rows)

@@ -1,0 +1,91 @@
+"""Table 3: small-cache (16KB L1) vs large-cache (48KB L1) speedups.
+
+Paper: at Orion's selected occupancy the two configurations usually
+perform similarly; the small-cache split is never much worse (explicit
+shared memory beats hoping the L1 behaves), and kernels with large
+user-declared shared memory cannot run under the large-cache split at
+all (empty cells).
+"""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.harness import render_table3, table3
+
+
+@pytest.fixture(scope="module")
+def rows_c2075():
+    return table3(TESLA_C2075)
+
+
+@pytest.fixture(scope="module")
+def rows_gtx680():
+    return table3(GTX680)
+
+
+def check_some_infeasible(rows):
+    """Paper: hardware constraints prevent the LC case for some kernels."""
+    assert any(row.large_cache is None for row in rows)
+
+
+def check_dxtc_infeasible(rows):
+    """dxtc's user shared memory leaves no room under the 16KB split."""
+    dxtc = next(r for r in rows if r.benchmark == "dxtc")
+    assert dxtc.large_cache is None
+
+
+def check_similar_when_both_run(rows):
+    """Paper: 'performance is often similar for both configurations'."""
+    comparable = [r for r in rows if r.large_cache is not None]
+    assert comparable
+    for row in comparable:
+        assert row.large_cache / row.small_cache >= 0.70, row
+
+
+def check_small_cache_competitive(rows):
+    """Paper: 'overall, it is safer to use shared memory explicitly'."""
+    comparable = [r for r in rows if r.large_cache is not None]
+    at_least_as_good = sum(
+        1 for r in comparable if r.small_cache >= r.large_cache * 0.97
+    )
+    assert at_least_as_good >= len(comparable) / 2
+
+
+def _check_all(rows):
+    assert len(rows) == 7
+    check_some_infeasible(rows)
+    check_dxtc_infeasible(rows)
+    check_similar_when_both_run(rows)
+    check_small_cache_competitive(rows)
+
+
+def test_table3_c2075(benchmark, rows_c2075, save_artifact):
+    result = benchmark.pedantic(table3, args=(TESLA_C2075,), rounds=1, iterations=1)
+    save_artifact("table3_cache_c2075", render_table3(result, "Tesla C2075"))
+    _check_all(result)
+
+
+def test_table3_gtx680(benchmark, rows_gtx680, save_artifact):
+    result = benchmark.pedantic(table3, args=(GTX680,), rounds=1, iterations=1)
+    save_artifact("table3_cache_gtx680", render_table3(result, "GTX680"))
+    _check_all(result)
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_some_large_cache_cells_infeasible(fixture, request):
+    check_some_infeasible(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_dxtc_cannot_use_large_cache(fixture, request):
+    check_dxtc_infeasible(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_configs_perform_similarly_when_both_run(fixture, request):
+    check_similar_when_both_run(request.getfixturevalue(fixture))
+
+
+@pytest.mark.parametrize("fixture", ["rows_c2075", "rows_gtx680"])
+def test_small_cache_usually_preferred(fixture, request):
+    check_small_cache_competitive(request.getfixturevalue(fixture))

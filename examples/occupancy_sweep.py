@@ -1,0 +1,45 @@
+"""Occupancy sweep for any benchmark — the paper's Figure 1/2/10/14/15 view.
+
+Generates Orion code at every occupancy level for one of the fourteen
+built-in benchmarks, times each level on the simulated GPU, and prints
+the normalized-runtime curve.
+
+Run:  python examples/occupancy_sweep.py [benchmark] [gtx680|c2075]
+e.g.  python examples/occupancy_sweep.py imageDenoising gtx680
+      python examples/occupancy_sweep.py srad c2075
+"""
+
+import sys
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.bench.kernels import BENCHMARKS
+from repro.harness import occupancy_sweep
+
+ARCHS = {"gtx680": GTX680, "c2075": TESLA_C2075}
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "imageDenoising"
+    arch_name = sys.argv[2].lower() if len(sys.argv) > 2 else "gtx680"
+    if benchmark not in BENCHMARKS:
+        names = ", ".join(sorted(BENCHMARKS))
+        raise SystemExit(f"unknown benchmark {benchmark!r}; pick one of: {names}")
+    if arch_name not in ARCHS:
+        raise SystemExit("architecture must be 'gtx680' or 'c2075'")
+
+    arch = ARCHS[arch_name]
+    spec = BENCHMARKS[benchmark]
+    print(f"sweeping {benchmark} on {arch.name} "
+          f"(block={spec.workload.block_size}, grid={spec.workload.grid_blocks})")
+    result = occupancy_sweep(benchmark, arch)
+    print(result.render(to="best"))
+    best = result.best
+    worst = result.worst
+    print(
+        f"\nbest: occupancy {best.occupancy:.3f} ({best.warps} warps); "
+        f"worst/best ratio: {worst.cycles / best.cycles:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

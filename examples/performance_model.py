@@ -1,0 +1,69 @@
+"""Analytical model vs simulator, plus the optimisation-headroom report.
+
+Two of the repository's extensions in one walkthrough:
+
+1. the Hong&Kim-style closed-form model (``repro.sim.analytical``)
+   predicts the occupancy curve from static binary features alone —
+   compare it against the event-driven simulator to see where static
+   prediction is enough and where Orion's dynamic feedback earns its
+   keep (spill costs of re-generated binaries are invisible statically);
+2. the occupancy-headroom analysis (paper Section 4.2's closing
+   discussion): the plateau of equivalent occupancy levels tells an
+   optimiser how many extra registers per thread (e.g. for loop
+   unrolling) are free.
+
+Run:  python examples/performance_model.py [benchmark]
+"""
+
+import sys
+
+from repro.arch import TESLA_C2075
+from repro.bench.kernels import BENCHMARKS
+from repro.harness import occupancy_headroom, occupancy_sweep
+from repro.sim.analytical import profile_kernel, rank_occupancy_levels
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "srad"
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}")
+    spec = BENCHMARKS[name]
+    arch = TESLA_C2075
+
+    print(f"== {name} on {arch.name} ==\n")
+    module = spec.build()
+    profile = profile_kernel(module, module.kernel().name, spec.workload.traits)
+    print("static profile (loop-weighted, per warp):")
+    print(f"  compute instructions : {profile.compute_instructions:.0f}")
+    print(f"  off-chip accesses    : {profile.offchip_accesses:.0f}"
+          f"  (x{profile.transactions_per_access:.0f} transactions each)")
+    print(f"  shared accesses      : {profile.shared_accesses:.0f}\n")
+
+    sweep = occupancy_sweep(name, arch)
+    levels = [p.warps for p in sweep.points]
+    predicted = dict(
+        rank_occupancy_levels(
+            profile, arch, levels, total_warps=192, ilp=spec.workload.ilp
+        )
+    )
+    best_pred = min(predicted.values())
+    best_sim = sweep.best.cycles
+    print("occupancy   simulator   analytical   (both normalized to best)")
+    for point in sweep.points:
+        print(
+            f"   {point.occupancy:5.2f}     {point.cycles / best_sim:6.2f}"
+            f"      {predicted[point.warps] / best_pred:6.2f}"
+        )
+
+    report = occupancy_headroom(sweep, arch, spec.workload.block_size)
+    print(f"\nheadroom report (5% tolerance):")
+    print(f"  best level               : {report.best_warps} warps")
+    print(f"  lowest equivalent level  : {report.lowest_equivalent_warps} warps")
+    print(f"  registers used           : {report.registers_used}/thread")
+    print(f"  registers available there: {report.registers_available}/thread")
+    print(f"  -> unrolling leeway      : {report.extra_registers} registers "
+          "per thread, for free")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of *Orion: A Framework for GPU Occupancy
+Tuning* (Hayes, Li, Chavarria, Song, Zhang; Middleware 2016).
+
+The package is organised like the system the paper describes:
+
+* :mod:`repro.arch` — GPU architecture descriptors and the occupancy
+  calculator (paper Section 2).
+* :mod:`repro.isa` — the ORAS virtual GPU ISA with an assembler,
+  disassembler, and binary codec (the asfermi-style front/back end).
+* :mod:`repro.ir` — CFG, call graph, pruned SSA, liveness, interference.
+* :mod:`repro.regalloc` — the Fig. 4 multi-class Chaitin–Briggs
+  allocator, spilling, shared-memory promotion, and the compressible
+  stack with Kuhn–Munkres movement minimisation (Section 3.2).
+* :mod:`repro.compiler` — occupancy realisation, compile-time tuning
+  (Fig. 8), and multi-version binary generation (Section 3.3).
+* :mod:`repro.runtime` — dynamic occupancy adaptation (Fig. 9) and
+  kernel splitting (Section 3.4).
+* :mod:`repro.sim` — the execution substrate: a functional interpreter
+  plus an event-driven SM timing/energy simulator standing in for the
+  paper's GTX680 and Tesla C2075.
+* :mod:`repro.bench` — the twelve Table-2 benchmarks (plus matrixMul and
+  imageDenoising) as ORAS programs.
+* :mod:`repro.harness` — one entry point per paper table and figure.
+"""
+
+__version__ = "1.0.0"

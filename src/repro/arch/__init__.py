@@ -1,0 +1,35 @@
+"""Hardware facts: architecture descriptors and occupancy arithmetic."""
+
+from repro.arch.occupancy import (
+    OccupancyResult,
+    calculate_occupancy,
+    ceil_to,
+    floor_to,
+    max_regs_per_thread_for_warps,
+    min_smem_padding_to_cap_warps,
+    occupancy_fraction,
+    occupancy_levels,
+)
+from repro.arch.specs import (
+    GTX680,
+    TESLA_C2075,
+    CacheConfig,
+    GpuArchitecture,
+    known_architectures,
+)
+
+__all__ = [
+    "GTX680",
+    "TESLA_C2075",
+    "CacheConfig",
+    "GpuArchitecture",
+    "OccupancyResult",
+    "calculate_occupancy",
+    "ceil_to",
+    "floor_to",
+    "known_architectures",
+    "max_regs_per_thread_for_warps",
+    "min_smem_padding_to_cap_warps",
+    "occupancy_fraction",
+    "occupancy_levels",
+]

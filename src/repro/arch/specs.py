@@ -1,0 +1,189 @@
+"""GPU architecture descriptors.
+
+Orion is evaluated on two machines (paper Section 4, "Platform"):
+
+* an NVIDIA GTX680 (Kepler, compute capability 3.0): 8 SMs, 65536
+  registers per SM, 64KB of combined shared memory and L1 cache, at most
+  64 active warps (2048 threads) per SM;
+* an NVIDIA Tesla C2075 (Fermi, compute capability 2.0): 14 SMs, 32768
+  registers per SM, 64KB of combined shared memory and L1 cache, at most
+  48 active warps (1536 threads) per SM.
+
+This module captures those limits, plus the allocation granularities the
+NVIDIA occupancy calculator uses, as plain frozen dataclasses.  Everything
+downstream (occupancy arithmetic, the timing simulator, the tuner) reads
+hardware facts exclusively from these descriptors, so adding an
+architecture is a matter of adding a descriptor here — exactly the
+portability claim the paper makes for Orion's middle end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+
+class CacheConfig(enum.Enum):
+    """Split of the 64KB on-chip array between shared memory and L1 cache.
+
+    The paper's Table 3 compares a "small cache" configuration (16KB L1 +
+    48KB shared memory) against a "large cache" one (48KB L1 + 16KB shared
+    memory); both Fermi and Kepler support the two splits.
+    """
+
+    SMALL_CACHE = "small_cache"
+    LARGE_CACHE = "large_cache"
+
+
+#: Bytes of L1 cache / shared memory for each :class:`CacheConfig`.
+_CACHE_SPLITS = {
+    CacheConfig.SMALL_CACHE: (16 * 1024, 48 * 1024),
+    CacheConfig.LARGE_CACHE: (48 * 1024, 16 * 1024),
+}
+
+
+@dataclass(frozen=True)
+class GpuArchitecture:
+    """Static resource limits of one GPU model.
+
+    The fields mirror the inputs of the NVIDIA occupancy calculator for
+    the corresponding compute capability, plus the handful of timing and
+    power parameters the simulator substrate needs.
+    """
+
+    name: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    cores_per_sm: int
+
+    # Scheduling limits (per SM).
+    warp_size: int
+    max_warps_per_sm: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+
+    # Register file (per SM).
+    registers_per_sm: int
+    max_registers_per_thread: int
+    register_allocation_unit: int  # registers, rounded per warp
+    warp_allocation_granularity: int
+
+    # On-chip memory array (per SM): shared memory + L1, 64KB combined.
+    onchip_memory_bytes: int
+    shared_memory_allocation_unit: int  # bytes
+
+    # Timing parameters for the simulator substrate (cycles).
+    issue_width: int = 1
+    alu_latency: int = 10
+    sfu_latency: int = 20
+    shared_latency: int = 30
+    l1_latency: int = 40
+    l2_latency: int = 200
+    dram_latency: int = 500
+    # How many outstanding memory requests one SM sustains before the
+    # memory pipeline back-pressures (a coarse MSHR count).
+    max_outstanding_memory: int = 64
+    # DRAM service: minimum cycles between completing two misses that go
+    # to DRAM, modelling the SM's share of memory bandwidth.
+    dram_service_interval: int = 8
+
+    # L2 (device-wide, modelled per SM slice).
+    l2_bytes_per_sm: int = 64 * 1024
+    cache_line_bytes: int = 128
+    l1_associativity: int = 4
+    l2_associativity: int = 8
+
+    # Whether L1 caches global-memory traffic.  True on Fermi; on Kepler
+    # the L1 is reserved for thread-private local memory (spills), which
+    # is why the paper sees downward tuning pay off more on the C2075.
+    l1_caches_global: bool = False
+
+    # Power model (arbitrary but self-consistent units; see sim.energy).
+    power_base: float = 40.0
+    power_per_sm: float = 6.0
+    power_per_active_warp: float = 0.12
+    power_register_file: float = 28.0
+    power_l1: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_threads_per_sm != self.max_warps_per_sm * self.warp_size:
+            raise ValueError(
+                f"{self.name}: max_threads_per_sm must equal "
+                "max_warps_per_sm * warp_size"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def shared_memory_bytes(self, config: CacheConfig) -> int:
+        """Shared-memory capacity (bytes per SM) under ``config``."""
+        return _CACHE_SPLITS[config][1]
+
+    def l1_cache_bytes(self, config: CacheConfig) -> int:
+        """L1 capacity (bytes per SM) under ``config``."""
+        return _CACHE_SPLITS[config][0]
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def registers_per_thread_at_full_occupancy(self) -> int:
+        """Registers each thread gets when every schedulable thread runs.
+
+        The paper's max-live threshold (32 on Kepler) is exactly this
+        number: 65536 registers / 2048 threads.
+        """
+        return self.registers_per_sm // self.max_threads_per_sm
+
+    def with_overrides(self, **changes: object) -> "GpuArchitecture":
+        """A copy of this descriptor with some fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+GTX680 = GpuArchitecture(
+    name="GTX680",
+    compute_capability=(3, 0),
+    num_sms=8,
+    cores_per_sm=192,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    max_registers_per_thread=63,
+    register_allocation_unit=256,
+    warp_allocation_granularity=4,
+    onchip_memory_bytes=64 * 1024,
+    shared_memory_allocation_unit=256,
+    # 192 cores / 32-wide warps: up to 6 warp-instructions per cycle.
+    issue_width=6,
+)
+
+TESLA_C2075 = GpuArchitecture(
+    name="Tesla C2075",
+    compute_capability=(2, 0),
+    num_sms=14,
+    cores_per_sm=32,
+    warp_size=32,
+    max_warps_per_sm=48,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    register_allocation_unit=64,
+    warp_allocation_granularity=2,
+    onchip_memory_bytes=64 * 1024,
+    shared_memory_allocation_unit=128,
+    # 32 cores / 32-wide warps: one warp-instruction per cycle.
+    issue_width=1,
+    # Fermi's L1 caches global *and* local memory; Kepler's caches local
+    # memory only (paper Section 4.2 relies on this difference).
+    l1_caches_global=True,
+)
+
+
+def known_architectures() -> tuple[GpuArchitecture, ...]:
+    """The two architectures the paper evaluates on."""
+    return (GTX680, TESLA_C2075)

@@ -1,0 +1,24 @@
+"""The benchmark suite: Table 2's twelve programs plus matrixMul,
+imageDenoising, and heartwall, as generated ORAS modules."""
+
+from repro.bench.builder import KernelBuilder
+from repro.bench.kernels import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    downward_benchmarks,
+    figure5_benchmarks,
+    table2_benchmarks,
+    upward_benchmarks,
+)
+from repro.bench.workloads import WorkloadSpec
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "KernelBuilder",
+    "WorkloadSpec",
+    "downward_benchmarks",
+    "figure5_benchmarks",
+    "table2_benchmarks",
+    "upward_benchmarks",
+]

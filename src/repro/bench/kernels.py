@@ -1,0 +1,535 @@
+"""The benchmark suite: Table 2's twelve programs plus matrixMul,
+imageDenoising's companion figure, and heartwall (used by Fig. 5).
+
+Each generator produces an ORAS module engineered to match the paper's
+measurable per-benchmark properties:
+
+* **Reg** — registers needed to avoid spilling (Table 2): a pool of
+  *persistent* values loaded before the main loop and folded into the
+  accumulator every iteration keeps exactly that many values live;
+* **Func** — static call sites after inlining (Table 2): a few *hot*
+  call sites run every iteration (exercising the compressible stack),
+  and the remainder sit in a cold branch — statically present,
+  dynamically idle, just like the inlined-but-rarely-taken paths the
+  paper counts;
+* **Smem** — user-allocated shared memory (Table 2): tile exchange
+  through shared memory with a barrier;
+* memory behaviour — streaming loads (cold), per-warp table reads
+  (cache-sensitive working sets), coalescing/irregularity via
+  :class:`~repro.sim.trace.MemoryTraits`.
+
+The exact register counts depend on our allocator rather than nvcc's,
+so they approximate the paper's numbers; the Table 2 harness prints
+both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.builder import KernelBuilder
+from repro.bench.workloads import WorkloadSpec
+from repro.ir.function import Module
+from repro.sim.trace import MemoryTraits
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: its paper-reported facts plus our generator."""
+
+    name: str
+    domain: str
+    suite: str  # "rodinia" | "cuda-sdk"
+    paper_regs: int | None
+    paper_calls: int | None
+    paper_smem: bool
+    #: paper Fig. 11 group ("up") vs Fig. 12 group ("down"); extras = ""
+    tuning_group: str
+    build: Callable[[], Module] = field(compare=False)
+    workload: WorkloadSpec = field(compare=False, default_factory=WorkloadSpec)
+    #: backprop: too small to tune — always run the original version
+    force_original: bool = False
+
+
+# ----------------------------------------------------------------------
+# Generic generator
+# ----------------------------------------------------------------------
+def _make_kernel(
+    name: str,
+    persistent: int,
+    trips: int,
+    stream_loads: int,
+    table_reads: int = 0,
+    table_lines: int = 4,
+    compute: int = 2,
+    smem_bytes: int = 0,
+    hot_call: str | None = None,
+    cold_calls: int = 0,
+    call_tree: dict[str, list[str]] | None = None,
+    wide_values: int = 0,
+    stream_spread: int = 128,
+    iter_stride: int = 16384,
+) -> Module:
+    """Build one benchmark kernel.
+
+    ``call_tree`` maps a device function name to the functions its body
+    calls once each (hot); ``hot_call`` names the function invoked once
+    per loop iteration; ``cold_calls`` extra statically-present call
+    sites to ``hot_call`` (or a default helper) in a never-taken branch.
+    """
+    b = KernelBuilder(module_name=name, shared_bytes=smem_bytes)
+    gid = b.global_thread_id()
+    base = b.scaled(gid, 7)  # 128B-spaced per-thread base: distinct lines
+    warp = b.reg()
+    b.emit(f"SHR {warp}, {gid}, 5")
+    table_base = b.scaled(warp, 10)  # per-warp 1KB table region
+
+    # Persistent pool: live across the whole loop (register pressure).
+    pool = []
+    for i in range(persistent):
+        pool.append(b.load_global(base, offset=4 * i))
+    wides = []
+    for i in range(wide_values):
+        w = b.reg() + ".w2"
+        b.emit(f"LD.global {w}, [{base}+{4 * (persistent + 2 * i)}]")
+        wides.append(w)
+
+    # Optional shared-memory tile exchange (Table 2's Smem column).
+    if smem_bytes:
+        lane = b.reg()
+        b.emit(f"S2R {lane}, %tid")
+        lane4 = b.scaled(lane, 2)
+        b.emit(f"ST.shared [{lane4}], {pool[0]}")
+        b.emit("BAR")
+        neighbor = b.reg()
+        b.emit(f"LD.shared {neighbor}, [{lane4}+4]")
+        pool[0] = neighbor
+
+    accum = b.reg()
+    b.emit(f"MOV {accum}, 0.0")
+
+    b.counted_loop(trips)
+    counter = b._loop_stack[-1][0]
+    # Streaming loads: a fresh region every iteration (cold in cache),
+    # in a per-warp region disjoint from every other warp's stream.
+    stream_base = b.reg()
+    b.emit(f"SHL {stream_base}, {warp}, 18")
+    stride = b.reg()
+    b.emit(f"IMAD {stride}, {counter}, {iter_stride}, {stream_base}")
+    streamed = []
+    for i in range(stream_loads):
+        streamed.append(
+            b.load_global(stride, offset=stream_spread * i + 65536)
+        )
+    # Table reads: a small per-warp region reused every iteration
+    # (cache-sensitive working set -> occupancy-dependent hit rate).
+    for i in range(table_reads):
+        idx = b.reg()
+        b.emit(f"AND {idx}, {counter}, {table_lines - 1}")
+        addr = b.reg()
+        b.emit(f"IMAD {addr}, {idx}, 128, {table_base}")
+        streamed.append(b.load_global(addr, offset=128 * i + 4 * 1024 * 1024))
+    folded = b.live_chain(pool + wides + streamed)
+    for _ in range(compute):
+        nxt = b.reg()
+        b.emit(f"FFMA {nxt}, {folded}, 1.000001, {accum}")
+        accum = nxt
+        folded = accum
+    if hot_call:
+        out = b.reg()
+        b.emit(f"CALL {out}, {hot_call}({accum})")
+        accum = out
+    b.close_loop()
+
+    # Cold branch: statically present call sites that never execute
+    # (the paper counts static sites in the binary after inlining).
+    if cold_calls and hot_call:
+        minus = b.reg()
+        b.emit(f"ISET.eq {minus}, {gid}, -123456789")
+        cold, warm = b.label("COLD"), b.label("WARM")
+        b.emit(f"CBR {minus}, {cold}, {warm}")
+        b.mark(cold)
+        cold_accum = accum
+        for _ in range(cold_calls):
+            out = b.reg()
+            b.emit(f"CALL {out}, {hot_call}({cold_accum})")
+            cold_accum = out
+        b.emit(f"ST.global [{base}+4], {cold_accum}")
+        b.emit(f"BRA {warm}")
+        b.mark(warm)
+
+    b.emit(f"ST.global [{base}], {accum}")
+    b.emit("EXIT")
+
+    for fname, callees in (call_tree or {}).items():
+        body = []
+        acc = "%v0"
+        nxt = 1
+        for callee in callees:
+            body.append(f"CALL %v{nxt}, {callee}(%v{0 if nxt == 1 else nxt - 1})")
+            nxt += 1
+        body.append(f"FFMA %v{nxt}, %v{nxt - 1 if callees else 0}, 1.25, %v0")
+        body.append(f"RET %v{nxt}")
+        b.device_function(fname, 1, body)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Per-benchmark generators
+# ----------------------------------------------------------------------
+def build_cfd() -> Module:
+    """Fluid dynamics: highest register pressure, 36 static calls."""
+    return _make_kernel(
+        "cfd",
+        persistent=51,
+        trips=8,
+        stream_loads=6,
+        compute=3,
+        hot_call="flux",
+        cold_calls=33,
+        call_tree={"flux": ["dot"], "dot": ["frcp_fn"], "frcp_fn": []},
+    )
+
+
+def build_dxtc() -> Module:
+    """Image compression: shared-memory tiles, 11 calls."""
+    return _make_kernel(
+        "dxtc",
+        persistent=39,
+        trips=8,
+        stream_loads=4,
+        compute=3,
+        smem_bytes=6144,
+        hot_call="dist",
+        cold_calls=9,
+        call_tree={"dist": ["clampf"], "clampf": []},
+    )
+
+
+def build_heartwall() -> Module:
+    """Heart-wall tracking (Rodinia): call-heavy, used in Fig. 5."""
+    return _make_kernel(
+        "heartwall",
+        persistent=35,
+        trips=8,
+        stream_loads=5,
+        compute=3,
+        hot_call="convolve",
+        cold_calls=8,
+        call_tree={"convolve": ["fexp_fn"], "fexp_fn": []},
+    )
+
+
+def build_fdtd3d() -> Module:
+    """3D stencil: wide halo held live, shared tiles, no calls."""
+    return _make_kernel(
+        "FDTD3d",
+        persistent=32,
+        trips=8,
+        stream_loads=7,
+        compute=3,
+        smem_bytes=2048,
+        wide_values=2,
+    )
+
+
+def build_hotspot() -> Module:
+    """Thermal simulation: moderate pressure, 6 calls, shared tiles."""
+    return _make_kernel(
+        "hotspot",
+        persistent=26,
+        trips=10,
+        stream_loads=5,
+        compute=3,
+        smem_bytes=4096,
+        hot_call="step",
+        cold_calls=4,
+        call_tree={"step": ["clamp01"], "clamp01": []},
+    )
+
+
+def build_imagedenoising() -> Module:
+    """NLM denoising: the Fig. 1 bell curve; very high pressure."""
+    return _make_kernel(
+        "imageDenoising",
+        persistent=52,
+        trips=8,
+        stream_loads=5,
+        compute=3,
+        smem_bytes=1024,
+        hot_call="weight",
+        cold_calls=1,
+        call_tree={"weight": []},
+    )
+
+
+def build_particles() -> Module:
+    """Particle simulation: high pressure, no calls, not tunable."""
+    return _make_kernel(
+        "particles",
+        persistent=43,
+        trips=10,
+        stream_loads=4,
+        compute=5,
+    )
+
+
+def build_recursivegaussian() -> Module:
+    """Recursive Gaussian filter: 21 static calls."""
+    return _make_kernel(
+        "recursiveGaussian",
+        persistent=32,
+        trips=8,
+        stream_loads=4,
+        compute=3,
+        hot_call="coef",
+        cold_calls=19,
+        call_tree={"coef": ["fdiv_fn"], "fdiv_fn": []},
+    )
+
+
+def build_backprop() -> Module:
+    """Tiny ML kernel: <100 instructions, no loops or calls."""
+    b = KernelBuilder(module_name="backprop")
+    gid = b.global_thread_id()
+    base = b.scaled(gid, 7)
+    # 12 cold lines plus 8 re-reads of the first line: enough memory
+    # latency to need ~60% occupancy, enough bandwidth to saturate there.
+    values = [b.load_global(base, offset=128 * i) for i in range(12)]
+    values += [b.load_global(base, offset=128 * i + 4) for i in range(8)]
+    folded = b.live_chain(values)
+    out = b.reg()
+    b.emit(f"FMUL {out}, {folded}, 0.5")
+    b.emit(f"ST.global [{base}], {out}")
+    b.emit("EXIT")
+    return b.build()
+
+
+def build_bfs() -> Module:
+    """Graph traversal: irregular, divergent, latency-bound."""
+    return _make_kernel(
+        "bfs",
+        persistent=8,
+        trips=10,
+        stream_loads=3,
+        compute=1,
+        stream_spread=4096,
+    )
+
+
+def build_gaussian() -> Module:
+    """Gaussian elimination row kernel: tiny, bandwidth-bound."""
+    return _make_kernel(
+        "gaussian",
+        persistent=1,
+        trips=8,
+        stream_loads=5,
+        compute=1,
+        stream_spread=4096,
+        # five 4KB scattered windows per iteration: stride past them so
+        # iterations never overlap (bandwidth-flat at every occupancy)
+        iter_stride=24576,
+        hot_call="fdiv_fn",
+        cold_calls=1,
+        call_tree={"fdiv_fn": []},
+    )
+
+
+def build_srad() -> Module:
+    """Speckle-reducing diffusion: the Fig. 10 flat-top curve."""
+    return _make_kernel(
+        "srad",
+        persistent=9,
+        trips=10,
+        stream_loads=1,
+        table_reads=3,
+        compute=10,
+        smem_bytes=1024,
+        hot_call="diffuse",
+        cold_calls=5,
+        call_tree={"diffuse": ["fdiv_fn"], "fdiv_fn": []},
+    )
+
+
+def build_streamcluster() -> Module:
+    """Data mining: per-warp centre table, cache-sensitive (Fig. 14b)."""
+    return _make_kernel(
+        "streamcluster",
+        persistent=8,
+        trips=12,
+        stream_loads=1,
+        table_reads=3,
+        table_lines=1,
+        compute=7,
+    )
+
+
+def build_matrixmul() -> Module:
+    """Tiled matrix multiplication: the Fig. 2 plateau."""
+    return _make_kernel(
+        "matrixMul",
+        persistent=9,
+        trips=10,
+        stream_loads=1,
+        table_reads=2,
+        compute=14,
+        smem_bytes=2048,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _spec(
+    name: str,
+    domain: str,
+    suite: str,
+    regs: int | None,
+    calls: int | None,
+    smem: bool,
+    group: str,
+    build: Callable[[], Module],
+    workload: WorkloadSpec,
+    force_original: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        domain=domain,
+        suite=suite,
+        paper_regs=regs,
+        paper_calls=calls,
+        paper_smem=smem,
+        tuning_group=group,
+        build=build,
+        workload=workload,
+        force_original=force_original,
+    )
+
+
+_COALESCED = MemoryTraits(global_lane_stride=4)
+_STRIDED = MemoryTraits(global_lane_stride=32)
+_STRIDED8 = MemoryTraits(global_lane_stride=8)
+_STRIDED16 = MemoryTraits(global_lane_stride=16)
+_IRREGULAR = MemoryTraits(
+    global_lane_stride=128, divergence=1.6, irregularity=0.6, active_lanes=2
+)
+_SCATTERED = MemoryTraits(global_lane_stride=128)
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "cfd", "Fluid dynam.", "rodinia", 63, 36, False, "up",
+            build_cfd,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_STRIDED8),
+        ),
+        _spec(
+            "dxtc", "Image proc.", "cuda-sdk", 49, 11, True, "up",
+            build_dxtc,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_COALESCED),
+        ),
+        _spec(
+            "heartwall", "Medical imaging", "rodinia", None, None, False,
+            "extra", build_heartwall,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_STRIDED8),
+        ),
+        _spec(
+            "FDTD3d", "Numer. analysis", "cuda-sdk", 48, 0, True, "up",
+            build_fdtd3d,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_COALESCED),
+        ),
+        _spec(
+            "hotspot", "Temp. modeling", "rodinia", 37, 6, True, "up",
+            build_hotspot,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_COALESCED),
+        ),
+        _spec(
+            "imageDenoising", "Image proc.", "cuda-sdk", 63, 2, True, "up",
+            build_imagedenoising,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_COALESCED),
+        ),
+        _spec(
+            "particles", "Simulation", "cuda-sdk", 52, 0, False, "up",
+            build_particles,
+            # One invocation of a brief kernel: the runtime cannot
+            # trial-and-error on it, so the static selection decides.
+            WorkloadSpec(grid_blocks=96, iterations=1, traits=_STRIDED8,
+                         allow_tuning=False),
+        ),
+        _spec(
+            "recursiveGaussian", "Numer. analysis", "cuda-sdk", 42, 21,
+            False, "up", build_recursivegaussian,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_COALESCED),
+        ),
+        _spec(
+            "backprop", "Machine learning", "rodinia", 21, 0, False, "down",
+            build_backprop,
+            WorkloadSpec(grid_blocks=64, iterations=24, traits=_STRIDED8,
+                         max_events_per_warp=600),
+            force_original=True,
+        ),
+        _spec(
+            "bfs", "Graph traversal", "rodinia", 16, 0, False, "down",
+            build_bfs,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_IRREGULAR),
+        ),
+        _spec(
+            "gaussian", "Numer. analysis", "rodinia", 11, 2, False, "down",
+            build_gaussian,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_SCATTERED),
+        ),
+        _spec(
+            "srad", "Imaging app", "rodinia", 20, 7, True, "down",
+            build_srad,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_STRIDED16,
+                         ilp=1.5),
+        ),
+        _spec(
+            "streamcluster", "Data mining", "rodinia", 18, 0, False, "down",
+            build_streamcluster,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_STRIDED8),
+        ),
+        _spec(
+            "matrixMul", "Linear algebra", "cuda-sdk", None, None, True,
+            "extra", build_matrixmul,
+            WorkloadSpec(grid_blocks=96, iterations=24, traits=_STRIDED16,
+                         ilp=2.0),
+        ),
+    ]
+}
+
+
+def table2_benchmarks() -> list[BenchmarkSpec]:
+    """The twelve benchmarks of the paper's Table 2, in its order."""
+    order = [
+        "cfd", "dxtc", "FDTD3d", "hotspot", "imageDenoising", "particles",
+        "recursiveGaussian", "backprop", "bfs", "gaussian", "srad",
+        "streamcluster",
+    ]
+    return [BENCHMARKS[name] for name in order]
+
+
+def upward_benchmarks() -> list[BenchmarkSpec]:
+    """The seven Fig. 11 benchmarks (compiler predicts 'increasing')."""
+    order = [
+        "cfd", "dxtc", "FDTD3d", "hotspot", "imageDenoising", "particles",
+        "recursiveGaussian",
+    ]
+    return [BENCHMARKS[name] for name in order]
+
+
+def downward_benchmarks() -> list[BenchmarkSpec]:
+    """The five Fig. 12 benchmarks (compiler predicts 'decreasing')."""
+    order = ["backprop", "bfs", "gaussian", "srad", "streamcluster"]
+    return [BENCHMARKS[name] for name in order]
+
+
+def figure5_benchmarks() -> list[BenchmarkSpec]:
+    """The seven call-heavy benchmarks of the Fig. 5 ablation."""
+    order = [
+        "cfd", "dxtc", "heartwall", "hotspot", "imageDenoising",
+        "particles", "recursiveGaussian",
+    ]
+    return [BENCHMARKS[name] for name in order]

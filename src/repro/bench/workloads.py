@@ -1,0 +1,49 @@
+"""Workload descriptions for the benchmark suite.
+
+A :class:`WorkloadSpec` captures how a benchmark *runs*: launch
+geometry, how many times the application loops over the kernel (the
+iterations the Fig. 9 tuner feeds on), the warp-level memory behaviour
+(coalescing, divergence, irregularity), and the instruction-level
+parallelism of its inner loop.  These are the properties the paper's
+evaluation varies across benchmarks; the kernel *code* properties
+(register pressure, calls, shared memory) live in the generators in
+:mod:`repro.bench.kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.interp import LaunchConfig, Value
+from repro.sim.trace import MemoryTraits
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Dynamic execution profile of one benchmark."""
+
+    grid_blocks: int = 64
+    block_size: int = 256
+    #: application-level kernel-loop iterations (1 = not iterative)
+    iterations: int = 8
+    params: dict[int, Value] = field(default_factory=dict)
+    traits: MemoryTraits = field(default_factory=MemoryTraits)
+    ilp: float = 1.0
+    max_events_per_warp: int = 3000
+    #: False marks kernels the runtime must not trial-and-error on
+    #: (paper: particles' kernel is too brief for split-tuning)
+    allow_tuning: bool = True
+
+    def launch(self) -> LaunchConfig:
+        return LaunchConfig(
+            grid_blocks=self.grid_blocks,
+            block_size=self.block_size,
+            params=dict(self.params),
+        )
+
+    @property
+    def can_tune(self) -> bool:
+        """Dynamically tunable: an app loop, or a grid big enough to split."""
+        if not self.allow_tuning:
+            return False
+        return self.iterations > 1 or self.grid_blocks >= 4

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's toolchain is driven from the shell (nvcc emits a binary,
+Orion rewrites it, the runtime loads the multi-version result); this
+CLI exposes the same workflow over ORAS files:
+
+* ``asm``      — assemble ORAS text into a binary module;
+* ``dis``      — disassemble a binary module back to text;
+* ``compile``  — run the full Orion compiler, writing a multi-version
+  binary and printing the candidate table;
+* ``inspect``  — describe a multi-version binary;
+* ``run``      — execute a kernel on the functional interpreter;
+* ``sweep``    — time every occupancy level on the simulated GPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch.specs import GTX680, TESLA_C2075, GpuArchitecture
+from repro.compiler.multiversion import MultiVersionBinary
+from repro.compiler.pipeline import CompileOptions, compile_binary
+from repro.harness.reporting import format_series, format_table
+from repro.isa.assembly import format_module, parse_module
+from repro.isa.encoding import decode_module, encode_module
+from repro.sim.interp import LaunchConfig, run_kernel
+
+ARCHS: dict[str, GpuArchitecture] = {
+    "gtx680": GTX680,
+    "c2075": TESLA_C2075,
+}
+
+
+def _load_module(path: Path):
+    """Load an ORAS module from assembly text or a binary file."""
+    data = path.read_bytes()
+    if data[:4] == b"ORAS":
+        return decode_module(data)
+    return parse_module(data.decode("utf-8"))
+
+
+def _add_arch(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch",
+        choices=sorted(ARCHS),
+        default="gtx680",
+        help="target architecture (default: gtx680)",
+    )
+
+
+# ----------------------------------------------------------------------
+def cmd_asm(args: argparse.Namespace) -> int:
+    module = parse_module(Path(args.input).read_text())
+    module.validate()
+    Path(args.output).write_bytes(encode_module(module))
+    print(f"assembled {module.name}: {len(module.functions)} function(s) "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_dis(args: argparse.Namespace) -> int:
+    module = decode_module(Path(args.input).read_bytes())
+    text = format_module(module)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"disassembled -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = _load_module(Path(args.input))
+    kernel = args.kernel or module.kernel().name
+    arch = ARCHS[args.arch]
+    binary = compile_binary(
+        module,
+        kernel,
+        CompileOptions(
+            arch=arch,
+            block_size=args.block_size,
+            can_tune=not args.no_tune,
+            max_versions=args.max_versions,
+        ),
+    )
+    Path(args.output).write_bytes(binary.to_bytes())
+    print(f"kernel {kernel!r} on {arch.name}: direction={binary.direction}")
+    print(_version_table(binary))
+    print(f"multi-version binary -> {args.output}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    binary = MultiVersionBinary.from_bytes(Path(args.input).read_bytes())
+    print(
+        f"kernel {binary.kernel_name!r} for {binary.arch_name} "
+        f"(block={binary.block_size}, direction={binary.direction}, "
+        f"tunable={binary.can_tune})"
+    )
+    print(_version_table(binary))
+    return 0
+
+
+def _version_table(binary: MultiVersionBinary) -> str:
+    rows = []
+    for role, versions in (("candidate", binary.versions), ("failsafe", binary.failsafe)):
+        for v in versions:
+            rows.append(
+                (
+                    role,
+                    v.label,
+                    f"{v.occupancy:.3f}",
+                    v.regs_per_thread,
+                    v.smem_per_block,
+                    v.outcome.spilled_variables,
+                    v.outcome.stack_moves,
+                )
+            )
+    return format_table(
+        ["role", "label", "occupancy", "regs", "smem B", "spills", "moves"],
+        rows,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load_module(Path(args.input))
+    kernel = args.kernel or module.kernel().name
+    params = {}
+    for pair in args.param or []:
+        offset, _, value = pair.partition("=")
+        params[int(offset)] = float(value) if "." in value else int(value)
+    launch = LaunchConfig(
+        grid_blocks=args.grid, block_size=args.block_size, params=params
+    )
+    memory = run_kernel(module, launch, kernel_name=kernel)
+    shown = sorted(memory.items())[: args.show]
+    print(f"ran {kernel!r}: {len(memory)} global words written")
+    for address, value in shown:
+        print(f"  [{address:#010x}] = {value}")
+    if len(memory) > args.show:
+        print(f"  ... {len(memory) - args.show} more")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.arch.occupancy import occupancy_levels
+    from repro.compiler.realize import RealizeError, realize_occupancy
+    from repro.sim.gpu import simulate_kernel
+
+    module = _load_module(Path(args.input))
+    kernel = args.kernel or module.kernel().name
+    arch = ARCHS[args.arch]
+    launch = LaunchConfig(grid_blocks=args.grid, block_size=args.block_size)
+    occupancies, runtimes = [], []
+    for warps in occupancy_levels(arch, args.block_size):
+        try:
+            version = realize_occupancy(
+                module, kernel, arch, args.block_size, warps, conservative=True
+            )
+        except RealizeError as exc:
+            print(f"  warps={warps}: infeasible ({exc})")
+            continue
+        timing = simulate_kernel(
+            arch,
+            version.module,
+            kernel,
+            launch,
+            regs_per_thread=version.regs_per_thread,
+            smem_per_block=version.smem_per_block,
+            max_events_per_warp=args.max_events,
+        )
+        occupancies.append(warps / arch.max_warps_per_sm)
+        runtimes.append(timing.total_cycles)
+    if not runtimes:
+        print("no feasible occupancy level")
+        return 1
+    best = min(runtimes)
+    print(f"sweep of {kernel!r} on {arch.name}:")
+    print(
+        format_series(
+            occupancies,
+            [r / best for r in runtimes],
+            "occupancy",
+            "normalized runtime",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orion GPU occupancy tuning — reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble ORAS text to a binary")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("dis", help="disassemble a binary to ORAS text")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_dis)
+
+    p = sub.add_parser("compile", help="Orion-compile a kernel")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--kernel")
+    p.add_argument("--block-size", type=int, default=256)
+    p.add_argument("--max-versions", type=int, default=5)
+    p.add_argument("--no-tune", action="store_true",
+                   help="force static selection (no runtime tuning)")
+    _add_arch(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("inspect", help="describe a multi-version binary")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("run", help="execute a kernel functionally")
+    p.add_argument("input")
+    p.add_argument("--kernel")
+    p.add_argument("--grid", type=int, default=1)
+    p.add_argument("--block-size", type=int, default=32)
+    p.add_argument("--param", action="append",
+                   help="offset=value kernel parameter (repeatable)")
+    p.add_argument("--show", type=int, default=16)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="time every occupancy level")
+    p.add_argument("input")
+    p.add_argument("--kernel")
+    p.add_argument("--grid", type=int, default=64)
+    p.add_argument("--block-size", type=int, default=256)
+    p.add_argument("--max-events", type=int, default=3000)
+    _add_arch(p)
+    p.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

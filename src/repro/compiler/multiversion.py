@@ -1,0 +1,150 @@
+"""Multi-version binary container (the compiler↔runtime hand-off).
+
+Orion's compiler emits one *fat binary* holding every candidate kernel
+version plus the tuning metadata (direction, candidate order, occupancy
+of each version); the runtime loads it and performs the Fig. 9 dynamic
+selection.  The serialised format is a JSON manifest followed by the
+per-version ORAS binaries, so a multi-version binary written by one
+process is fully usable by another.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.compiler.realize import KernelVersion
+from repro.compiler.tuning import TuningPlan
+from repro.isa.encoding import decode_module
+from repro.regalloc.allocator import AllocationOutcome
+
+_MAGIC = b"ORMV"
+
+
+@dataclass
+class MultiVersionBinary:
+    """Everything the runtime needs to tune one kernel."""
+
+    kernel_name: str
+    arch_name: str
+    block_size: int
+    direction: str
+    can_tune: bool
+    versions: list[KernelVersion] = field(default_factory=list)
+    failsafe: list[KernelVersion] = field(default_factory=list)
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: TuningPlan,
+        arch_name: str,
+        block_size: int,
+    ) -> "MultiVersionBinary":
+        return cls(
+            kernel_name=plan.kernel_name,
+            arch_name=arch_name,
+            block_size=block_size,
+            direction=plan.direction,
+            can_tune=plan.can_tune,
+            versions=list(plan.versions),
+            failsafe=list(plan.failsafe),
+        )
+
+    @property
+    def original(self) -> KernelVersion:
+        return self.versions[0]
+
+    def version_count(self) -> int:
+        return len(self.versions) + len(self.failsafe)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        manifest = {
+            "kernel_name": self.kernel_name,
+            "arch_name": self.arch_name,
+            "block_size": self.block_size,
+            "direction": self.direction,
+            "can_tune": self.can_tune,
+            "versions": [_version_meta(v) for v in self.versions],
+            "failsafe": [_version_meta(v) for v in self.failsafe],
+        }
+        blob = json.dumps(manifest).encode("utf-8")
+        parts = [_MAGIC, struct.pack("<I", len(blob)), blob]
+        for version in list(self.versions) + list(self.failsafe):
+            parts.append(struct.pack("<I", len(version.binary)))
+            parts.append(version.binary)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MultiVersionBinary":
+        if data[:4] != _MAGIC:
+            raise ValueError("not a multi-version binary")
+        (manifest_len,) = struct.unpack_from("<I", data, 4)
+        cursor = 8
+        manifest = json.loads(data[cursor : cursor + manifest_len])
+        cursor += manifest_len
+
+        def read_versions(metas: list[dict]) -> list[KernelVersion]:
+            nonlocal cursor
+            out = []
+            for meta in metas:
+                (size,) = struct.unpack_from("<I", data, cursor)
+                cursor += 4
+                binary = data[cursor : cursor + size]
+                cursor += size
+                out.append(_version_from_meta(meta, binary, manifest["kernel_name"]))
+            return out
+
+        return cls(
+            kernel_name=manifest["kernel_name"],
+            arch_name=manifest["arch_name"],
+            block_size=manifest["block_size"],
+            direction=manifest["direction"],
+            can_tune=manifest["can_tune"],
+            versions=read_versions(manifest["versions"]),
+            failsafe=read_versions(manifest["failsafe"]),
+        )
+
+
+def _version_meta(v: KernelVersion) -> dict:
+    return {
+        "label": v.label,
+        "target_warps": v.target_warps,
+        "achieved_warps": v.achieved_warps,
+        "occupancy": v.occupancy,
+        "regs_per_thread": v.regs_per_thread,
+        "smem_per_block": v.smem_per_block,
+        "smem_padding": v.smem_padding,
+        "local_bytes_per_thread": v.outcome.local_bytes_per_thread,
+        "spilled_variables": v.outcome.spilled_variables,
+        "stack_moves": v.outcome.stack_moves,
+    }
+
+
+def _version_from_meta(
+    meta: dict, binary: bytes, kernel_name: str
+) -> KernelVersion:
+    module = decode_module(binary)
+    outcome = AllocationOutcome(
+        module=module,
+        kernel_name=kernel_name,
+        registers_per_thread=meta["regs_per_thread"],
+        shared_bytes_per_block=meta["smem_per_block"] - meta["smem_padding"],
+        local_bytes_per_thread=meta["local_bytes_per_thread"],
+        spilled_variables=meta["spilled_variables"],
+        stack_moves=meta["stack_moves"],
+    )
+    return KernelVersion(
+        label=meta["label"],
+        target_warps=meta["target_warps"],
+        achieved_warps=meta["achieved_warps"],
+        occupancy=meta["occupancy"],
+        regs_per_thread=meta["regs_per_thread"],
+        smem_per_block=meta["smem_per_block"],
+        smem_padding=meta["smem_padding"],
+        outcome=outcome,
+        binary=binary,
+    )

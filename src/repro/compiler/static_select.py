@@ -1,0 +1,85 @@
+"""Static occupancy selection for kernels the runtime cannot tune.
+
+Paper Section 3.3: "In cases where the kernel function cannot be tuned
+(for example, if it only has a single iteration), the selection process
+will use the static selection algorithm described in [11]" (Hayes &
+Zhang, ICS'14).  Fig. 8's fallback walks occupancies downward and keeps
+the lowest one whose warp count still covers the kernel's
+latency-hiding need.
+
+The need estimate is Little's-law shaped: a warp stalls for the memory
+latency every *D* issued instructions (D = loop-weighted distance
+between memory operations), so roughly ``L / (D · c)`` warps keep the
+issue port busy, with *c* the per-instruction issue/latency cost.
+Memory-dense kernels therefore demand high occupancy; compute-dense
+kernels are satisfied by much less, and lower occupancy frees on-chip
+resources.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.specs import GpuArchitecture
+from repro.ir.cfg import CFG
+from repro.ir.function import Module
+from repro.isa.instructions import MemSpace
+
+
+def memory_instruction_distance(module: Module, kernel_name: str) -> float:
+    """Loop-weighted instructions issued per off-chip memory operation."""
+    total = 0.0
+    memory = 0.0
+    for fn in module.functions.values():
+        cfg = CFG(fn)
+        for label in cfg.rpo:
+            weight = 10.0 ** cfg.loop_depth[label]
+            for inst in fn.blocks[label].instructions:
+                total += weight
+                if inst.is_memory and inst.space in (
+                    MemSpace.GLOBAL,
+                    MemSpace.LOCAL,
+                    MemSpace.PARAM,
+                ):
+                    memory += weight
+    if memory == 0:
+        return math.inf
+    return total / memory
+
+
+def warps_needed(
+    module: Module, kernel_name: str, arch: GpuArchitecture
+) -> int:
+    """Resident warps required to hide memory latency (Fig. 8's bound)."""
+    distance = memory_instruction_distance(module, kernel_name)
+    if math.isinf(distance):
+        return 1
+    per_inst_cycles = max(1.0, arch.alu_latency / 3)
+    need = arch.dram_latency / (distance * per_inst_cycles)
+    # Wider-issue SMs drain each warp's instructions faster, so more
+    # warps are needed before the latency is covered.
+    if arch.issue_width > 1:
+        need *= 2
+    return max(1, min(arch.max_warps_per_sm, math.ceil(need)))
+
+
+def static_selection(
+    module: Module,
+    kernel_name: str,
+    arch: GpuArchitecture,
+    versions: list,
+):
+    """Pick the lowest-occupancy version meeting the latency-hiding need.
+
+    ``versions`` are :class:`~repro.compiler.realize.KernelVersion`
+    candidates; the lowest achieved-warp version with
+    ``achieved_warps >= warps_needed`` wins, falling back to the
+    highest-occupancy candidate when none suffices.
+    """
+    if not versions:
+        raise ValueError("no candidate versions to select from")
+    need = warps_needed(module, kernel_name, arch)
+    eligible = [v for v in versions if v.achieved_warps >= need]
+    if eligible:
+        return min(eligible, key=lambda v: v.achieved_warps)
+    return max(versions, key=lambda v: v.achieved_warps)

@@ -1,0 +1,86 @@
+"""Occupancy-headroom analysis (paper Section 4.2, closing discussion).
+
+"In all four of these cases, performance as a function of occupancy
+plateaus ... we can use this information for additional optimization.
+For example, loop unrolling is a common technique which reduces branch
+penalties, but may increase register pressure and therefore lower
+occupancy.  By finding this range of similar occupancies, however, we
+can determine the amount of leeway available with which to perform such
+optimizations without experiencing slowdown."
+
+:func:`occupancy_headroom` turns a sweep into exactly that report: the
+plateau of occupancy levels performing within tolerance of the best,
+the lowest level inside it, and the per-thread register / per-block
+shared-memory budget an optimiser may additionally consume while
+staying on the plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.occupancy import max_regs_per_thread_for_warps
+from repro.arch.specs import CacheConfig, GpuArchitecture
+from repro.harness.experiments import SweepResult
+
+
+@dataclass(frozen=True)
+class HeadroomReport:
+    """How much slack a kernel has for register-hungry optimisations."""
+
+    benchmark: str
+    best_warps: int
+    #: lowest warp count performing within tolerance of the best
+    lowest_equivalent_warps: int
+    #: (occupancy, normalised runtime) of every plateau level
+    plateau: tuple[tuple[float, float], ...]
+    #: registers/thread the kernel uses at the best level
+    registers_used: int
+    #: registers/thread still available at the lowest equivalent level
+    registers_available: int
+
+    @property
+    def extra_registers(self) -> int:
+        """Leeway an optimiser (e.g. unrolling) may consume for free."""
+        return max(0, self.registers_available - self.registers_used)
+
+    @property
+    def has_headroom(self) -> bool:
+        return self.extra_registers > 0
+
+
+def occupancy_headroom(
+    sweep: SweepResult,
+    arch: GpuArchitecture,
+    block_size: int,
+    tolerance: float = 0.05,
+    cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+) -> HeadroomReport:
+    """Analyse a sweep for the paper's optimisation-leeway range."""
+    if not sweep.points:
+        raise ValueError("sweep has no points")
+    best = sweep.best
+    band = best.cycles * (1 + tolerance)
+    plateau = [p for p in sweep.points if p.cycles <= band]
+    lowest = min(plateau, key=lambda p: p.warps)
+    available = max_regs_per_thread_for_warps(
+        arch,
+        block_size,
+        lowest.warps,
+        smem_per_block=lowest.version.smem_per_block - lowest.version.smem_padding
+        if lowest.version is not None
+        else 0,
+        cache_config=cache_config,
+    )
+    return HeadroomReport(
+        benchmark=sweep.benchmark,
+        best_warps=best.warps,
+        lowest_equivalent_warps=lowest.warps,
+        plateau=tuple(
+            (p.occupancy, p.cycles / best.cycles) for p in plateau
+        ),
+        registers_used=(
+            best.version.regs_per_thread if best.version is not None else 0
+        ),
+        registers_available=available or 0,
+    )

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper's artifacts are figures and tables; this module prints the
+same rows/series as aligned ASCII so a terminal run of the benchmark
+harness reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    materialised = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def format_series(
+    xs: Sequence[float], ys: Sequence[float], x_label: str, y_label: str
+) -> str:
+    """Render an (x, y) series the way the paper's curve figures read."""
+    header = f"{x_label:>10s}  {y_label}"
+    lines = [header, "-" * len(header)]
+    peak = max(ys) if ys else 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(30 * y / peak)) if peak else ""
+        lines.append(f"{x:10.3f}  {y:8.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

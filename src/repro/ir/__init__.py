@@ -1,0 +1,35 @@
+"""Mid-level IR: modules, CFGs, SSA, liveness, interference, inlining,
+and machine verification."""
+
+from repro.ir.cleanup import (
+    CleanupReport,
+    cleanup_function,
+    cleanup_module,
+    eliminate_dead_code,
+    propagate_copies,
+)
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.inline import InlineReport, inline_module
+from repro.ir.verify import (
+    VerificationError,
+    VerifyIssue,
+    assert_verified,
+    verify_module,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CleanupReport",
+    "cleanup_function",
+    "cleanup_module",
+    "eliminate_dead_code",
+    "propagate_copies",
+    "Function",
+    "InlineReport",
+    "Module",
+    "VerificationError",
+    "VerifyIssue",
+    "assert_verified",
+    "inline_module",
+    "verify_module",
+]

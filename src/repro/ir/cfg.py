@@ -1,0 +1,185 @@
+"""Control-flow graph, dominators, dominance frontiers, and loops.
+
+The Orion front end "analyzes the assembly to extract a high level
+intermediate representation (IR) ... includ[ing] the control flow graph
+and the call graph" (paper Section 4).  This module provides the CFG
+half: predecessor/successor maps, reverse postorder, the
+Cooper–Harvey–Kennedy dominator algorithm, dominance frontiers (for SSA
+φ placement), and natural-loop detection with per-block nesting depth
+(used to weight spill costs and to drive trace generation).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Derived control-flow facts for one function.
+
+    The CFG is a snapshot: rebuild it after passes that add or remove
+    blocks or edges.
+    """
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.succs: dict[str, list[str]] = {}
+        self.preds: dict[str, list[str]] = {label: [] for label in fn.blocks}
+        for block in fn.ordered_blocks():
+            self.succs[block.label] = block.successors
+            for succ in block.successors:
+                self.preds[succ].append(block.label)
+        self.entry = fn.entry.label
+        self.rpo = self._reverse_postorder()
+        self._rpo_index = {label: i for i, label in enumerate(self.rpo)}
+        self.idom = self._dominators()
+        self.frontier = self._dominance_frontiers()
+        self.back_edges = self._back_edges()
+        self.loop_depth = self._loop_depths()
+
+    # ------------------------------------------------------------------
+    def _reverse_postorder(self) -> list[str]:
+        seen: set[str] = set()
+        order: list[str] = []
+        # Iterative DFS with an explicit stack to survive deep CFGs.
+        stack: list[tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            label, child = stack[-1]
+            succs = self.succs[label]
+            if child < len(succs):
+                stack[-1] = (label, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(label)
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[str]:
+        return set(self.rpo)
+
+    def _dominators(self) -> dict[str, str | None]:
+        """Immediate dominators (Cooper–Harvey–Kennedy iteration)."""
+        idom: dict[str, str | None] = {label: None for label in self.rpo}
+        idom[self.entry] = self.entry
+        changed = True
+        while changed:
+            changed = False
+            for label in self.rpo:
+                if label == self.entry:
+                    continue
+                processed = [
+                    p for p in self.preds[label] if idom.get(p) is not None
+                ]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = self._intersect(idom, p, new_idom)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.entry] = None
+        return idom
+
+    def _intersect(
+        self, idom: dict[str, str | None], a: str, b: str
+    ) -> str:
+        while a != b:
+            while self._rpo_index[a] > self._rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while self._rpo_index[b] > self._rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def dominates(self, a: str, b: str) -> bool:
+        """Whether block ``a`` dominates block ``b``."""
+        node: str | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def _dominance_frontiers(self) -> dict[str, set[str]]:
+        frontier: dict[str, set[str]] = {label: set() for label in self.rpo}
+        for label in self.rpo:
+            preds = [p for p in self.preds[label] if p in self._rpo_index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: str | None = pred
+                while runner is not None and runner != self.idom[label]:
+                    frontier[runner].add(label)
+                    runner = self.idom[runner]
+        return frontier
+
+    def _back_edges(self) -> list[tuple[str, str]]:
+        return [
+            (tail, head)
+            for tail in self.rpo
+            for head in self.succs[tail]
+            if head in self._rpo_index and self.dominates(head, tail)
+        ]
+
+    def natural_loop(self, back_edge: tuple[str, str]) -> set[str]:
+        """Blocks of the natural loop for a back edge (tail, head)."""
+        tail, head = back_edge
+        body = {head, tail}
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            if label == head:
+                continue
+            for pred in self.preds[label]:
+                if pred not in body and pred in self._rpo_index:
+                    body.add(pred)
+                    stack.append(pred)
+        return body
+
+    def _loop_depths(self) -> dict[str, int]:
+        depth = {label: 0 for label in self.rpo}
+        for edge in self.back_edges:
+            for label in self.natural_loop(edge):
+                depth[label] += 1
+        return depth
+
+    def critical_edges(self) -> list[tuple[str, str]]:
+        """Edges from a multi-successor block into a multi-predecessor block."""
+        return [
+            (src, dst)
+            for src in self.rpo
+            for dst in self.succs[src]
+            if len(self.succs[src]) > 1 and len(self.preds[dst]) > 1
+        ]
+
+
+def split_critical_edges(fn: Function) -> bool:
+    """Insert empty blocks on critical edges (needed before φ elimination).
+
+    Returns True when the function changed.
+    """
+    from repro.isa.instructions import Opcode, bra
+
+    cfg = CFG(fn)
+    edges = cfg.critical_edges()
+    if not edges:
+        return False
+    for src, dst in edges:
+        mid = fn.add_block(f"{src}_to_{dst}")
+        mid.append(bra(dst))
+        term = fn.blocks[src].terminator
+        assert term is not None
+        term.targets = [mid.label if t == dst else t for t in term.targets]
+        # Redirect φ argument labels in the destination block.
+        for inst in fn.blocks[dst].instructions:
+            if inst.opcode is Opcode.PHI:
+                inst.phi_args = [
+                    (mid.label if block == src else block, op)
+                    for block, op in inst.phi_args
+                ]
+    return True

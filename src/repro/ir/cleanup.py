@@ -1,0 +1,129 @@
+"""Cleanup passes: copy propagation and dead-code elimination.
+
+Binary rewriting leaves residue: φ elimination and inlining introduce
+copies, zero-init fixups and partially-dead loads can become unused
+once values are renamed.  These two classic passes tidy the IR before
+allocation — fewer live ranges means less register pressure, which is
+occupancy (the whole point).
+
+Both passes are local-dataflow conservative:
+
+* **copy propagation** forwards ``MOV d, s`` within a basic block while
+  neither side is redefined (memory and special-register reads are
+  never forwarded);
+* **dead-code elimination** removes instructions whose results are
+  never used, iterating to a fixpoint; stores, barriers, calls and
+  control flow are always live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function, Module
+from repro.ir.liveness import analyze_liveness
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg, VirtualReg
+
+
+@dataclass
+class CleanupReport:
+    copies_propagated: int = 0
+    instructions_removed: int = 0
+
+
+# Opcodes with observable effects beyond their destination register.
+_SIDE_EFFECTS = frozenset(
+    {
+        Opcode.ST,
+        Opcode.BAR,
+        Opcode.CALL,
+        Opcode.BRA,
+        Opcode.CBR,
+        Opcode.RET,
+        Opcode.EXIT,
+    }
+)
+
+
+def propagate_copies(fn: Function) -> int:
+    """Forward intra-block register copies; returns the rewrite count."""
+    total = 0
+    for block in fn.ordered_blocks():
+        available: dict[Reg, Reg] = {}
+        for inst in block.instructions:
+            if inst.opcode is not Opcode.PHI:
+                before = list(inst.srcs)
+                inst.srcs = [
+                    available.get(s, s) if isinstance(s, VirtualReg) else s
+                    for s in inst.srcs
+                ]
+                total += sum(
+                    1 for a, b in zip(before, inst.srcs) if a != b
+                )
+            # Kill copies invalidated by this definition.
+            for dst in inst.regs_written():
+                available.pop(dst, None)
+                for key in [k for k, v in available.items() if v == dst]:
+                    available.pop(key)
+            if (
+                inst.opcode is Opcode.MOV
+                and isinstance(inst.dst, VirtualReg)
+                and inst.srcs
+                and isinstance(inst.srcs[0], VirtualReg)
+                and inst.dst.width == inst.srcs[0].width
+            ):
+                available[inst.dst] = inst.srcs[0]
+    return total
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Remove instructions whose results are never used (to fixpoint)."""
+    removed_total = 0
+    while True:
+        info = analyze_liveness(fn)
+        cfg = CFG(fn)
+        removed = 0
+        for label in cfg.rpo:
+            block = fn.blocks[label]
+            live: set[Reg] = set(info.live_out[label])
+            kept_reversed = []
+            for inst in reversed(block.instructions):
+                defines = inst.regs_written()
+                has_effect = inst.opcode in _SIDE_EFFECTS
+                used = any(d in live for d in defines)
+                if has_effect or used or not defines:
+                    kept_reversed.append(inst)
+                    for d in defines:
+                        live.discard(d)
+                    if inst.opcode is not Opcode.PHI:
+                        live.update(inst.regs_read())
+                else:
+                    removed += 1
+            block.instructions = list(reversed(kept_reversed))
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def cleanup_function(fn: Function) -> CleanupReport:
+    """Copy propagation then DCE, iterated until neither fires."""
+    report = CleanupReport()
+    while True:
+        copies = propagate_copies(fn)
+        dead = eliminate_dead_code(fn)
+        report.copies_propagated += copies
+        report.instructions_removed += dead
+        if copies == 0 and dead == 0:
+            return report
+
+
+def cleanup_module(module: Module) -> CleanupReport:
+    """Clean every function of a module (in place)."""
+    total = CleanupReport()
+    for fn in module.functions.values():
+        report = cleanup_function(fn)
+        total.copies_propagated += report.copies_propagated
+        total.instructions_removed += report.instructions_removed
+    return total

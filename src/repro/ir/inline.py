@@ -1,0 +1,164 @@
+"""Function inlining (the nvcc preprocessing step the paper leans on).
+
+"In GPU program compilation, function calls are inlined as much as
+possible since there is a local stack for every thread ... However,
+there is still a non-trivial number of function calls that are not
+practical to be inlined" (paper Section 4, Table 2 discussion).  This
+pass models that policy: leaf-ish device functions below a size
+threshold are inlined into their callers; larger or deeply-nested ones
+stay as calls — those are exactly the calls Orion's compressible stack
+then has to handle.
+
+Inlining one call site:
+
+1. the callee's blocks are cloned with fresh labels and every virtual
+   register renumbered into the caller's namespace;
+2. argument registers map to the call's operands (immediates propagate
+   directly);
+3. each RET becomes a MOV into the call's destination (when any) plus a
+   branch to the split-off continuation block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.function import Function, Module
+from repro.isa.instructions import Imm, Instruction, Opcode, Operand, mov
+from repro.isa.registers import Reg, VirtualReg
+
+
+@dataclass
+class InlineReport:
+    """What the inliner did to a module."""
+
+    inlined_sites: int = 0
+    remaining_sites: int = 0
+    removed_functions: list[str] = field(default_factory=list)
+    #: (caller, callee) pairs left as real calls, with the reason
+    skipped: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def function_size(fn: Function) -> int:
+    return sum(len(b.instructions) for b in fn.ordered_blocks())
+
+
+def inline_module(
+    module: Module,
+    size_threshold: int = 24,
+    max_growth: int = 512,
+    drop_dead_functions: bool = True,
+) -> InlineReport:
+    """Inline small device functions into their callers (in place).
+
+    ``size_threshold`` bounds the callee size (instructions) eligible
+    for inlining; ``max_growth`` caps how large any caller may grow,
+    modelling the "not practical to inline" limit.  Functions without
+    remaining callers are dropped when ``drop_dead_functions``.
+    """
+    report = InlineReport()
+    # Bottom-up so inner calls are resolved before outer ones.
+    order = CallGraph(module).bottom_up_order()
+    for name in order:
+        caller = module.functions[name]
+        changed = True
+        while changed:
+            changed = False
+            for block in caller.ordered_blocks():
+                for index, inst in enumerate(block.instructions):
+                    if not inst.is_call:
+                        continue
+                    callee = module.functions[inst.callee]
+                    size = function_size(callee)
+                    if size > size_threshold:
+                        report.skipped.append(
+                            (name, callee.name, "too large")
+                        )
+                        continue
+                    if function_size(caller) + size > max_growth:
+                        report.skipped.append(
+                            (name, callee.name, "caller growth cap")
+                        )
+                        continue
+                    _inline_site(caller, block.label, index, callee)
+                    report.inlined_sites += 1
+                    changed = True
+                    break
+                if changed:
+                    break
+
+    if drop_dead_functions:
+        graph = CallGraph(module)
+        kernels = [f.name for f in module.functions.values() if f.is_kernel]
+        live = set()
+        for kernel in kernels:
+            live |= graph.reachable(kernel)
+        for name in list(module.functions):
+            if name not in live:
+                del module.functions[name]
+                report.removed_functions.append(name)
+
+    report.remaining_sites = sum(
+        1 for fn in module.functions.values() for i in fn.instructions() if i.is_call
+    )
+    return report
+
+
+def _inline_site(
+    caller: Function, block_label: str, index: int, callee: Function
+) -> None:
+    """Splice one callee body into the caller at (block, index)."""
+    block = caller.blocks[block_label]
+    call = block.instructions[index]
+    assert call.is_call
+
+    # 1. Split the continuation off the call block.
+    continuation = caller.add_block(caller.fresh_label())
+    continuation.instructions = block.instructions[index + 1 :]
+    block.instructions = block.instructions[:index]
+
+    # 2. Clone the callee with fresh labels and registers.  Arguments
+    # are materialised into fresh registers at the call point: the
+    # callee may overwrite its parameter registers, and an argument may
+    # be an immediate.
+    label_map = {
+        label: caller.fresh_label() for label in callee.block_order
+    }
+    reg_map: dict[Reg, Operand] = {}
+    for i, arg in enumerate(call.srcs):
+        fresh = caller.new_vreg(1)
+        block.append(mov(fresh, arg))
+        reg_map[VirtualReg(i, 1)] = fresh
+
+    def mapped(operand: Operand) -> Operand:
+        if isinstance(operand, VirtualReg):
+            if operand not in reg_map:
+                reg_map[operand] = caller.new_vreg(operand.width)
+            return reg_map[operand]
+        return operand
+
+    for label in callee.block_order:
+        clone = caller.add_block(label_map[label])
+        for inst in callee.blocks[label].instructions:
+            copy = inst.copy()
+            if copy.opcode is Opcode.RET:
+                tail: list[Instruction] = []
+                if call.dst is not None and copy.srcs:
+                    tail.append(mov(call.dst, mapped(copy.srcs[0])))
+                tail.append(Instruction(Opcode.BRA, targets=[continuation.label]))
+                clone.instructions.extend(tail)
+                continue
+            copy.srcs = [mapped(s) for s in copy.srcs]
+            copy.phi_args = [
+                (label_map.get(b, b), mapped(o)) for b, o in copy.phi_args
+            ]
+            if copy.dst is not None:
+                copy.dst = mapped(copy.dst)  # type: ignore[assignment]
+            copy.targets = [label_map.get(t, t) for t in copy.targets]
+            clone.append(copy)
+
+    # 3. Jump from the call point into the cloned entry.
+    block.append(
+        Instruction(Opcode.BRA, targets=[label_map[callee.entry.label]])
+    )

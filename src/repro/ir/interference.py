@@ -1,0 +1,133 @@
+"""Interference graph construction (input to the Fig. 4 allocator).
+
+Two variables interfere when one is live at a definition point of the
+other; interfering variables cannot share an on-chip memory slot.  Moves
+get the classic Chaitin refinement: for ``MOV d, s`` the definition of
+``d`` does not interfere with ``s`` itself, which keeps copy-related
+variables colourable to the same slot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.liveness import analyze_liveness
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg, VirtualReg
+
+
+class InterferenceGraph:
+    """Undirected graph over variables, width-aware.
+
+    ``blocking_degree`` counts neighbours in register-slot units (a
+    64-bit neighbour blocks two colours), which extends the Chaitin
+    "degree < k" colourability guarantee to wide variables.
+    """
+
+    def __init__(self) -> None:
+        self.adjacency: dict[Reg, set[Reg]] = {}
+
+    def add_node(self, var: Reg) -> None:
+        self.adjacency.setdefault(var, set())
+
+    def add_edge(self, a: Reg, b: Reg) -> None:
+        if a == b:
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self.adjacency[a].add(b)
+        self.adjacency[b].add(a)
+
+    def interferes(self, a: Reg, b: Reg) -> bool:
+        return b in self.adjacency.get(a, ())
+
+    def neighbors(self, var: Reg) -> set[Reg]:
+        return self.adjacency[var]
+
+    def blocking_degree(self, var: Reg, removed: set[Reg]) -> int:
+        """Sum of neighbour widths, ignoring already-removed nodes."""
+        return sum(
+            n.width for n in self.adjacency[var] if n not in removed
+        )
+
+    def edge_count(self, var: Reg, removed: set[Reg]) -> int:
+        return sum(1 for n in self.adjacency[var] if n not in removed)
+
+    @property
+    def nodes(self) -> list[Reg]:
+        return list(self.adjacency)
+
+    def copy(self) -> "InterferenceGraph":
+        clone = InterferenceGraph()
+        clone.adjacency = {v: set(ns) for v, ns in self.adjacency.items()}
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+
+def build_interference(
+    fn: Function, cfg: CFG | None = None
+) -> InterferenceGraph:
+    """Construct the interference graph for a (non-SSA) function.
+
+    Device-function arguments are treated as defined at function entry.
+    """
+    cfg = cfg or CFG(fn)
+    info = analyze_liveness(fn, cfg)
+    graph = InterferenceGraph()
+
+    for label in cfg.rpo:
+        block = fn.blocks[label]
+        live: set[Reg] = set(info.live_out[label])
+        for reg in live:
+            graph.add_node(reg)
+        for idx in range(len(block.instructions) - 1, -1, -1):
+            inst = block.instructions[idx]
+            written = inst.regs_written()
+            move_source: Reg | None = None
+            if (
+                inst.opcode is Opcode.MOV
+                and inst.srcs
+                and isinstance(inst.srcs[0], VirtualReg)
+            ):
+                move_source = inst.srcs[0]
+            for dst in written:
+                graph.add_node(dst)
+                for other in live:
+                    if other is not dst and other != dst and other != move_source:
+                        graph.add_edge(dst, other)
+            for dst in written:
+                live.discard(dst)
+            if inst.opcode is not Opcode.PHI:
+                for src in inst.regs_read():
+                    graph.add_node(src)
+                    live.add(src)
+
+    # Arguments are defined "before" the entry block: they interfere with
+    # everything live at entry (including each other).
+    entry_live = set(info.live_in[cfg.entry])
+    args = [VirtualReg(i, 1) for i in range(fn.num_args)]
+    for arg in args:
+        graph.add_node(arg)
+        for other in entry_live:
+            if other != arg:
+                graph.add_edge(arg, other)
+
+    return graph
+
+
+def move_pairs(fn: Function) -> list[tuple[Reg, Reg]]:
+    """Copy-related variable pairs (candidates for coalescing)."""
+    pairs = []
+    for inst in fn.instructions():
+        if (
+            inst.opcode is Opcode.MOV
+            and inst.dst is not None
+            and inst.srcs
+            and isinstance(inst.srcs[0], VirtualReg)
+        ):
+            pairs.append((inst.dst, inst.srcs[0]))
+    return pairs

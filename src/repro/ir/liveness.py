@@ -1,0 +1,170 @@
+"""Liveness analysis, live ranges, and the paper's *max-live* metric.
+
+Liveness drives three things in Orion:
+
+* interference-graph construction for the Fig. 4 allocator;
+* the liveness of variable sets at each call site (the ``L_ik`` matrix
+  of Theorem 1, which prices compressible-stack movements);
+* the **max-live** metric of Section 3.3 — "the number of registers
+  necessary to hold all simultaneously live variables" — which decides
+  the compile-time tuning direction (threshold 32 on Kepler).
+
+Variables here are register objects (virtual or physical); a wide
+variable counts ``width`` slots toward max-live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.isa.instructions import Opcode
+from repro.isa.registers import PhysReg, Reg, VirtualReg
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out sets plus per-site detail."""
+
+    live_in: dict[str, set[Reg]]
+    live_out: dict[str, set[Reg]]
+    #: use/def per block (upward-exposed uses; any def)
+    uses: dict[str, set[Reg]]
+    defs: dict[str, set[Reg]]
+    #: maximum number of simultaneously live register *slots*
+    max_live: int = 0
+    #: variables live across each call site: (block, index) -> set
+    live_across_calls: dict[tuple[str, int], set[Reg]] = field(
+        default_factory=dict
+    )
+
+
+def _block_use_def(fn: Function, label: str) -> tuple[set[Reg], set[Reg]]:
+    uses: set[Reg] = set()
+    defs: set[Reg] = set()
+    for inst in fn.blocks[label].instructions:
+        if inst.opcode is Opcode.PHI:
+            # φ uses happen on the predecessor edge, not here; the def
+            # happens at the top of this block.
+            defs.update(inst.regs_written())
+            continue
+        for reg in inst.regs_read():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(inst.regs_written())
+    return uses, defs
+
+
+def analyze_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
+    """Backward dataflow liveness over the function's CFG.
+
+    φ semantics: a φ's operands are live-out of the corresponding
+    predecessor; its destination is defined at the block top.
+    """
+    cfg = cfg or CFG(fn)
+    labels = cfg.rpo
+    uses: dict[str, set[Reg]] = {}
+    defs: dict[str, set[Reg]] = {}
+    for label in labels:
+        uses[label], defs[label] = _block_use_def(fn, label)
+
+    phi_defs: dict[str, set[Reg]] = {
+        label: {p.dst for p in fn.blocks[label].phis() if p.dst is not None}
+        for label in labels
+    }
+
+    live_in: dict[str, set[Reg]] = {label: set() for label in labels}
+    live_out: dict[str, set[Reg]] = {label: set() for label in labels}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            out: set[Reg] = set()
+            for succ in cfg.succs[label]:
+                if succ not in live_in:
+                    continue
+                # live-in of successor minus its φ defs, plus the operands
+                # its φs draw from *this* edge.
+                out |= live_in[succ] - phi_defs[succ]
+                for p in fn.blocks[succ].phis():
+                    for pred, op in p.phi_args:
+                        if pred == label and _is_reg(op):
+                            out.add(op)
+            # φ destinations are defined at the block top, so they are
+            # live-in here without forcing liveness into predecessors
+            # (the subtraction above removes them on the way up).
+            new_in = uses[label] | (out - defs[label]) | phi_defs[label]
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    info = LivenessInfo(live_in=live_in, live_out=live_out, uses=uses, defs=defs)
+    _scan_points(fn, cfg, info)
+    return info
+
+
+def _is_reg(op: object) -> bool:
+    return isinstance(op, (PhysReg, VirtualReg))
+
+
+def _scan_points(fn: Function, cfg: CFG, info: LivenessInfo) -> None:
+    """Walk each block backwards recording max-live and call-site sets."""
+    max_live = 0
+    for label in cfg.rpo:
+        block = fn.blocks[label]
+        live: set[Reg] = set(info.live_out[label])
+        max_live = max(max_live, _slots(live))
+        for idx in range(len(block.instructions) - 1, -1, -1):
+            inst = block.instructions[idx]
+            if inst.is_call:
+                # Variables live *across* the call: live after it, minus
+                # the call's own result.  These are the slots the
+                # compressible stack must preserve (Theorem 1's L_ik).
+                info.live_across_calls[(label, idx)] = set(live) - set(
+                    inst.regs_written()
+                )
+            for reg in inst.regs_written():
+                live.discard(reg)
+            if inst.opcode is Opcode.PHI:
+                # φ operands live on edges; handled via live_out of preds.
+                pass
+            else:
+                live.update(inst.regs_read())
+            max_live = max(max_live, _slots(live))
+    info.max_live = max_live
+
+
+def _slots(regs: set[Reg]) -> int:
+    return sum(r.width for r in regs)
+
+
+def max_live(fn: Function) -> int:
+    """The paper's max-live metric, in 32-bit register slots."""
+    return analyze_liveness(fn).max_live
+
+
+def instruction_liveness(
+    fn: Function, cfg: CFG | None = None
+) -> dict[tuple[str, int], set[Reg]]:
+    """Live-after set for every instruction (block label, index).
+
+    Used by interference construction and by the spiller to place
+    reloads.  φ operands are attributed to predecessor edges.
+    """
+    cfg = cfg or CFG(fn)
+    info = analyze_liveness(fn, cfg)
+    result: dict[tuple[str, int], set[Reg]] = {}
+    for label in cfg.rpo:
+        block = fn.blocks[label]
+        live: set[Reg] = set(info.live_out[label])
+        for idx in range(len(block.instructions) - 1, -1, -1):
+            inst = block.instructions[idx]
+            result[(label, idx)] = set(live)
+            for reg in inst.regs_written():
+                live.discard(reg)
+            if inst.opcode is not Opcode.PHI:
+                live.update(inst.regs_read())
+    return result

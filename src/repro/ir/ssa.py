@@ -1,0 +1,257 @@
+"""Pruned SSA construction and destruction (paper Section 3.2).
+
+Orion "first represent[s] a program in the Static Single Assignment
+(SSA) form ... then generate[s] the pruned SSA form to eliminate φ
+functions.  Next we start assigning the pruned SSA variables".  We
+implement exactly that pipeline:
+
+* :func:`lift_to_virtual` — turn the physical registers of a decoded
+  binary into virtual variables (one per register), the starting point
+  for re-allocation;
+* :func:`construct_ssa` — iterated-dominance-frontier φ placement,
+  *pruned* by liveness (a φ is inserted only where the variable is
+  live-in), followed by dominator-tree renaming;
+* :func:`destruct_ssa` — critical-edge splitting plus parallel-copy
+  sequentialisation, leaving a conventional program whose variables are
+  the pruned SSA names the allocator colours.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.cfg import CFG, split_critical_edges
+from repro.ir.function import Function
+from repro.ir.liveness import analyze_liveness
+from repro.isa.instructions import Imm, Instruction, Opcode, Operand, mov, phi
+from repro.isa.registers import PhysReg, Reg, VirtualReg
+
+
+class SSAError(ValueError):
+    """Raised on malformed input (e.g. use of an undefined variable)."""
+
+
+def lift_to_virtual(fn: Function) -> None:
+    """Rewrite every physical register into a virtual one (in place).
+
+    Decoded binaries name storage, not values; lifting ``R<i>`` to
+    ``%v<base+i>`` lets SSA renaming split the register into its
+    constituent live ranges (webs), which Orion then re-allocates.
+    """
+    top = max(
+        (r.index + 1 for r in fn.all_regs() if isinstance(r, VirtualReg)),
+        default=0,
+    )
+
+    def lifted(reg: Reg) -> Reg:
+        if isinstance(reg, PhysReg):
+            return VirtualReg(top + reg.index, reg.width)
+        return reg
+
+    max_phys = 0
+    for block in fn.ordered_blocks():
+        for inst in block.instructions:
+            if inst.dst is not None:
+                max_phys = max(
+                    max_phys,
+                    inst.dst.index + 1 if isinstance(inst.dst, PhysReg) else 0,
+                )
+                inst.dst = lifted(inst.dst)
+            inst.srcs = [
+                lifted(s) if isinstance(s, PhysReg) else s for s in inst.srcs
+            ]
+            inst.phi_args = [
+                (b, lifted(o) if isinstance(o, PhysReg) else o)
+                for b, o in inst.phi_args
+            ]
+    fn.reserve_vregs(top + max_phys)
+
+
+def _entry_defined(fn: Function) -> list[VirtualReg]:
+    """Variables defined before the first instruction (device-fn args)."""
+    return [VirtualReg(i, 1) for i in range(fn.num_args)]
+
+
+def construct_ssa(fn: Function, allow_undef: bool = False) -> None:
+    """Convert ``fn`` to pruned SSA (in place).
+
+    ``allow_undef`` inserts a zero-initialising MOV in the entry block
+    for variables read along paths that never defined them (useful when
+    lifting foreign binaries); otherwise such a read raises
+    :class:`SSAError`.
+    """
+    cfg = CFG(fn)
+    liveness = analyze_liveness(fn, cfg)
+
+    # --- collect definition sites per variable -------------------------
+    def_blocks: dict[Reg, set[str]] = defaultdict(set)
+    for label in cfg.rpo:
+        for inst in fn.blocks[label].instructions:
+            for reg in inst.regs_written():
+                def_blocks[reg].add(label)
+    for arg in _entry_defined(fn):
+        def_blocks[arg].add(cfg.entry)
+
+    # --- pruned φ insertion (iterated dominance frontier) --------------
+    phi_vars: dict[str, dict[Reg, Instruction]] = defaultdict(dict)
+    for var, blocks in def_blocks.items():
+        if not isinstance(var, VirtualReg):
+            raise SSAError("construct_ssa requires virtual registers; lift first")
+        worklist = list(blocks)
+        placed: set[str] = set()
+        while worklist:
+            label = worklist.pop()
+            for join in cfg.frontier[label]:
+                if join in placed:
+                    continue
+                placed.add(join)
+                if var not in liveness.live_in[join]:
+                    continue  # pruning: dead here, no φ needed
+                node = phi(var, [])
+                phi_vars[join][var] = node
+                if join not in def_blocks[var]:
+                    worklist.append(join)
+    for label, mapping in phi_vars.items():
+        block = fn.blocks[label]
+        block.instructions[0:0] = list(mapping.values())
+
+    # --- renaming -------------------------------------------------------
+    children: dict[str, list[str]] = defaultdict(list)
+    for label in cfg.rpo:
+        parent = cfg.idom[label]
+        if parent is not None:
+            children[parent].append(label)
+
+    stacks: dict[int, list[VirtualReg]] = defaultdict(list)
+    original: dict[Reg, Reg] = {}
+    undef_fixups: list[VirtualReg] = []
+
+    for arg in _entry_defined(fn):
+        stacks[arg.index].append(arg)
+
+    def current(var: VirtualReg) -> VirtualReg:
+        stack = stacks[var.index]
+        if not stack:
+            if not allow_undef:
+                raise SSAError(
+                    f"use of undefined variable {var} in {fn.name}"
+                )
+            fresh = fn.new_vreg(var.width)
+            undef_fixups.append(fresh)
+            stack.append(fresh)
+        return stack[-1]
+
+    def rename_block(label: str) -> None:
+        pushed: list[int] = []
+        block = fn.blocks[label]
+        for inst in block.instructions:
+            if inst.opcode is not Opcode.PHI:
+                inst.srcs = [
+                    current(s) if isinstance(s, VirtualReg) else s
+                    for s in inst.srcs
+                ]
+            if inst.dst is not None and isinstance(inst.dst, VirtualReg):
+                fresh = fn.new_vreg(inst.dst.width)
+                original[fresh] = original.get(inst.dst, inst.dst)
+                stacks[inst.dst.index].append(fresh)
+                pushed.append(inst.dst.index)
+                inst.dst = fresh
+        for succ in cfg.succs[label]:
+            for p in fn.blocks[succ].phis():
+                var = _phi_original(p, original)
+                if isinstance(var, VirtualReg):
+                    stack = stacks[var.index]
+                    incoming: Operand
+                    if stack:
+                        incoming = stack[-1]
+                    elif allow_undef:
+                        incoming = Imm(0)
+                    else:
+                        raise SSAError(
+                            f"φ for {var} in {succ} reads undefined value "
+                            f"on edge from {label}"
+                        )
+                    p.phi_args.append((label, incoming))
+        for child in children[label]:
+            rename_block(child)
+        for index in reversed(pushed):
+            stacks[index].pop()
+
+    # Remember each φ's pre-rename variable so predecessors can find it.
+    phi_original: dict[int, Reg] = {}
+    for label in cfg.rpo:
+        for p in fn.blocks[label].phis():
+            phi_original[id(p)] = p.dst  # type: ignore[assignment]
+
+    def _phi_original(p: Instruction, renames: dict[Reg, Reg]) -> Reg:
+        return phi_original[id(p)]
+
+    rename_block(cfg.entry)
+
+    for fresh in undef_fixups:
+        fn.entry.instructions.insert(0, mov(fresh, Imm(0)))
+
+
+def destruct_ssa(fn: Function) -> None:
+    """Eliminate φ functions with parallel copies (in place).
+
+    Critical edges are split first so each φ copy has a unique edge
+    block to land in.  Copy groups are sequentialised: copies whose
+    destination is still needed as a source are deferred, and cycles are
+    broken with a fresh temporary, so the parallel semantics of the φ
+    row is preserved exactly.
+    """
+    split_critical_edges(fn)
+    cfg = CFG(fn)
+
+    # Gather per-edge parallel copy groups, then drop the φs.
+    copies: dict[str, list[tuple[VirtualReg, Operand]]] = defaultdict(list)
+    for label in cfg.rpo:
+        block = fn.blocks[label]
+        for p in block.phis():
+            assert isinstance(p.dst, VirtualReg)
+            for pred, op in p.phi_args:
+                if op != p.dst:
+                    copies[pred].append((p.dst, op))
+        block.instructions = [
+            i for i in block.instructions if i.opcode is not Opcode.PHI
+        ]
+
+    for pred, group in copies.items():
+        block = fn.blocks[pred]
+        seq = _sequentialize(fn, group)
+        insert_at = len(block.instructions)
+        if block.terminator is not None:
+            insert_at -= 1
+        block.instructions[insert_at:insert_at] = seq
+
+
+def _sequentialize(
+    fn: Function, group: list[tuple[VirtualReg, Operand]]
+) -> list[Instruction]:
+    """Order a parallel copy group, breaking cycles with temporaries."""
+    pending = [(dst, src) for dst, src in group if dst != src]
+    out: list[Instruction] = []
+    while pending:
+        emitted = False
+        blocked_srcs = {
+            src for _, src in pending if isinstance(src, VirtualReg)
+        }
+        for i, (dst, src) in enumerate(pending):
+            if dst not in blocked_srcs:
+                out.append(mov(dst, src))
+                pending.pop(i)
+                emitted = True
+                break
+        if emitted:
+            continue
+        # Every destination is still a source: a cycle.  Copy one source
+        # into a temporary and redirect its readers.
+        dst, src = pending[0]
+        assert isinstance(src, VirtualReg)
+        temp = fn.new_vreg(src.width)
+        out.append(mov(temp, src))
+        pending = [
+            (d, temp if s == src else s) for d, s in pending
+        ]
+    return out

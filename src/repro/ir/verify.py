@@ -1,0 +1,209 @@
+"""Machine verification of ORAS modules.
+
+Compilers that rewrite binaries need a safety net beyond unit tests:
+the verifier statically checks a module — before or after allocation —
+for the structural properties every later stage (and the hardware)
+assumes.  It is used by the test suite after every allocation and is
+cheap enough to run inside the compiler pipeline.
+
+Checks on any module:
+
+* control flow: every block ends in exactly one terminator, targets
+  exist, kernels EXIT and device functions RET, call arity matches;
+* operand shape: destinations are registers, memory ops carry a space,
+  comparisons carry a predicate, S2R names a special register;
+* definedness: on every path from entry, a register is written before
+  it is read (device-function arguments count as defined at entry);
+
+additional checks on physically-allocated modules:
+
+* wide values sit at aligned base registers;
+* no register index exceeds the declared budget;
+* calls follow the frame ABI (no operands);
+* no virtual registers remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function, Module
+from repro.isa.instructions import Instruction, MemSpace, Opcode
+from repro.isa.registers import PhysReg, Reg, VirtualReg, is_aligned
+
+
+@dataclass(frozen=True)
+class VerifyIssue:
+    """One verifier finding."""
+
+    function: str
+    block: str
+    index: int  # instruction index within the block; -1 for block-level
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.function}:{self.block}"
+        if self.index >= 0:
+            where += f"[{self.index}]"
+        return f"{where}: {self.message}"
+
+
+class VerificationError(ValueError):
+    """Raised by :func:`verify_module` when issues were found."""
+
+    def __init__(self, issues: list[VerifyIssue]) -> None:
+        super().__init__(
+            "module failed verification:\n"
+            + "\n".join(f"  - {issue}" for issue in issues)
+        )
+        self.issues = issues
+
+
+@dataclass
+class _Verifier:
+    module: Module
+    physical: bool
+    reg_budget: int | None
+    issues: list[VerifyIssue] = field(default_factory=list)
+
+    def report(self, fn: Function, block: str, index: int, message: str) -> None:
+        self.issues.append(VerifyIssue(fn.name, block, index, message))
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[VerifyIssue]:
+        try:
+            self.module.validate()
+        except ValueError as exc:
+            self.issues.append(VerifyIssue("<module>", "<module>", -1, str(exc)))
+            return self.issues
+        for fn in self.module.functions.values():
+            self._check_function(fn)
+        return self.issues
+
+    def _check_function(self, fn: Function) -> None:
+        for block in fn.ordered_blocks():
+            for index, inst in enumerate(block.instructions):
+                self._check_instruction(fn, block.label, index, inst)
+        self._check_definedness(fn)
+
+    # ------------------------------------------------------------------
+    def _check_instruction(
+        self, fn: Function, block: str, index: int, inst: Instruction
+    ) -> None:
+        op = inst.opcode
+        if inst.is_memory and inst.space is None:
+            self.report(fn, block, index, f"{op.value} without a memory space")
+        if inst.space is MemSpace.PARAM and op is Opcode.ST:
+            self.report(fn, block, index, "store to read-only param space")
+        if op in (Opcode.ISET, Opcode.FSET) and inst.cmp is None:
+            self.report(fn, block, index, "comparison without a predicate")
+        if op is Opcode.S2R and inst.special is None:
+            self.report(fn, block, index, "S2R without a special register")
+        if op is Opcode.CBR and len(inst.targets) != 2:
+            self.report(fn, block, index, "CBR needs two targets")
+        if op is Opcode.PHI:
+            self.report(fn, block, index, "SSA φ survived past destruction")
+
+        for reg in list(inst.regs_read()) + list(inst.regs_written()):
+            self._check_register(fn, block, index, reg)
+
+        if self.physical and inst.is_call:
+            if inst.srcs or inst.dst is not None:
+                self.report(
+                    fn, block, index,
+                    "value-ABI call in physically-allocated code",
+                )
+
+    def _check_register(
+        self, fn: Function, block: str, index: int, reg: Reg
+    ) -> None:
+        if isinstance(reg, PhysReg):
+            if not is_aligned(reg.index, reg.width):
+                self.report(
+                    fn, block, index, f"misaligned wide register {reg}"
+                )
+            if self.reg_budget is not None and reg.index + reg.width > self.reg_budget:
+                self.report(
+                    fn, block, index,
+                    f"{reg} exceeds the {self.reg_budget}-slot budget",
+                )
+        elif self.physical:
+            self.report(
+                fn, block, index, f"virtual register {reg} after allocation"
+            )
+
+    # ------------------------------------------------------------------
+    def _check_definedness(self, fn: Function) -> None:
+        """Forward may-undefined analysis: flag reads never preceded by
+        a write on some path.
+
+        Physical code is exempt: register reuse makes storage-level
+        definedness meaningless there (saves/restores read slots the
+        analysis cannot attribute), and the functional interpreter
+        covers it dynamically.
+        """
+        if self.physical:
+            return
+        cfg = CFG(fn)
+        entry_defined: set[Reg] = {
+            VirtualReg(i, 1) for i in range(fn.num_args)
+        }
+        defined_out: dict[str, set[Reg]] = {}
+        # Forward dataflow: definitely-defined at block entry.
+        all_regs = fn.all_regs()
+        full = set(all_regs)
+        defined_in = {label: set(full) for label in cfg.rpo}
+        defined_in[cfg.entry] = set(entry_defined)
+        changed = True
+        while changed:
+            changed = False
+            for label in cfg.rpo:
+                preds = [p for p in cfg.preds[label] if p in defined_out]
+                if label == cfg.entry:
+                    incoming = set(entry_defined)
+                else:
+                    if preds:
+                        incoming = set.intersection(
+                            *(defined_out[p] for p in preds)
+                        )
+                    else:
+                        incoming = set()
+                defined = set(incoming)
+                for inst in fn.blocks[label].instructions:
+                    defined.update(inst.regs_written())
+                if defined_out.get(label) != defined or defined_in[label] != incoming:
+                    defined_in[label] = incoming
+                    defined_out[label] = defined
+                    changed = True
+        for label in cfg.rpo:
+            defined = set(defined_in[label])
+            for index, inst in enumerate(fn.blocks[label].instructions):
+                if inst.opcode is not Opcode.PHI:
+                    for reg in inst.regs_read():
+                        if reg not in defined:
+                            self.report(
+                                fn, label, index,
+                                f"{reg} may be read before definition",
+                            )
+                defined.update(inst.regs_written())
+
+
+def verify_module(
+    module: Module,
+    physical: bool = False,
+    reg_budget: int | None = None,
+) -> list[VerifyIssue]:
+    """Collect verification issues (empty list = clean)."""
+    return _Verifier(module, physical, reg_budget).run()
+
+
+def assert_verified(
+    module: Module,
+    physical: bool = False,
+    reg_budget: int | None = None,
+) -> None:
+    """Raise :class:`VerificationError` unless the module is clean."""
+    issues = verify_module(module, physical=physical, reg_budget=reg_budget)
+    if issues:
+        raise VerificationError(issues)

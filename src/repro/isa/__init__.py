@@ -1,0 +1,35 @@
+"""ORAS: the virtual GPU instruction set (registers, instructions, text, codec)."""
+
+from repro.isa.instructions import (
+    CmpOp,
+    FuncUnit,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+    Operand,
+)
+from repro.isa.registers import (
+    PhysReg,
+    Reg,
+    SpecialReg,
+    VirtualReg,
+    is_aligned,
+    required_alignment,
+)
+
+__all__ = [
+    "CmpOp",
+    "FuncUnit",
+    "Imm",
+    "Instruction",
+    "MemSpace",
+    "Opcode",
+    "Operand",
+    "PhysReg",
+    "Reg",
+    "SpecialReg",
+    "VirtualReg",
+    "is_aligned",
+    "required_alignment",
+]

@@ -1,0 +1,366 @@
+"""Textual assembly (ORAS) — printer and parser.
+
+Orion's front end turns a decoded binary into assembly text before
+lifting it to IR; its back end prints transformed IR back out.  This
+module is that text layer.  The format round-trips exactly:
+``parse_module(format_module(m))`` reproduces ``m`` structurally.
+
+Example::
+
+    .module saxpy
+    .kernel saxpy_kernel shared=0
+    BB0:
+        S2R %v0, %tid
+        LD.param %v1, [0]
+        LD.global %v2.w2, [%v0+8]
+        FFMA %v3, %v2.w2, %v1, %v2.w2
+        ST.global [%v0+8], %v3
+        EXIT
+    .end
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+    Operand,
+)
+from repro.isa.registers import PhysReg, Reg, SpecialReg, VirtualReg
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly text."""
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+def _format_operand(op: Operand) -> str:
+    if isinstance(op, (VirtualReg, PhysReg)):
+        return str(op)
+    if isinstance(op, SpecialReg):
+        return f"%{op.value}"
+    if isinstance(op, Imm):
+        if isinstance(op.value, float):
+            text = repr(op.value)
+            return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+        return str(op.value)
+    raise TypeError(f"unknown operand {op!r}")
+
+
+def _format_addr(inst: Instruction, base: Reg | None) -> str:
+    if base is None:
+        return f"[{inst.offset}]"
+    if inst.offset:
+        sign = "+" if inst.offset > 0 else "-"
+        return f"[{_format_operand(base)}{sign}{abs(inst.offset)}]"
+    return f"[{_format_operand(base)}]"
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One instruction as assembly text (no indentation)."""
+    op = inst.opcode
+    if op is Opcode.S2R:
+        return f"S2R {_format_operand(inst.dst)}, %{inst.special.value}"
+    if op in (Opcode.ISET, Opcode.FSET):
+        name = f"{op.value.upper()}.{inst.cmp.value}"
+        srcs = ", ".join(_format_operand(s) for s in inst.srcs)
+        return f"{name} {_format_operand(inst.dst)}, {srcs}"
+    if op is Opcode.LD:
+        base = inst.srcs[0] if inst.srcs else None
+        return (
+            f"LD.{inst.space.value} {_format_operand(inst.dst)}, "
+            f"{_format_addr(inst, base)}"
+        )
+    if op is Opcode.ST:
+        value = inst.srcs[0]
+        base = inst.srcs[1] if len(inst.srcs) > 1 else None
+        return (
+            f"ST.{inst.space.value} {_format_addr(inst, base)}, "
+            f"{_format_operand(value)}"
+        )
+    if op is Opcode.BRA:
+        return f"BRA {inst.targets[0]}"
+    if op is Opcode.CBR:
+        return (
+            f"CBR {_format_operand(inst.srcs[0])}, "
+            f"{inst.targets[0]}, {inst.targets[1]}"
+        )
+    if op is Opcode.CALL:
+        args = ", ".join(_format_operand(s) for s in inst.srcs)
+        callsite = f"{inst.callee}({args})"
+        if inst.dst is not None:
+            return f"CALL {_format_operand(inst.dst)}, {callsite}"
+        return f"CALL {callsite}"
+    if op is Opcode.RET:
+        if inst.srcs:
+            return f"RET {_format_operand(inst.srcs[0])}"
+        return "RET"
+    if op in (Opcode.EXIT, Opcode.BAR, Opcode.NOP):
+        return op.value.upper()
+    if op is Opcode.PHI:
+        args = ", ".join(
+            f"[{block}: {_format_operand(value)}]"
+            for block, value in inst.phi_args
+        )
+        return f"PHI {_format_operand(inst.dst)}, {args}"
+    # Generic ALU form: OP dst, srcs...
+    parts = [_format_operand(inst.dst)] if inst.dst is not None else []
+    parts.extend(_format_operand(s) for s in inst.srcs)
+    return f"{op.value.upper()} {', '.join(parts)}"
+
+
+def format_function(fn: Function) -> str:
+    head = ".kernel" if fn.is_kernel else ".func"
+    attrs = [fn.name]
+    if fn.is_kernel:
+        attrs.append(f"shared={fn.shared_bytes}")
+    else:
+        attrs.append(f"args={fn.num_args}")
+        attrs.append(f"returns={1 if fn.returns_value else 0}")
+    lines = [f"{head} {' '.join(attrs)}"]
+    for block in fn.ordered_blocks():
+        lines.append(f"{block.label}:")
+        lines.extend(f"    {format_instruction(i)}" for i in block.instructions)
+    lines.append(".end")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [f".module {module.name}"]
+    parts.extend(format_function(fn) for fn in module.functions.values())
+    return "\n\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_REG_RE = re.compile(r"^%v(\d+)(?:\.w(\d))?$")
+_PHYS_RE = re.compile(r"^R(\d+)(?:\.w(\d))?$")
+_ADDR_RE = re.compile(r"^\[([^\]+-]+)?(?:([+-])(\d+))?\]$|^\[(-?\d+)\]$")
+_SPECIALS = {f"%{s.value}": s for s in SpecialReg}
+_CALL_RE = re.compile(r"^(\w+)\((.*)\)$")
+_PHI_ARG_RE = re.compile(r"^\[(\w+):\s*(.+)\]$")
+
+
+def _parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if text in _SPECIALS:
+        return _SPECIALS[text]
+    m = _REG_RE.match(text)
+    if m:
+        return VirtualReg(int(m.group(1)), int(m.group(2) or 1))
+    m = _PHYS_RE.match(text)
+    if m:
+        return PhysReg(int(m.group(1)), int(m.group(2) or 1))
+    try:
+        if "." in text or "e" in text or "inf" in text or "nan" in text:
+            return Imm(float(text))
+        return Imm(int(text, 0))
+    except ValueError as exc:
+        raise AsmError(f"cannot parse operand {text!r}") from exc
+
+
+def _parse_addr(text: str) -> tuple[Reg | None, int]:
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise AsmError(f"expected address operand, got {text!r}")
+    inner = text[1:-1].strip()
+    # Pure-offset form: [123] or [-4]
+    if re.fullmatch(r"-?\d+", inner):
+        return None, int(inner)
+    m = re.fullmatch(r"([^+\-\s]+)\s*(?:([+-])\s*(\d+))?", inner)
+    if not m:
+        raise AsmError(f"cannot parse address {text!r}")
+    base = _parse_operand(m.group(1))
+    if not isinstance(base, (VirtualReg, PhysReg)):
+        raise AsmError(f"address base must be a register in {text!r}")
+    offset = 0
+    if m.group(2):
+        offset = int(m.group(3))
+        if m.group(2) == "-":
+            offset = -offset
+    return base, offset
+
+
+def _split_commas(text: str) -> list[str]:
+    """Split on commas not inside brackets or parens."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one assembly line into an :class:`Instruction`."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        raise AsmError("empty instruction line")
+    mnemonic, _, rest = line.partition(" ")
+    rest = rest.strip()
+    parts = _split_commas(rest) if rest else []
+    name, _, suffix = mnemonic.partition(".")
+    name = name.upper()
+
+    if name == "S2R":
+        dst = _parse_operand(parts[0])
+        special = _SPECIALS.get(parts[1].strip())
+        if special is None:
+            raise AsmError(f"unknown special register {parts[1]!r}")
+        return Instruction(Opcode.S2R, dst=dst, special=special)
+
+    if name in ("ISET", "FSET"):
+        cmp = CmpOp(suffix.lower())
+        dst = _parse_operand(parts[0])
+        return Instruction(
+            Opcode[name],
+            dst=dst,
+            srcs=[_parse_operand(p) for p in parts[1:]],
+            cmp=cmp,
+        )
+
+    if name == "LD":
+        space = MemSpace(suffix.lower())
+        dst = _parse_operand(parts[0])
+        base, offset = _parse_addr(parts[1])
+        srcs: list[Operand] = [base] if base is not None else []
+        return Instruction(Opcode.LD, dst=dst, srcs=srcs, space=space, offset=offset)
+
+    if name == "ST":
+        space = MemSpace(suffix.lower())
+        base, offset = _parse_addr(parts[0])
+        value = _parse_operand(parts[1])
+        srcs = [value] + ([base] if base is not None else [])
+        return Instruction(Opcode.ST, srcs=srcs, space=space, offset=offset)
+
+    if name == "BRA":
+        return Instruction(Opcode.BRA, targets=[parts[0]])
+
+    if name == "CBR":
+        return Instruction(
+            Opcode.CBR,
+            srcs=[_parse_operand(parts[0])],
+            targets=[parts[1], parts[2]],
+        )
+
+    if name == "CALL":
+        dst: Reg | None = None
+        callsite = parts[-1]
+        if len(parts) == 2:
+            parsed = _parse_operand(parts[0])
+            if not isinstance(parsed, (VirtualReg, PhysReg)):
+                raise AsmError("CALL destination must be a register")
+            dst = parsed
+        m = _CALL_RE.match(callsite)
+        if not m:
+            raise AsmError(f"cannot parse call site {callsite!r}")
+        callee, argtext = m.group(1), m.group(2).strip()
+        args = [_parse_operand(a) for a in _split_commas(argtext)] if argtext else []
+        return Instruction(Opcode.CALL, dst=dst, srcs=args, callee=callee)
+
+    if name == "RET":
+        srcs = [_parse_operand(parts[0])] if parts else []
+        return Instruction(Opcode.RET, srcs=srcs)
+
+    if name in ("EXIT", "BAR", "NOP"):
+        return Instruction(Opcode[name])
+
+    if name == "PHI":
+        dst = _parse_operand(parts[0])
+        phi_args: list[tuple[str, Operand]] = []
+        for arg in parts[1:]:
+            m = _PHI_ARG_RE.match(arg.strip())
+            if not m:
+                raise AsmError(f"cannot parse phi arg {arg!r}")
+            phi_args.append((m.group(1), _parse_operand(m.group(2))))
+        return Instruction(Opcode.PHI, dst=dst, phi_args=phi_args)
+
+    try:
+        opcode = Opcode[name]
+    except KeyError as exc:
+        raise AsmError(f"unknown mnemonic {name!r}") from exc
+    if not parts:
+        return Instruction(opcode)
+    dst = _parse_operand(parts[0])
+    if not isinstance(dst, (VirtualReg, PhysReg)):
+        raise AsmError(f"{name} destination must be a register")
+    return Instruction(opcode, dst=dst, srcs=[_parse_operand(p) for p in parts[1:]])
+
+
+_FUNC_HEAD_RE = re.compile(
+    r"^\.(kernel|func)\s+(\w+)((?:\s+\w+=\d+)*)\s*$"
+)
+_ATTR_RE = re.compile(r"(\w+)=(\d+)")
+
+
+def parse_module(text: str) -> Module:
+    """Parse a full ``.module`` document."""
+    module: Module | None = None
+    fn: Function | None = None
+    block: BasicBlock | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(".module"):
+                module = Module(line.split(None, 1)[1].strip())
+            elif line.startswith((".kernel", ".func")):
+                if module is None:
+                    module = Module("module")
+                m = _FUNC_HEAD_RE.match(line)
+                if not m:
+                    raise AsmError(f"bad function header: {line!r}")
+                kind, name, attrtext = m.groups()
+                attrs = {k: int(v) for k, v in _ATTR_RE.findall(attrtext or "")}
+                fn = Function(
+                    name,
+                    is_kernel=(kind == "kernel"),
+                    num_args=attrs.get("args", 0),
+                    shared_bytes=attrs.get("shared", 0),
+                    returns_value=bool(attrs.get("returns", 0)),
+                )
+                module.add(fn)
+                block = None
+            elif line == ".end":
+                fn = None
+                block = None
+            elif line.endswith(":"):
+                if fn is None:
+                    raise AsmError("block label outside a function")
+                block = fn.add_block(line[:-1])
+            else:
+                if fn is None or block is None:
+                    raise AsmError(f"instruction outside a block: {line!r}")
+                block.append(parse_instruction(line))
+        except AsmError as exc:
+            raise AsmError(f"line {lineno}: {exc}") from exc
+
+    if module is None:
+        raise AsmError("no .module found")
+    for function in module.functions.values():
+        top = max(
+            (r.index + 1 for r in function.all_regs() if isinstance(r, VirtualReg)),
+            default=0,
+        )
+        function.reserve_vregs(top)
+    return module

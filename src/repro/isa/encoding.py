@@ -1,0 +1,317 @@
+"""Binary codec for ORAS modules — Orion's front- and back-end substrate.
+
+The paper's Orion operates directly on SASS *binaries*: a front end
+decodes the binary to assembly (via an asfermi-style ISA description)
+and a back end re-encodes the transformed assembly.  This module plays
+that role for ORAS: :func:`encode_module` serialises a
+:class:`~repro.ir.function.Module` to bytes and :func:`decode_module`
+losslessly reverses it.
+
+Layout (little-endian):
+
+* header: magic ``ORAS``, version u16, function count u16, module name;
+* per function: header (flags, args, shared bytes), block label table,
+  then a stream of variable-length instruction records.  Branch targets
+  and callees are stored as indices into the block/function tables, so a
+  decoded module is structurally identical to the encoded one.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ir.function import Function, Module
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+    Operand,
+)
+from repro.isa.registers import PhysReg, SpecialReg, VirtualReg
+
+MAGIC = b"ORAS"
+VERSION = 2
+
+
+class CodecError(ValueError):
+    """Raised when a byte stream is not a valid ORAS binary."""
+
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_SPACES = list(MemSpace)
+_SPACE_INDEX = {s: i for i, s in enumerate(_SPACES)}
+_CMPS = list(CmpOp)
+_CMP_INDEX = {c: i for i, c in enumerate(_CMPS)}
+_SPECIALS = list(SpecialReg)
+_SPECIAL_INDEX = {s: i for i, s in enumerate(_SPECIALS)}
+
+_TAG_VREG = 0
+_TAG_PREG = 1
+_TAG_SPECIAL = 2
+_TAG_IMM_INT = 3
+_TAG_IMM_FLOAT = 4
+
+_NONE_U8 = 0xFF
+_NONE_U16 = 0xFFFF
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self._chunks.append(struct.pack("<B", v))
+
+    def u16(self, v: int) -> None:
+        self._chunks.append(struct.pack("<H", v))
+
+    def u32(self, v: int) -> None:
+        self._chunks.append(struct.pack("<I", v))
+
+    def i32(self, v: int) -> None:
+        self._chunks.append(struct.pack("<i", v))
+
+    def i64(self, v: int) -> None:
+        self._chunks.append(struct.pack("<q", v))
+
+    def f64(self, v: float) -> None:
+        self._chunks.append(struct.pack("<d", v))
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise CodecError("string too long")
+        self.u16(len(raw))
+        self._chunks.append(raw)
+
+    def bytes(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise CodecError("truncated binary")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def text(self) -> str:
+        n = self.u16()
+        return self._take(n).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _encode_operand(w: _Writer, op: Operand) -> None:
+    if isinstance(op, VirtualReg):
+        w.u8(_TAG_VREG)
+        w.u32(op.index)
+        w.u8(op.width)
+    elif isinstance(op, PhysReg):
+        w.u8(_TAG_PREG)
+        w.u32(op.index)
+        w.u8(op.width)
+    elif isinstance(op, SpecialReg):
+        w.u8(_TAG_SPECIAL)
+        w.u8(_SPECIAL_INDEX[op])
+    elif isinstance(op, Imm):
+        if isinstance(op.value, float):
+            w.u8(_TAG_IMM_FLOAT)
+            w.f64(op.value)
+        else:
+            w.u8(_TAG_IMM_INT)
+            w.i64(op.value)
+    else:
+        raise CodecError(f"cannot encode operand {op!r}")
+
+
+def _decode_operand(r: _Reader) -> Operand:
+    tag = r.u8()
+    if tag == _TAG_VREG:
+        index = r.u32()
+        return VirtualReg(index, r.u8())
+    if tag == _TAG_PREG:
+        index = r.u32()
+        return PhysReg(index, r.u8())
+    if tag == _TAG_SPECIAL:
+        return _SPECIALS[r.u8()]
+    if tag == _TAG_IMM_INT:
+        return Imm(r.i64())
+    if tag == _TAG_IMM_FLOAT:
+        return Imm(r.f64())
+    raise CodecError(f"unknown operand tag {tag}")
+
+
+def _encode_instruction(
+    w: _Writer,
+    inst: Instruction,
+    block_index: dict[str, int],
+    func_index: dict[str, int],
+) -> None:
+    w.u8(_OPCODE_INDEX[inst.opcode])
+    if inst.dst is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        _encode_operand(w, inst.dst)
+    w.u8(len(inst.srcs))
+    for src in inst.srcs:
+        _encode_operand(w, src)
+    w.u8(_SPACE_INDEX[inst.space] if inst.space is not None else _NONE_U8)
+    w.i32(inst.offset)
+    w.u8(_CMP_INDEX[inst.cmp] if inst.cmp is not None else _NONE_U8)
+    w.u8(len(inst.targets))
+    for target in inst.targets:
+        if target not in block_index:
+            raise CodecError(f"branch to unknown block {target!r}")
+        w.u16(block_index[target])
+    if inst.callee is not None:
+        if inst.callee not in func_index:
+            raise CodecError(f"call to unknown function {inst.callee!r}")
+        w.u16(func_index[inst.callee])
+    else:
+        w.u16(_NONE_U16)
+    w.u8(_SPECIAL_INDEX[inst.special] if inst.special is not None else _NONE_U8)
+    w.u8(len(inst.phi_args))
+    for block, op in inst.phi_args:
+        w.u16(block_index[block])
+        _encode_operand(w, op)
+
+
+def _decode_instruction(
+    r: _Reader, block_names: list[str], func_names: list[str]
+) -> Instruction:
+    opcode = _OPCODES[r.u8()]
+    dst = None
+    if r.u8():
+        decoded = _decode_operand(r)
+        if not isinstance(decoded, (VirtualReg, PhysReg)):
+            raise CodecError("instruction destination must be a register")
+        dst = decoded
+    srcs = [_decode_operand(r) for _ in range(r.u8())]
+    space_idx = r.u8()
+    space = _SPACES[space_idx] if space_idx != _NONE_U8 else None
+    offset = r.i32()
+    cmp_idx = r.u8()
+    cmp = _CMPS[cmp_idx] if cmp_idx != _NONE_U8 else None
+    targets = [block_names[r.u16()] for _ in range(r.u8())]
+    callee_idx = r.u16()
+    callee = func_names[callee_idx] if callee_idx != _NONE_U16 else None
+    special_idx = r.u8()
+    special = _SPECIALS[special_idx] if special_idx != _NONE_U8 else None
+    phi_args = []
+    for _ in range(r.u8()):
+        block = block_names[r.u16()]
+        phi_args.append((block, _decode_operand(r)))
+    return Instruction(
+        opcode=opcode,
+        dst=dst,
+        srcs=srcs,
+        space=space,
+        offset=offset,
+        cmp=cmp,
+        targets=targets,
+        callee=callee,
+        special=special,
+        phi_args=phi_args,
+    )
+
+
+def encode_module(module: Module) -> bytes:
+    """Serialise a module to an ORAS binary."""
+    w = _Writer()
+    w._chunks.append(MAGIC)
+    w.u16(VERSION)
+    w.text(module.name)
+    functions = list(module.functions.values())
+    func_index = {fn.name: i for i, fn in enumerate(functions)}
+    w.u16(len(functions))
+    # Function name table first, so calls can reference any function
+    # regardless of definition order.
+    for fn in functions:
+        w.text(fn.name)
+    for fn in functions:
+        flags = (1 if fn.is_kernel else 0) | (2 if fn.returns_value else 0)
+        w.u8(flags)
+        w.u16(fn.num_args)
+        w.u32(fn.shared_bytes)
+        order = fn.block_order
+        block_index = {label: i for i, label in enumerate(order)}
+        w.u16(len(order))
+        for label in order:
+            w.text(label)
+            w.u32(len(fn.blocks[label].instructions))
+        for label in order:
+            for inst in fn.blocks[label].instructions:
+                _encode_instruction(w, inst, block_index, func_index)
+    return w.bytes()
+
+
+def decode_module(data: bytes) -> Module:
+    """Decode an ORAS binary back into a module."""
+    r = _Reader(data)
+    if r._take(4) != MAGIC:
+        raise CodecError("bad magic; not an ORAS binary")
+    version = r.u16()
+    if version != VERSION:
+        raise CodecError(f"unsupported ORAS version {version}")
+    module = Module(r.text())
+    num_functions = r.u16()
+    func_names = [r.text() for _ in range(num_functions)]
+    headers: list[Function] = []
+    for name in func_names:
+        flags = r.u8()
+        num_args = r.u16()
+        shared_bytes = r.u32()
+        fn = Function(
+            name,
+            is_kernel=bool(flags & 1),
+            num_args=num_args,
+            shared_bytes=shared_bytes,
+            returns_value=bool(flags & 2),
+        )
+        blocks = [(r.text(), r.u32()) for _ in range(r.u16())]
+        block_names = [label for label, _ in blocks]
+        for label, count in blocks:
+            block = fn.add_block(label)
+            for _ in range(count):
+                block.append(_decode_instruction(r, block_names, func_names))
+        headers.append(fn)
+        module.add(fn)
+    if not r.exhausted:
+        raise CodecError("trailing bytes after module")
+    for fn in headers:
+        top = max(
+            (reg.index + 1 for reg in fn.all_regs() if isinstance(reg, VirtualReg)),
+            default=0,
+        )
+        fn.reserve_vregs(top)
+    return module

@@ -1,0 +1,95 @@
+"""Register model for the ORAS virtual GPU ISA.
+
+Two register kinds exist:
+
+* :class:`VirtualReg` — compiler-internal names of unbounded supply, each
+  with a *width* in 32-bit slots (1, 2, 3 or 4, i.e. 32/64/96/128-bit —
+  the "wide variables" of paper Section 3.2 that require consecutive,
+  aligned physical registers).
+* :class:`PhysReg` — machine registers ``R0..R62``.  A wide value is
+  named by its base register and occupies ``width`` consecutive slots.
+
+Special (read-only) registers expose the thread's coordinates, mirroring
+SASS's S2R sources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SpecialReg(enum.Enum):
+    """Hardware-provided read-only values."""
+
+    TID = "tid"  # thread index within the block
+    CTAID = "ctaid"  # block index within the grid
+    NTID = "ntid"  # block size (threads per block)
+    NCTAID = "nctaid"  # grid size (blocks per grid)
+    LANEID = "laneid"  # thread index within the warp
+    WARPID = "warpid"  # warp index within the block
+
+
+@dataclass(frozen=True, order=True)
+class VirtualReg:
+    """An SSA-ready virtual register: a name plus a width in 32-bit slots."""
+
+    index: int
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("virtual register index must be non-negative")
+        if self.width not in (1, 2, 3, 4):
+            raise ValueError("width must be 1..4 32-bit slots")
+
+    def __str__(self) -> str:
+        suffix = "" if self.width == 1 else f".w{self.width}"
+        return f"%v{self.index}{suffix}"
+
+
+@dataclass(frozen=True, order=True)
+class PhysReg:
+    """A physical register, named by its base slot index.
+
+    ``width`` slots starting at ``index`` belong to this value.  Wide
+    values must be aligned: ``index`` is a multiple of a power-of-two
+    alignment derived from the width (2 for 64-bit, 4 for 96/128-bit),
+    matching the paper's "aligned, consecutive 32-bit registers".
+    """
+
+    index: int
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("physical register index must be non-negative")
+        if self.width not in (1, 2, 3, 4):
+            raise ValueError("width must be 1..4 32-bit slots")
+
+    @property
+    def slots(self) -> range:
+        return range(self.index, self.index + self.width)
+
+    def __str__(self) -> str:
+        suffix = "" if self.width == 1 else f".w{self.width}"
+        return f"R{self.index}{suffix}"
+
+
+Reg = VirtualReg | PhysReg
+
+
+def required_alignment(width: int) -> int:
+    """Alignment (in slots) a value of ``width`` slots must start at."""
+    if width == 1:
+        return 1
+    if width == 2:
+        return 2
+    if width in (3, 4):
+        return 4
+    raise ValueError("width must be 1..4 32-bit slots")
+
+
+def is_aligned(index: int, width: int) -> bool:
+    """Whether a base slot index satisfies the width's alignment rule."""
+    return index % required_alignment(width) == 0

@@ -1,0 +1,60 @@
+"""On-chip memory allocation: Fig. 4 colouring, spilling, shared-memory
+promotion, and the compressible stack (paper Section 3.2)."""
+
+from repro.regalloc.allocator import (
+    AllocationOutcome,
+    BudgetError,
+    allocate_module,
+    minimal_budget,
+)
+from repro.regalloc.chaitin import ColoringResult, color_graph, minimum_registers
+from repro.regalloc.coalesce import CoalesceReport, coalesce_moves
+from repro.regalloc.matching import (
+    assignment_weight,
+    max_weight_assignment,
+    min_cost_assignment,
+)
+from repro.regalloc.shared_assign import SharedPromotion, promote_spills_to_shared
+from repro.regalloc.spill import SpillState, insert_spill_code, spill_traffic
+from repro.regalloc.stack import (
+    Cluster,
+    InterprocResult,
+    StackError,
+    build_clusters,
+    count_total_moves,
+    movement_weight,
+    optimal_layout,
+    packed_height,
+    plan_interprocedural,
+    rewrite_module,
+)
+
+__all__ = [
+    "AllocationOutcome",
+    "BudgetError",
+    "Cluster",
+    "CoalesceReport",
+    "coalesce_moves",
+    "ColoringResult",
+    "InterprocResult",
+    "SharedPromotion",
+    "SpillState",
+    "StackError",
+    "allocate_module",
+    "assignment_weight",
+    "build_clusters",
+    "color_graph",
+    "count_total_moves",
+    "insert_spill_code",
+    "max_weight_assignment",
+    "min_cost_assignment",
+    "minimal_budget",
+    "minimum_registers",
+    "movement_weight",
+    "optimal_layout",
+    "packed_height",
+    "plan_interprocedural",
+    "promote_spills_to_shared",
+    "rewrite_module",
+    "spill_traffic",
+]

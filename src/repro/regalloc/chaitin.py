@@ -1,0 +1,175 @@
+"""Single-procedure multi-class graph-coloring allocation (paper Fig. 4).
+
+A variant of the Chaitin–Briggs allocator extended for *wide* variables
+(64/96/128-bit values needing consecutive, aligned 32-bit slots):
+
+* stack ordering (Fig. 4b): repeatedly pick a trivially-colourable
+  variable — ``v.width + blocked(v) <= C`` — preferring the narrowest;
+  when none exists, pick the narrowest (then least-connected) variable
+  as an optimistic spill candidate;
+* colouring (Fig. 4c): pop variables off the stack, give each the lowest
+  free aligned slot range; a variable that cannot be coloured is moved
+  to the spill list and colouring restarts without it.
+
+``blocked(v)`` counts neighbours in slot units (a 64-bit neighbour can
+exclude two slots), which preserves the classic "degree < k implies
+colourable" guarantee in the presence of wide variables.
+
+Pre-coloured nodes (the calling convention pins device-function
+arguments to slots ``0..n-1``) keep their colours, participate as
+blockers, and are never spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.interference import InterferenceGraph
+from repro.isa.registers import Reg, is_aligned, required_alignment
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of one colouring attempt."""
+
+    coloring: dict[Reg, int]  # variable -> base slot
+    spilled: list[Reg] = field(default_factory=list)
+
+    @property
+    def slots_used(self) -> int:
+        """One past the highest slot any coloured variable occupies."""
+        return max(
+            (base + var.width for var, base in self.coloring.items()),
+            default=0,
+        )
+
+    def occupied_slots(self, var: Reg) -> range:
+        base = self.coloring[var]
+        return range(base, base + var.width)
+
+
+def _sort_key(var: Reg) -> tuple[int, int]:
+    return (var.index, var.width)
+
+
+def color_graph(
+    graph: InterferenceGraph,
+    num_colors: int,
+    precolored: dict[Reg, int] | None = None,
+    align_wide: bool = True,
+) -> ColoringResult:
+    """Colour ``graph`` with ``num_colors`` slots, spilling as needed."""
+    if num_colors <= 0:
+        raise ValueError("num_colors must be positive")
+    precolored = dict(precolored or {})
+    for var, base in precolored.items():
+        if base + var.width > num_colors:
+            raise ValueError(f"precoloured {var} at {base} exceeds budget")
+        if align_wide and not is_aligned(base, var.width):
+            raise ValueError(f"precoloured {var} at {base} is misaligned")
+
+    candidates = [v for v in graph.nodes if v not in precolored]
+    stack = _stack_order(graph, num_colors, candidates, set(precolored))
+    spilled: list[Reg] = []
+
+    while True:
+        coloring = dict(precolored)
+        failed: Reg | None = None
+        for var in reversed(stack):
+            slot = _lowest_free_slot(var, graph, coloring, num_colors, align_wide)
+            if slot is None:
+                failed = var
+                break
+            coloring[var] = slot
+        if failed is None:
+            return ColoringResult(coloring=coloring, spilled=spilled)
+        # Fig. 4c: drop the uncolourable variable and restart colouring.
+        stack.remove(failed)
+        spilled.append(failed)
+
+
+def _stack_order(
+    graph: InterferenceGraph,
+    num_colors: int,
+    candidates: list[Reg],
+    always_blocking: set[Reg],
+) -> list[Reg]:
+    """Fig. 4b ordering: trivial picks first, else optimistic candidates."""
+    remaining = sorted(candidates, key=_sort_key)
+    in_graph = set(remaining) | always_blocking
+    stack: list[Reg] = []
+    while remaining:
+        next_var: Reg | None = None
+        for v in remaining:
+            blocked = sum(
+                n.width for n in graph.neighbors(v) if n in in_graph
+            )
+            if v.width + blocked <= num_colors:
+                if next_var is None or next_var.width > v.width:
+                    next_var = v
+        if next_var is None:
+            # No trivially colourable node: optimistic spill candidate
+            # with minimal width, then minimal edge count (Fig. 4b).
+            next_var = remaining[0]
+            for v in remaining:
+                v_edges = sum(1 for n in graph.neighbors(v) if n in in_graph)
+                n_edges = sum(
+                    1 for n in graph.neighbors(next_var) if n in in_graph
+                )
+                if next_var.width > v.width or (
+                    next_var.width == v.width and n_edges > v_edges
+                ):
+                    next_var = v
+        stack.append(next_var)
+        remaining.remove(next_var)
+        in_graph.discard(next_var)
+    return stack
+
+
+def _lowest_free_slot(
+    var: Reg,
+    graph: InterferenceGraph,
+    coloring: dict[Reg, int],
+    num_colors: int,
+    align_wide: bool,
+) -> int | None:
+    used = [False] * num_colors
+    for neighbor in graph.neighbors(var):
+        base = coloring.get(neighbor)
+        if base is None:
+            continue
+        for slot in range(base, min(base + neighbor.width, num_colors)):
+            used[slot] = True
+    step = required_alignment(var.width) if align_wide else 1
+    for base in range(0, num_colors - var.width + 1, step):
+        if not any(used[base : base + var.width]):
+            return base
+    return None
+
+
+def minimum_registers(
+    graph: InterferenceGraph,
+    precolored: dict[Reg, int] | None = None,
+    upper_bound: int = 256,
+) -> int:
+    """Smallest slot budget that colours the graph without spilling.
+
+    This defines the paper's *original* occupancy level: "all live
+    values fit into the minimal number of registers".  Binary search
+    over the budget; each probe is one full colouring.
+    """
+    if not graph.nodes:
+        return 0
+    lo = max(v.width for v in graph.nodes)
+    if precolored:
+        lo = max(lo, max(b + v.width for v, b in precolored.items()))
+    hi = max(lo, upper_bound)
+    if color_graph(graph, hi, precolored).spilled:
+        raise ValueError(f"graph does not colour even with {hi} slots")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if color_graph(graph, mid, precolored).spilled:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

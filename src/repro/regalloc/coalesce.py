@@ -1,0 +1,115 @@
+"""Conservative copy coalescing (Briggs) for the Fig. 4 allocator.
+
+φ elimination and spill handling introduce register-to-register MOVs;
+coalescing merges move-related variables that do not interfere so the
+copies disappear.  The paper's related-work section singles out exactly
+this lineage (chordal colouring and Hack & Goos's copy coalescing) as
+the single-procedure state of the art Orion builds on.
+
+The merge test is Briggs's conservative criterion: combine ``a`` and
+``b`` only if the merged node has fewer than ``C`` neighbours of
+*significant* degree (degree ≥ C, counted in slot units) — such a node
+is guaranteed still colourable, so coalescing can never cause a spill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.interference import InterferenceGraph, move_pairs
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg, VirtualReg
+
+
+@dataclass
+class CoalesceReport:
+    merged_pairs: int = 0
+    removed_moves: int = 0
+    #: representative chosen for each merged-away variable
+    replacements: dict[Reg, Reg] = field(default_factory=dict)
+
+
+def coalesce_moves(
+    fn: Function,
+    graph: InterferenceGraph,
+    num_colors: int,
+    precolored: dict[Reg, int] | None = None,
+) -> CoalesceReport:
+    """Merge move-related variables conservatively (in place).
+
+    The function is rewritten (sources of merged pairs replaced by the
+    representative; degenerate self-moves dropped).  The caller must
+    rebuild the interference graph afterwards.
+    """
+    precolored = precolored or {}
+    report = CoalesceReport()
+
+    # Union-find over variables, so chains of moves collapse.
+    parent: dict[Reg, Reg] = {}
+
+    def find(x: Reg) -> Reg:
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    # Work on a mutable copy of the adjacency for incremental merging.
+    adjacency = {v: set(ns) for v, ns in graph.adjacency.items()}
+
+    def degree(v: Reg) -> int:
+        return sum(n.width for n in adjacency.get(v, ()))
+
+    for dst, src in move_pairs(fn):
+        a, b = find(dst), find(src)
+        if a == b:
+            report.merged_pairs += 1
+            continue
+        if a in precolored or b in precolored:
+            continue
+        if not isinstance(a, VirtualReg) or not isinstance(b, VirtualReg):
+            continue
+        if a.width != b.width:
+            continue
+        if b in adjacency.get(a, ()):
+            continue  # interfering: must stay separate
+        neighbors = adjacency.get(a, set()) | adjacency.get(b, set())
+        significant = sum(
+            n.width
+            for n in neighbors
+            if degree(n) >= num_colors or n in precolored
+        )
+        if significant + a.width > num_colors:
+            continue  # Briggs test failed: might no longer colour
+        # Merge b into a.
+        parent[b] = a
+        merged = neighbors - {a, b}
+        adjacency[a] = merged
+        for n in merged:
+            adjacency.setdefault(n, set()).discard(b)
+            adjacency[n].add(a)
+        adjacency.pop(b, None)
+        report.merged_pairs += 1
+        report.replacements[b] = a
+
+    if not report.replacements:
+        return report
+
+    # Rewrite the function and drop moves that became self-copies.
+    resolved = {var: find(var) for var in report.replacements}
+    for block in fn.ordered_blocks():
+        kept = []
+        for inst in block.instructions:
+            if inst.dst is not None and inst.dst in resolved:
+                inst.dst = resolved[inst.dst]
+            inst.replace_reg_uses(dict(resolved))
+            if (
+                inst.opcode is Opcode.MOV
+                and inst.srcs
+                and inst.dst == inst.srcs[0]
+            ):
+                report.removed_moves += 1
+                continue
+            kept.append(inst)
+        block.instructions = kept
+    return report

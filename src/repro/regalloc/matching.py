@@ -1,0 +1,92 @@
+"""Maximum-weight bipartite matching via the Kuhn–Munkres algorithm.
+
+Paper Section 3.2 reduces the minimal-movement slot-layout problem (MMA)
+to maximum-weight bipartite matching between variable sets and physical
+on-chip slots, solved "using the modified Kuhn–Munkres algorithm, with
+O(M³) time complexity".  This is that solver, implemented from scratch
+(the shortest-augmenting-path / potentials formulation, which is the
+standard O(n³) Hungarian variant).
+"""
+
+from __future__ import annotations
+
+INFINITY = float("inf")
+
+
+def min_cost_assignment(cost: list[list[float]]) -> list[int]:
+    """Assign each row to a distinct column minimising total cost.
+
+    ``cost`` must be an n×m matrix with n <= m.  Returns ``assign`` with
+    ``assign[i]`` = column matched to row ``i``.  O(n²·m).
+    """
+    n = len(cost)
+    if n == 0:
+        return []
+    m = len(cost[0])
+    if any(len(row) != m for row in cost):
+        raise ValueError("cost matrix rows have unequal lengths")
+    if n > m:
+        raise ValueError("need at least as many columns as rows")
+
+    # Potentials u (rows), v (columns); matching stored as way/links.
+    # 1-indexed internally, following the classic formulation.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)  # column -> row (0 = free)
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        minv = [INFINITY] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = INFINITY
+            j1 = -1
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    assign = [-1] * n
+    for j in range(1, m + 1):
+        if match[j]:
+            assign[match[j] - 1] = j - 1
+    return assign
+
+
+def max_weight_assignment(weights: list[list[float]]) -> list[int]:
+    """Assign rows to columns maximising total weight (perfect on rows).
+
+    This is the paper's formulation: edge weights are −W_ij (movement
+    counts negated), and a maximum-weight perfect matching minimises the
+    total number of movements.
+    """
+    negated = [[-w for w in row] for row in weights]
+    return min_cost_assignment(negated)
+
+
+def assignment_weight(weights: list[list[float]], assign: list[int]) -> float:
+    """Total weight of an assignment (for tests and reporting)."""
+    return sum(weights[i][j] for i, j in enumerate(assign))

@@ -1,0 +1,146 @@
+"""Shared-memory promotion of spilled variables.
+
+After register allocation bounds the slot budget, spilled variables sit
+in local memory (off-chip, L1-cached).  Orion's *conservative* version
+instead fits "all variables ... into on-chip memory" by reassigning a
+subset of local-memory slots to the software-managed shared memory
+(paper Section 3.2 — "first placing them into registers with spills into
+local memory, and then reassigning a subset of local memory variables to
+shared memory"; this follows the authors' ICS'14 unified on-chip
+allocation).
+
+Layout: each thread owns a contiguous frame inside the block's shared
+memory, starting after any user-declared shared data::
+
+    address(thread t, slot o) = base(t) + user_bytes + o
+    base(t) = t * frame_bytes
+
+``base`` is materialised once at function entry (S2R + IMUL), costing
+one long-lived register — the realistic price the paper's allocator also
+pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.isa.instructions import (
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+    binary,
+    s2r,
+)
+from repro.isa.registers import Reg, SpecialReg, VirtualReg
+from repro.regalloc.spill import SpillState
+
+
+@dataclass
+class SharedPromotion:
+    """Result of promoting local spill slots into shared memory."""
+
+    #: spilled variable -> byte offset inside the per-thread shared frame
+    promoted: dict[Reg, int] = field(default_factory=dict)
+    #: per-thread shared frame size in bytes
+    frame_bytes: int = 0
+    #: extra shared memory needed per *block* (frame * block size)
+    extra_shared_bytes: int = 0
+    #: the base-address register inserted at entry (needs colouring)
+    base_reg: VirtualReg | None = None
+
+
+def access_frequencies(
+    fn: Function, state: SpillState, cfg: CFG | None = None
+) -> dict[int, float]:
+    """Estimated dynamic access count per local-frame offset.
+
+    Static counts weighted by 10^loop-depth, the classic Chaitin spill
+    cost heuristic; hotter slots are better promotion candidates.
+    """
+    cfg = cfg or CFG(fn)
+    freq: dict[int, float] = {off: 0.0 for off in state.offsets.values()}
+    for label in cfg.rpo:
+        weight = 10.0 ** cfg.loop_depth[label]
+        for inst in fn.blocks[label].instructions:
+            if (
+                inst.is_memory
+                and inst.space is MemSpace.LOCAL
+                and _is_frame_addressed(inst)
+                and inst.offset in freq
+            ):
+                freq[inst.offset] += weight
+    return freq
+
+
+def promote_spills_to_shared(
+    fn: Function,
+    state: SpillState,
+    budget_bytes_per_thread: int,
+    block_size: int,
+    user_shared_bytes: int = 0,
+) -> SharedPromotion:
+    """Move the hottest spilled slots from local into shared memory.
+
+    ``budget_bytes_per_thread`` is how much of the block's shared-memory
+    allowance each thread may consume (the realize-occupancy step derives
+    it from Equation 1).  Rewrites ``fn`` in place and returns the layout.
+    """
+    result = SharedPromotion()
+    if budget_bytes_per_thread <= 0 or not state.offsets:
+        return result
+
+    freq = access_frequencies(fn, state)
+    # Hottest first; ties broken by offset for determinism.
+    candidates = sorted(
+        state.offsets.items(), key=lambda kv: (-freq.get(kv[1], 0.0), kv[1])
+    )
+    used = 0
+    local_to_shared: dict[int, int] = {}
+    for var, local_off in candidates:
+        size = 4 * var.width
+        if used + size > budget_bytes_per_thread:
+            continue
+        result.promoted[var] = used
+        local_to_shared[local_off] = used
+        used += size
+    if not local_to_shared:
+        return result
+    result.frame_bytes = used
+    result.extra_shared_bytes = used * block_size
+
+    # Rewrite the chosen local accesses into shared accesses off a
+    # per-thread base register.
+    base = fn.new_vreg(1)
+    result.base_reg = base
+    for block in fn.ordered_blocks():
+        for inst in block.instructions:
+            if (
+                inst.is_memory
+                and inst.space is MemSpace.LOCAL
+                and inst.offset in local_to_shared
+                and _is_frame_addressed(inst)
+            ):
+                inst.space = MemSpace.SHARED
+                inst.offset = user_shared_bytes + local_to_shared[inst.offset]
+                if inst.opcode is Opcode.LD:
+                    inst.srcs = [base]
+                else:
+                    inst.srcs = [inst.srcs[0], base]
+
+    tid = fn.new_vreg(1)
+    prologue = [
+        s2r(tid, SpecialReg.TID),
+        binary(Opcode.IMUL, base, tid, Imm(result.frame_bytes)),
+    ]
+    fn.entry.instructions[0:0] = prologue
+    return result
+
+
+def _is_frame_addressed(inst: Instruction) -> bool:
+    """True for spill-style local accesses (offset-only, no base reg)."""
+    if inst.opcode is Opcode.LD:
+        return not inst.srcs
+    return len(inst.srcs) == 1

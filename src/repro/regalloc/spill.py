@@ -1,0 +1,90 @@
+"""Spill code insertion: uncoloured variables move to local memory.
+
+A spilled variable lives in the thread's *local memory* frame (off-chip
+DRAM, cached by L1 — paper Section 3.2: "A variable can be placed into
+register, shared memory, or L1 cache (via local memory)").  Every use
+reloads it into a fresh short-lived temporary and every definition
+stores it back, which is what keeps the rewritten graph colourable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.isa.instructions import Instruction, MemSpace, Opcode, load, store
+from repro.isa.registers import Reg, VirtualReg
+
+
+@dataclass
+class SpillState:
+    """Local-memory frame layout for one function."""
+
+    offsets: dict[Reg, int] = field(default_factory=dict)
+    frame_bytes: int = 0
+    #: Temporaries created by reload/store insertion, per spilled var.
+    temps: dict[Reg, list[VirtualReg]] = field(default_factory=dict)
+
+    def assign(self, var: Reg) -> int:
+        if var in self.offsets:
+            return self.offsets[var]
+        offset = self.frame_bytes
+        self.offsets[var] = offset
+        self.frame_bytes += 4 * var.width
+        return offset
+
+
+def insert_spill_code(
+    fn: Function, spilled: list[Reg], state: SpillState | None = None
+) -> SpillState:
+    """Rewrite ``fn`` so each variable in ``spilled`` lives in local memory.
+
+    Returns the (possibly pre-existing) :class:`SpillState` extended with
+    the new variables.  φs must already be eliminated.
+    """
+    state = state or SpillState()
+    spill_set = set(spilled)
+    for var in spilled:
+        state.assign(var)
+        state.temps.setdefault(var, [])
+
+    for block in fn.ordered_blocks():
+        rewritten: list[Instruction] = []
+        for inst in block.instructions:
+            if inst.opcode is Opcode.PHI:
+                raise ValueError("spill insertion requires φ-free code")
+            reads = [r for r in inst.regs_read() if r in spill_set]
+            writes = [r for r in inst.regs_written() if r in spill_set]
+            mapping: dict[Reg, VirtualReg] = {}
+            for var in dict.fromkeys(reads):
+                temp = fn.new_vreg(var.width)
+                state.temps[var].append(temp)
+                mapping[var] = temp
+                rewritten.append(
+                    load(temp, MemSpace.LOCAL, offset=state.offsets[var])
+                )
+            if mapping:
+                inst.replace_reg_uses(dict(mapping))
+            stores: list[Instruction] = []
+            for var in writes:
+                temp = mapping.get(var)
+                if temp is None:
+                    temp = fn.new_vreg(var.width)
+                    state.temps[var].append(temp)
+                inst.dst = temp
+                stores.append(
+                    store(MemSpace.LOCAL, temp, offset=state.offsets[var])
+                )
+            rewritten.append(inst)
+            rewritten.extend(stores)
+        block.instructions = rewritten
+    return state
+
+
+def spill_traffic(fn: Function) -> int:
+    """Static count of local-memory operations (a tuning-cost signal)."""
+    return sum(
+        1
+        for inst in fn.instructions()
+        if inst.is_memory and inst.space is MemSpace.LOCAL
+    )

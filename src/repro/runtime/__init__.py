@@ -1,0 +1,29 @@
+"""The Orion runtime: Fig. 9 dynamic adaptation, kernel splitting, and
+the workload launcher (paper Section 3.4)."""
+
+from repro.runtime.adaptation import DynamicTuner, TrialRecord
+from repro.runtime.launcher import (
+    ExecutionReport,
+    IterationRecord,
+    OrionRuntime,
+    Workload,
+)
+from repro.runtime.splitting import (
+    SplitLaunch,
+    pieces_for_tuning,
+    split_launch,
+    splittable,
+)
+
+__all__ = [
+    "DynamicTuner",
+    "ExecutionReport",
+    "IterationRecord",
+    "OrionRuntime",
+    "SplitLaunch",
+    "TrialRecord",
+    "Workload",
+    "pieces_for_tuning",
+    "split_launch",
+    "splittable",
+]

@@ -1,0 +1,72 @@
+"""Kernel splitting (paper Section 3.4).
+
+"Most GPU programs contain a loop around the GPU kernel of interest.
+If there is no loop but there are enough threads, then we perform
+kernel splitting: we split one kernel invocation into multiple
+invocations, such that every invocation of the split kernel launches a
+subset of the threads and the total threads across invocations is the
+same as the original kernel invocation."
+
+Splitting is done at thread-block granularity (blocks are independent),
+giving the Fig. 9 tuner the iterations it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.interp import LaunchConfig
+
+
+@dataclass(frozen=True)
+class SplitLaunch:
+    """One piece of a split kernel invocation."""
+
+    launch: LaunchConfig
+    first_block: int
+
+
+def split_launch(
+    launch: LaunchConfig, pieces: int
+) -> list[SplitLaunch]:
+    """Split one launch into up to ``pieces`` block-contiguous launches.
+
+    Every block of the original launch appears in exactly one piece;
+    pieces are as even as possible.  Fewer pieces come back when the
+    grid is too small to split that far.
+    """
+    if pieces <= 0:
+        raise ValueError("pieces must be positive")
+    pieces = min(pieces, launch.grid_blocks)
+    base = launch.grid_blocks // pieces
+    remainder = launch.grid_blocks % pieces
+    out: list[SplitLaunch] = []
+    cursor = 0
+    for i in range(pieces):
+        size = base + (1 if i < remainder else 0)
+        out.append(
+            SplitLaunch(
+                launch=LaunchConfig(
+                    grid_blocks=size,
+                    block_size=launch.block_size,
+                    params=dict(launch.params),
+                ),
+                first_block=cursor,
+            )
+        )
+        cursor += size
+    return out
+
+
+def splittable(launch: LaunchConfig, min_blocks_per_piece: int = 2) -> bool:
+    """Whether a launch is big enough to split for tuning purposes."""
+    return launch.grid_blocks >= 2 * min_blocks_per_piece
+
+
+def pieces_for_tuning(
+    launch: LaunchConfig, candidate_versions: int, min_blocks_per_piece: int = 2
+) -> int:
+    """How many pieces give the tuner one trial per candidate (plus one)."""
+    wanted = candidate_versions + 1
+    feasible = launch.grid_blocks // min_blocks_per_piece
+    return max(1, min(wanted, feasible))

@@ -1,0 +1,52 @@
+"""Execution substrate: functional interpreter plus the timing/energy
+simulator standing in for the paper's GTX680 and Tesla C2075."""
+
+from repro.sim.analytical import (
+    AnalyticalEstimate,
+    KernelProfile,
+    estimate_cycles,
+    profile_kernel,
+    rank_occupancy_levels,
+)
+from repro.sim.energy import EnergyReport, gpu_power, kernel_energy
+from repro.sim.gpu import KernelTiming, LaunchError, simulate_kernel
+from repro.sim.interp import InterpError, Interpreter, LaunchConfig, run_kernel
+from repro.sim.memory import MemoryStats, MemorySubsystem, SetAssociativeCache
+from repro.sim.sm import SMResult, SMSimulator
+from repro.sim.trace import (
+    MemoryTraits,
+    TraceEvent,
+    WarpTrace,
+    generate_warp_traces,
+    trace_summary,
+    warp_lines,
+)
+
+__all__ = [
+    "AnalyticalEstimate",
+    "EnergyReport",
+    "KernelProfile",
+    "estimate_cycles",
+    "profile_kernel",
+    "rank_occupancy_levels",
+    "InterpError",
+    "Interpreter",
+    "KernelTiming",
+    "LaunchConfig",
+    "LaunchError",
+    "MemoryStats",
+    "MemorySubsystem",
+    "MemoryTraits",
+    "SetAssociativeCache",
+    "SMResult",
+    "SMSimulator",
+    "TraceEvent",
+    "WarpTrace",
+    "generate_warp_traces",
+    "gpu_power",
+    "kernel_energy",
+    "run_kernel",
+    "simulate_kernel",
+    "trace_summary",
+    "warp_lines",
+]

@@ -1,0 +1,53 @@
+"""Energy model (paper Section 4.2, Figure 13).
+
+The paper measures with CUPTI that lowering occupancy while holding
+runtime flat cuts energy, "due to the reduced utilization of the
+register file".  We model exactly that mechanism:
+
+    P = P_base + N_sm · (P_sm + P_rf · RF-utilisation + P_warp · warps)
+    E = P × runtime
+
+RF-utilisation is the fraction of the register file actually allocated
+to resident threads (the occupancy calculator reports it), so a version
+that halves occupancy at equal runtime shows a single-digit-percent
+energy saving — the shape of Figure 13.  Units are arbitrary but
+self-consistent; only normalised comparisons are meaningful, which is
+also all the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.occupancy import OccupancyResult
+from repro.arch.specs import GpuArchitecture
+from repro.sim.gpu import KernelTiming
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    power: float
+    cycles: int
+
+    @property
+    def energy(self) -> float:
+        return self.power * self.cycles
+
+
+def gpu_power(arch: GpuArchitecture, occupancy: OccupancyResult) -> float:
+    """Average power draw while a kernel runs at this occupancy."""
+    rf_utilisation = occupancy.allocated_registers / arch.registers_per_sm
+    per_sm = (
+        arch.power_per_sm
+        + arch.power_register_file * rf_utilisation
+        + arch.power_per_active_warp * occupancy.active_warps
+    )
+    return arch.power_base + arch.num_sms * per_sm
+
+
+def kernel_energy(arch: GpuArchitecture, timing: KernelTiming) -> EnergyReport:
+    """Energy of a simulated launch: power(occupancy) × total cycles."""
+    return EnergyReport(
+        power=gpu_power(arch, timing.occupancy),
+        cycles=timing.total_cycles,
+    )

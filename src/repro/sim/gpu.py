@@ -1,0 +1,110 @@
+"""Whole-GPU kernel timing: occupancy → resident warps → waves.
+
+A kernel launch of ``G`` blocks runs as waves of
+``active_blocks × num_SMs`` blocks; each wave behaves like one SM
+executing its resident warps (SMs are homogeneous and blocks
+independent), so
+
+    total cycles = cycles(one wave on one SM) × number of waves.
+
+The resident-warp count — the paper's occupancy knob — comes straight
+from the occupancy calculator applied to the *binary's* register and
+shared-memory usage, so different Orion-generated versions of the same
+kernel genuinely run at different occupancies here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.occupancy import OccupancyResult, calculate_occupancy
+from repro.arch.specs import CacheConfig, GpuArchitecture
+from repro.ir.function import Module
+from repro.sim.interp import LaunchConfig, Value
+from repro.sim.sm import SMResult, SMSimulator
+from repro.sim.trace import MemoryTraits, generate_warp_traces
+
+
+class LaunchError(RuntimeError):
+    """Raised when a kernel configuration cannot run on the architecture."""
+
+
+@dataclass
+class KernelTiming:
+    """Timing result of one simulated kernel launch."""
+
+    arch_name: str
+    occupancy: OccupancyResult
+    resident_warps: int
+    cycles_per_wave: int
+    #: fractional: a trailing partial wave costs proportionally to its
+    #: share of a full wave (avoids quantisation artifacts in sweeps)
+    waves: float
+    sm: SMResult
+
+    @property
+    def total_cycles(self) -> int:
+        return max(1, round(self.cycles_per_wave * self.waves))
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self.occupancy.occupancy
+
+
+def simulate_kernel(
+    arch: GpuArchitecture,
+    module: Module,
+    kernel_name: str,
+    launch: LaunchConfig,
+    regs_per_thread: int,
+    smem_per_block: int = 0,
+    cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+    traits: MemoryTraits | None = None,
+    ilp: float = 1.0,
+    max_events_per_warp: int = 6000,
+    global_memory: dict[int, Value] | None = None,
+    forced_warps: int | None = None,
+) -> KernelTiming:
+    """Simulate one kernel launch and return its timing.
+
+    ``forced_warps`` overrides the calculated resident-warp count (used
+    by sweeps that pin occupancy directly); it is still capped by the
+    launch size.
+    """
+    occ = calculate_occupancy(
+        arch, launch.block_size, regs_per_thread, smem_per_block, cache_config
+    )
+    if not occ.is_launchable:
+        raise LaunchError(
+            f"kernel {kernel_name} with {regs_per_thread} regs and "
+            f"{smem_per_block}B shared does not launch on {arch.name}"
+        )
+    warps_per_block = (launch.block_size + arch.warp_size - 1) // arch.warp_size
+    total_warps = launch.grid_blocks * warps_per_block
+    resident = occ.active_warps if forced_warps is None else forced_warps
+    resident = max(warps_per_block, min(resident, total_warps))
+
+    traces = generate_warp_traces(
+        module,
+        kernel_name,
+        launch,
+        resident,
+        traits=traits,
+        max_events_per_warp=max_events_per_warp,
+        global_memory=global_memory,
+        line_bytes=arch.cache_line_bytes,
+    )
+    sim = SMSimulator(arch, cache_config, traits=traits, ilp=ilp)
+    result = sim.run(traces, warps_per_block)
+
+    blocks_per_wave = max(1, (resident // warps_per_block)) * arch.num_sms
+    waves = max(1.0, launch.grid_blocks / blocks_per_wave)
+    return KernelTiming(
+        arch_name=arch.name,
+        occupancy=occ,
+        resident_warps=resident,
+        cycles_per_wave=result.cycles,
+        waves=waves,
+        sm=result,
+    )

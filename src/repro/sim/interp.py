@@ -1,0 +1,415 @@
+"""Functional interpreter for ORAS modules.
+
+This is the correctness oracle of the reproduction: a kernel is executed
+thread-by-thread (lock-stepped at barriers) over real register, shared,
+local, and global state.  Running the same kernel before and after
+Orion's allocation — and asserting identical global memory — proves that
+colouring, spilling, shared-memory promotion, and the compressible
+stack's save/restore protocol preserve semantics.
+
+Two calling conventions are understood, detected per call site:
+
+* **value ABI** (pre-allocation): ``CALL dst, f(a, b)`` runs the callee
+  with a fresh register environment seeded with the arguments;
+* **frame ABI** (post-allocation): a bare ``CALL f`` transfers control
+  within the *same* flat physical register file; argument and result
+  slots were materialised by the allocator's MOVs.
+
+Values are Python ints/floats (a logical simulation, not a bit-accurate
+one); memory is word-addressed and sparse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.function import Function, Module
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+    Operand,
+)
+from repro.isa.registers import PhysReg, SpecialReg, VirtualReg
+
+Value = int | float
+
+
+class InterpError(RuntimeError):
+    """Raised on runaway execution or malformed programs."""
+
+
+@dataclass
+class LaunchConfig:
+    """Launch geometry plus kernel parameters (the ``param`` space)."""
+
+    grid_blocks: int = 1
+    block_size: int = 32
+    params: dict[int, Value] = field(default_factory=dict)
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.block_size
+
+
+class _ThreadState:
+    """Registers and local memory of one thread."""
+
+    __slots__ = ("regs", "local", "tid", "ctaid")
+
+    def __init__(self, tid: int, ctaid: int) -> None:
+        self.regs: dict[object, Value] = {}
+        self.local: dict[int, Value] = {}
+        self.tid = tid
+        self.ctaid = ctaid
+
+
+_BARRIER = object()
+
+_CMP = {
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.GE: lambda a, b: a >= b,
+}
+
+
+class Interpreter:
+    """Executes kernels of one module over explicit memory state."""
+
+    def __init__(self, module: Module, max_steps: int = 2_000_000) -> None:
+        module.validate()
+        self.module = module
+        self.max_steps = max_steps
+        #: Optional callable ``(inst, state, address)`` invoked for every
+        #: executed instruction (address is None for non-memory ops).
+        #: Used by the trace generator; may raise to stop execution.
+        self.observer = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel_name: str,
+        launch: LaunchConfig,
+        global_memory: dict[int, Value] | None = None,
+    ) -> dict[int, Value]:
+        """Execute a kernel launch; returns the final global memory."""
+        kernel = self.module.functions[kernel_name]
+        if not kernel.is_kernel:
+            raise InterpError(f"{kernel_name} is not a kernel")
+        memory = dict(global_memory or {})
+        for block in range(launch.grid_blocks):
+            self._run_block(kernel, launch, block, memory)
+        return memory
+
+    def _run_block(
+        self,
+        kernel: Function,
+        launch: LaunchConfig,
+        ctaid: int,
+        memory: dict[int, Value],
+    ) -> None:
+        shared: dict[int, Value] = {}
+        threads = []
+        for tid in range(launch.block_size):
+            state = _ThreadState(tid, ctaid)
+            gen = self._run_function(
+                kernel, state, launch, memory, shared, [0] * 0
+            )
+            threads.append(gen)
+
+        # Lock-step at barriers: run every live thread to its next
+        # barrier (or completion); repeat until all are done.
+        live = list(threads)
+        while live:
+            still_running = []
+            for gen in live:
+                try:
+                    token = next(gen)
+                except StopIteration:
+                    continue
+                if token is not _BARRIER:
+                    raise InterpError("unexpected yield from thread")
+                still_running.append(gen)
+            live = still_running
+
+    # ------------------------------------------------------------------
+    def _run_function(
+        self,
+        fn: Function,
+        state: _ThreadState,
+        launch: LaunchConfig,
+        memory: dict[int, Value],
+        shared: dict[int, Value],
+        args: list[Value],
+    ) -> Iterator[object]:
+        """Generator executing ``fn``; yields at barriers, returns value."""
+        for i, value in enumerate(args):
+            state.regs[("v", i)] = value
+
+        label = fn.entry.label
+        steps = 0
+        index = 0
+        block = fn.blocks[label]
+        return_value: Value = 0
+        while True:
+            if index >= len(block.instructions):
+                raise InterpError(f"fell off block {label} in {fn.name}")
+            inst = block.instructions[index]
+            steps += 1
+            if steps > self.max_steps:
+                raise InterpError(
+                    f"{fn.name} exceeded {self.max_steps} steps (infinite loop?)"
+                )
+            op = inst.opcode
+            if self.observer is not None:
+                address = (
+                    self._effective_address(inst, state, launch)
+                    if inst.is_memory
+                    else None
+                )
+                self.observer(inst, state, address)
+
+            if op is Opcode.BRA:
+                label = inst.targets[0]
+                block = fn.blocks[label]
+                index = 0
+                continue
+            if op is Opcode.CBR:
+                cond = self._read(inst.srcs[0], state, launch)
+                label = inst.targets[0] if cond else inst.targets[1]
+                block = fn.blocks[label]
+                index = 0
+                continue
+            if op is Opcode.EXIT:
+                return
+            if op is Opcode.RET:
+                if inst.srcs:
+                    return_value = self._read(inst.srcs[0], state, launch)
+                    state.regs[("ret",)] = return_value
+                return
+            if op is Opcode.BAR:
+                yield _BARRIER
+                index += 1
+                continue
+            if op is Opcode.CALL:
+                callee = self.module.functions[inst.callee]
+                if inst.srcs or inst.dst is not None:
+                    # value ABI: fresh environment for the callee.
+                    arg_values = [
+                        self._read(s, state, launch) for s in inst.srcs
+                    ]
+                    sub = _ThreadState(state.tid, state.ctaid)
+                    sub.local = state.local  # local memory is per-thread
+                    yield from self._run_function(
+                        callee, sub, launch, memory, shared, arg_values
+                    )
+                    if inst.dst is not None:
+                        self._write(
+                            inst.dst, sub.regs.get(("ret",), 0), state
+                        )
+                else:
+                    # frame ABI: same flat register file.
+                    yield from self._run_function(
+                        callee, state, launch, memory, shared, []
+                    )
+                index += 1
+                continue
+            if op is Opcode.PHI:
+                raise InterpError("cannot interpret SSA form; destruct first")
+
+            self._execute_simple(inst, state, launch, memory, shared)
+            index += 1
+
+    # ------------------------------------------------------------------
+    def _execute_simple(
+        self,
+        inst: Instruction,
+        state: _ThreadState,
+        launch: LaunchConfig,
+        memory: dict[int, Value],
+        shared: dict[int, Value],
+    ) -> None:
+        op = inst.opcode
+        read = lambda i: self._read(inst.srcs[i], state, launch)
+
+        if op is Opcode.S2R:
+            self._write(inst.dst, self._special(inst.special, state, launch), state)
+            return
+        if op is Opcode.MOV:
+            self._write(inst.dst, read(0), state)
+            return
+        if op is Opcode.SELP:
+            self._write(inst.dst, read(1) if read(0) else read(2), state)
+            return
+        if op is Opcode.I2F:
+            self._write(inst.dst, float(read(0)), state)
+            return
+        if op is Opcode.F2I:
+            self._write(inst.dst, int(read(0)), state)
+            return
+        if op in (Opcode.LD, Opcode.ST):
+            self._memory_op(inst, state, launch, memory, shared)
+            return
+        if op in (Opcode.ISET, Opcode.FSET):
+            self._write(inst.dst, 1 if _CMP[inst.cmp](read(0), read(1)) else 0, state)
+            return
+        if op is Opcode.NOP:
+            return
+
+        a = read(0)
+        if op is Opcode.FRCP:
+            self._write(inst.dst, 1.0 / a if a else math.inf, state)
+            return
+        if op is Opcode.FSQRT:
+            self._write(inst.dst, math.sqrt(a) if a >= 0 else math.nan, state)
+            return
+        if op is Opcode.FEXP:
+            self._write(inst.dst, math.exp(min(a, 700.0)), state)
+            return
+        if op is Opcode.FLOG:
+            self._write(inst.dst, math.log(a) if a > 0 else -math.inf, state)
+            return
+        if op is Opcode.FSIN:
+            self._write(inst.dst, math.sin(a), state)
+            return
+
+        b = read(1)
+        result: Value
+        if op is Opcode.IADD:
+            result = a + b
+        elif op is Opcode.ISUB:
+            result = a - b
+        elif op is Opcode.IMUL:
+            result = a * b
+        elif op is Opcode.IMIN:
+            result = min(a, b)
+        elif op is Opcode.IMAX:
+            result = max(a, b)
+        elif op is Opcode.AND:
+            result = int(a) & int(b)
+        elif op is Opcode.OR:
+            result = int(a) | int(b)
+        elif op is Opcode.XOR:
+            result = int(a) ^ int(b)
+        elif op is Opcode.SHL:
+            result = int(a) << int(b)
+        elif op is Opcode.SHR:
+            result = int(a) >> int(b)
+        elif op is Opcode.FADD:
+            result = a + b
+        elif op is Opcode.FSUB:
+            result = a - b
+        elif op is Opcode.FMUL:
+            result = a * b
+        elif op is Opcode.FMIN:
+            result = min(a, b)
+        elif op is Opcode.FMAX:
+            result = max(a, b)
+        elif op is Opcode.FDIV:
+            result = a / b if b else math.inf
+        elif op is Opcode.IMAD:
+            result = a * b + read(2)
+        elif op is Opcode.FFMA:
+            result = a * b + read(2)
+        else:
+            raise InterpError(f"unimplemented opcode {op}")
+        self._write(inst.dst, result, state)
+
+    # ------------------------------------------------------------------
+    def _memory_op(
+        self,
+        inst: Instruction,
+        state: _ThreadState,
+        launch: LaunchConfig,
+        memory: dict[int, Value],
+        shared: dict[int, Value],
+    ) -> None:
+        address = self._effective_address(inst, state, launch)
+        space = inst.space
+        if space is MemSpace.PARAM:
+            if inst.opcode is Opcode.ST:
+                raise InterpError("param space is read-only")
+            self._write(inst.dst, launch.params.get(address, 0), state)
+            return
+        if space is MemSpace.GLOBAL:
+            target = memory
+        elif space is MemSpace.SHARED:
+            target = shared
+        elif space is MemSpace.LOCAL:
+            target = state.local
+        else:
+            raise InterpError(f"bad memory space {space}")
+
+        if inst.opcode is Opcode.LD:
+            self._write(inst.dst, target.get(address, 0), state)
+        else:
+            target[address] = self._read(inst.srcs[0], state, launch)
+
+    def _effective_address(
+        self, inst: Instruction, state: _ThreadState, launch: LaunchConfig
+    ) -> int:
+        if inst.opcode is Opcode.LD:
+            base = inst.srcs[0] if inst.srcs else None
+        else:
+            base = inst.srcs[1] if len(inst.srcs) > 1 else None
+        address = inst.offset
+        if base is not None:
+            address += int(self._read(base, state, launch))
+        return address
+
+    # ------------------------------------------------------------------
+    def _read(
+        self, op: Operand, state: _ThreadState, launch: LaunchConfig
+    ) -> Value:
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, VirtualReg):
+            return state.regs.get(("v", op.index), 0)
+        if isinstance(op, PhysReg):
+            return state.regs.get(("r", op.index), 0)
+        if isinstance(op, SpecialReg):
+            return self._special(op, state, launch)
+        raise InterpError(f"cannot read operand {op!r}")
+
+    def _write(self, dst: object, value: Value, state: _ThreadState) -> None:
+        if isinstance(dst, VirtualReg):
+            state.regs[("v", dst.index)] = value
+        elif isinstance(dst, PhysReg):
+            state.regs[("r", dst.index)] = value
+        else:
+            raise InterpError(f"cannot write operand {dst!r}")
+
+    def _special(
+        self, reg: SpecialReg, state: _ThreadState, launch: LaunchConfig
+    ) -> int:
+        if reg is SpecialReg.TID:
+            return state.tid
+        if reg is SpecialReg.CTAID:
+            return state.ctaid
+        if reg is SpecialReg.NTID:
+            return launch.block_size
+        if reg is SpecialReg.NCTAID:
+            return launch.grid_blocks
+        if reg is SpecialReg.LANEID:
+            return state.tid % 32
+        if reg is SpecialReg.WARPID:
+            return state.tid // 32
+        raise InterpError(f"unknown special register {reg}")
+
+
+def run_kernel(
+    module: Module,
+    launch: LaunchConfig,
+    kernel_name: str | None = None,
+    global_memory: dict[int, Value] | None = None,
+) -> dict[int, Value]:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    name = kernel_name or module.kernel().name
+    return Interpreter(module).run(name, launch, global_memory)

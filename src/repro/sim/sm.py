@@ -1,0 +1,186 @@
+"""Event-driven SM timing simulator.
+
+One streaming multiprocessor holds ``W`` resident warps (the occupancy
+knob) and interleaves their traces:
+
+* the issue port serialises instruction issue at ``issue_width`` warp
+  instructions per cycle — with enough ready warps the SM stays busy
+  while other warps wait on memory (latency hiding);
+* ALU/SFU events make the *issuing warp* unavailable for the operation
+  latency (dependent-chain model; intra-thread ILP shortens it);
+* memory events go through :class:`~repro.sim.memory.MemorySubsystem`,
+  where cache contention and DRAM bandwidth push back as occupancy
+  grows;
+* barriers rendezvous all warps of a thread block.
+
+The simulator is deterministic: greedy oldest-ready-warp scheduling with
+stable tie-breaks, so every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.arch.specs import CacheConfig, GpuArchitecture
+from repro.isa.instructions import FuncUnit
+from repro.sim.memory import MemoryStats, MemorySubsystem
+from repro.sim.trace import MemoryTraits, WarpTrace
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class SMResult:
+    """Outcome of simulating one wave of resident warps on one SM."""
+
+    cycles: int
+    instructions: int
+    memory: MemoryStats
+    issue_stall_cycles: int
+    barrier_count: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _Warp:
+    trace: WarpTrace
+    block: int
+    pc: int = 0
+    ready: float = 0.0
+    at_barrier: bool = False
+    barrier_arrival: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.trace.events)
+
+
+class SMSimulator:
+    """Simulates one SM executing a set of resident warp traces."""
+
+    def __init__(
+        self,
+        arch: GpuArchitecture,
+        cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+        traits: MemoryTraits | None = None,
+        ilp: float = 1.0,
+    ) -> None:
+        self.arch = arch
+        self.cache_config = cache_config
+        self.traits = traits or MemoryTraits()
+        if ilp <= 0:
+            raise ValueError("ilp must be positive")
+        self.ilp = ilp
+
+    def run(self, traces: list[WarpTrace], warps_per_block: int) -> SMResult:
+        if not traces:
+            return SMResult(0, 0, MemoryStats(), 0, 0)
+        arch = self.arch
+        memory = MemorySubsystem(arch, self.cache_config)
+        warps = [
+            _Warp(trace=t, block=i // max(1, warps_per_block))
+            for i, t in enumerate(traces)
+        ]
+        blocks: dict[int, list[_Warp]] = {}
+        for warp in warps:
+            blocks.setdefault(warp.block, []).append(warp)
+
+        issue_interval = 1.0 / arch.issue_width
+        alu_latency = max(1.0, arch.alu_latency / self.ilp)
+        sfu_latency = max(1.0, arch.sfu_latency / self.ilp)
+        divergence = self.traits.divergence
+
+        issue_clock = 0.0
+        instructions = 0
+        issue_stalls = 0.0
+        barriers = 0
+        finish = 0.0
+
+        # Min-heap of (ready, index) for runnable warps.
+        heap: list[tuple[float, int]] = [(0.0, i) for i in range(len(warps))]
+        heapq.heapify(heap)
+
+        while heap:
+            ready, index = heapq.heappop(heap)
+            warp = warps[index]
+            if warp.done or warp.at_barrier or warp.ready != ready:
+                continue  # stale heap entry
+            event = warp.trace.events[warp.pc]
+
+            start = max(issue_clock, ready)
+            if start > issue_clock:
+                issue_stalls += start - issue_clock
+
+            if event.barrier:
+                barriers += 1
+                warp.pc += 1
+                warp.at_barrier = True
+                warp.barrier_arrival = start
+                issue_clock = start + issue_interval
+                instructions += 1
+                group = blocks[warp.block]
+                if all(w.at_barrier or w.done for w in group):
+                    release = max(
+                        w.barrier_arrival for w in group if w.at_barrier
+                    )
+                    for w in group:
+                        if w.at_barrier:
+                            w.at_barrier = False
+                            w.ready = release + 1
+                            if not w.done:
+                                heapq.heappush(heap, (w.ready, warps.index(w)))
+                            else:
+                                finish = max(finish, w.ready)
+                continue
+
+            unit = event.unit
+            if unit is FuncUnit.MEM:
+                cost = issue_interval * max(1, len(event.lines))
+                completion = start
+                for line in event.lines:
+                    done = memory.request(line, event.space, int(start))
+                    completion = max(completion, float(done))
+                warp.ready = completion
+            elif unit is FuncUnit.SMEM:
+                warp.ready = start + arch.shared_latency
+                cost = issue_interval
+            elif unit is FuncUnit.SFU:
+                warp.ready = start + sfu_latency
+                cost = issue_interval * 4
+            elif unit is FuncUnit.CTRL:
+                warp.ready = start + 1
+                cost = issue_interval
+            else:  # ALU and everything else
+                warp.ready = start + alu_latency
+                cost = issue_interval * divergence
+
+            issue_clock = start + cost
+            instructions += 1
+            warp.pc += 1
+            if warp.done:
+                finish = max(finish, warp.ready)
+                # A warp finishing (e.g. a truncated trace) may be the
+                # last thing its block's barrier was waiting on.
+                group = blocks[warp.block]
+                waiting = [w for w in group if w.at_barrier]
+                if waiting and all(w.at_barrier or w.done for w in group):
+                    release = max(w.barrier_arrival for w in waiting)
+                    for w in waiting:
+                        w.at_barrier = False
+                        w.ready = max(release, warp.ready) + 1
+                        heapq.heappush(heap, (w.ready, warps.index(w)))
+            else:
+                heapq.heappush(heap, (warp.ready, index))
+
+        cycles = int(max(finish, issue_clock)) + 1
+        return SMResult(
+            cycles=cycles,
+            instructions=instructions,
+            memory=memory.stats,
+            issue_stall_cycles=int(issue_stalls),
+            barrier_count=barriers,
+        )

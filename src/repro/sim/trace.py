@@ -1,0 +1,204 @@
+"""Per-warp instruction/address trace generation.
+
+The timing simulator consumes traces, not IR: for each resident warp we
+execute one *representative lane* (lane 0) through the real kernel
+binary with the functional interpreter and record every instruction —
+opcode class, memory space, and the set of cache lines the full warp
+would touch.  The other 31 lanes' addresses are derived from the
+representative address via the benchmark's *lane stride* (4 bytes =
+perfectly coalesced, one or two 128B transactions; 128+ bytes = one
+transaction per lane, the paper's irregular-access pathology).
+
+Because the traces come from the actual allocated binaries, every
+occupancy version carries its true costs: spill reloads appear as local
+loads, shared-memory promotion as shared accesses, compressible-stack
+saves/restores as extra ALU moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Module
+from repro.isa.instructions import FuncUnit, Instruction, MemSpace, Opcode
+from repro.sim.interp import Interpreter, LaunchConfig, Value, _ThreadState
+
+
+@dataclass(frozen=True)
+class MemoryTraits:
+    """How a warp's 32 lanes spread around the representative address.
+
+    ``lane_stride_bytes`` maps each memory space to the byte distance
+    between consecutive lanes' accesses.  4 = unit-stride (coalesced);
+    128 or more = one cache line per lane (fully diverged).  Local
+    (spill) memory is hardware-interleaved per thread and therefore
+    always coalesced.  ``divergence`` multiplies ALU issue cost to model
+    intra-warp control divergence (serialised branch paths).
+    """
+
+    global_lane_stride: int = 4
+    divergence: float = 1.0
+    #: fraction of warps following a second, strided address stream
+    #: (models the irregular tail of graph/data-mining workloads)
+    irregularity: float = 0.0
+    #: lanes that actually issue a memory access (graph kernels leave
+    #: most of the warp idle at any one step: sparse but latency-bound)
+    active_lanes: int = 32
+
+    def lane_stride(self, space: MemSpace) -> int:
+        if space in (MemSpace.GLOBAL, MemSpace.PARAM):
+            return self.global_lane_stride
+        return 4
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One warp-level instruction occurrence."""
+
+    unit: FuncUnit
+    space: MemSpace | None = None
+    #: distinct cache-line base addresses this warp instruction touches
+    lines: tuple[int, ...] = ()
+    barrier: bool = False
+
+
+@dataclass
+class WarpTrace:
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _TraceLimit(Exception):
+    pass
+
+
+def warp_lines(
+    address: int,
+    space: MemSpace,
+    traits: MemoryTraits,
+    warp_size: int = 32,
+    line_bytes: int = 128,
+) -> tuple[int, ...]:
+    """Cache lines touched by a warp given its representative address."""
+    stride = traits.lane_stride(space)
+    lanes = min(warp_size, max(1, traits.active_lanes))
+    lines = {
+        (address + lane * stride) // line_bytes * line_bytes
+        for lane in range(lanes)
+    }
+    return tuple(sorted(lines))
+
+
+def generate_warp_traces(
+    module: Module,
+    kernel_name: str,
+    launch: LaunchConfig,
+    resident_warps: int,
+    traits: MemoryTraits | None = None,
+    max_events_per_warp: int = 6000,
+    global_memory: dict[int, Value] | None = None,
+    line_bytes: int = 128,
+) -> list[WarpTrace]:
+    """Trace ``resident_warps`` warps of a kernel launch.
+
+    Warp *w* is represented by global thread ``w * 32``; its block index
+    and in-block thread id follow from the launch geometry.  Barriers
+    are recorded as events (the SM simulator enforces the rendezvous);
+    cross-thread shared-memory values read as zero, which leaves control
+    flow intact for the workloads in :mod:`repro.bench`.
+    """
+    traits = traits or MemoryTraits()
+    kernel = module.functions[kernel_name]
+    warps_per_block = max(1, (launch.block_size + 31) // 32)
+    interp = Interpreter(module, max_steps=max(10 * max_events_per_warp, 100_000))
+
+    traces: list[WarpTrace] = []
+    for w in range(resident_warps):
+        block_index = w // warps_per_block
+        tid = (w % warps_per_block) * 32
+        if block_index >= launch.grid_blocks:
+            block_index %= max(1, launch.grid_blocks)
+        # A slice of warps follows a diverged address stream, modelling
+        # the irregular tail of graph/data-mining workloads.
+        warp_traits = traits
+        if traits.irregularity > 0 and ((w * 2654435761) % 97) / 97.0 < (
+            traits.irregularity
+        ):
+            warp_traits = MemoryTraits(
+                global_lane_stride=max(line_bytes, traits.global_lane_stride),
+                divergence=traits.divergence,
+                irregularity=traits.irregularity,
+                active_lanes=traits.active_lanes,
+            )
+        trace = WarpTrace()
+        events = trace.events
+
+        def observe(
+            inst: Instruction,
+            state: _ThreadState,
+            address: int | None,
+            _traits: MemoryTraits = warp_traits,
+            _warp: int = w,
+        ) -> None:
+            if len(events) >= max_events_per_warp:
+                raise _TraceLimit()
+            events.append(
+                _event_for(inst, address, _traits, line_bytes, _warp)
+            )
+
+        interp.observer = observe
+        state = _ThreadState(tid, block_index)
+        memory = dict(global_memory or {})
+        shared: dict[int, Value] = {}
+        gen = interp._run_function(kernel, state, launch, memory, shared, [])
+        try:
+            for _ in gen:
+                pass  # barriers already recorded by the observer
+        except _TraceLimit:
+            trace.truncated = True
+        finally:
+            interp.observer = None
+        traces.append(trace)
+    return traces
+
+
+def _event_for(
+    inst: Instruction,
+    address: int | None,
+    traits: MemoryTraits,
+    line_bytes: int,
+    warp_index: int,
+) -> TraceEvent:
+    op = inst.opcode
+    if op is Opcode.BAR:
+        return TraceEvent(unit=FuncUnit.SYNC, barrier=True)
+    if inst.is_memory:
+        assert address is not None and inst.space is not None
+        if inst.space is MemSpace.SHARED:
+            return TraceEvent(unit=FuncUnit.SMEM, space=inst.space)
+        if inst.space is MemSpace.LOCAL:
+            # Hardware interleaves local memory per thread: one warp's
+            # access to slot ``s`` is one (warp-private) cache line at
+            # slot-major, warp-minor layout.
+            line = (address // 4) * 8192 + warp_index * line_bytes
+            return TraceEvent(
+                unit=FuncUnit.MEM, space=inst.space, lines=(line,)
+            )
+        lines = warp_lines(address, inst.space, traits, line_bytes=line_bytes)
+        return TraceEvent(unit=FuncUnit.MEM, space=inst.space, lines=lines)
+    return TraceEvent(unit=inst.func_unit)
+
+
+def trace_summary(traces: list[WarpTrace]) -> dict[str, int]:
+    """Instruction-mix counters (useful in tests and reports)."""
+    counts = {unit.value: 0 for unit in FuncUnit}
+    transactions = 0
+    for trace in traces:
+        for event in trace.events:
+            counts[event.unit.value] += 1
+            transactions += len(event.lines)
+    counts["transactions"] = transactions
+    return counts

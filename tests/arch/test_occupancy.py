@@ -1,0 +1,177 @@
+"""Occupancy calculator tests against hand-computed NVIDIA-calculator values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import (
+    GTX680,
+    TESLA_C2075,
+    CacheConfig,
+    calculate_occupancy,
+    ceil_to,
+    floor_to,
+    max_regs_per_thread_for_warps,
+    min_smem_padding_to_cap_warps,
+    occupancy_levels,
+)
+
+
+class TestRounding:
+    def test_ceil_to(self):
+        assert ceil_to(0, 64) == 0
+        assert ceil_to(1, 64) == 64
+        assert ceil_to(64, 64) == 64
+        assert ceil_to(65, 64) == 128
+
+    def test_floor_to(self):
+        assert floor_to(63, 64) == 0
+        assert floor_to(64, 64) == 64
+        assert floor_to(130, 64) == 128
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            ceil_to(5, 0)
+        with pytest.raises(ValueError):
+            floor_to(5, -1)
+
+
+class TestKnownConfigs:
+    """Values checked by hand against the CUDA occupancy calculator rules."""
+
+    def test_gtx680_low_pressure_hits_scheduler_limit(self):
+        result = calculate_occupancy(GTX680, 256, 20)
+        assert result.active_warps == 64
+        assert result.occupancy == 1.0
+        assert result.limiter == "scheduler"
+
+    def test_gtx680_32_regs_is_full_occupancy(self):
+        # 32 regs/thread * 2048 threads = 65536 = the whole register file:
+        # the paper's max-live threshold for Kepler.
+        result = calculate_occupancy(GTX680, 256, 32)
+        assert result.occupancy == 1.0
+
+    def test_gtx680_33_regs_drops_below_full(self):
+        result = calculate_occupancy(GTX680, 256, 33)
+        assert result.occupancy < 1.0
+        assert result.limiter == "registers"
+
+    def test_gtx680_63_regs_gives_half_occupancy(self):
+        # 63 regs -> 2016/warp -> ceil to 2048 -> 32 warps of 64.
+        result = calculate_occupancy(GTX680, 256, 63)
+        assert result.active_warps == 32
+        assert result.occupancy == 0.5
+
+    def test_c2075_full_occupancy_threshold(self):
+        # 20 regs * 32 = 640/warp (multiple of the 64-register unit);
+        # 32768/640 = 51 warps >= 48, so 20 regs/thread reaches full
+        # occupancy.  21 regs rounds to 704/warp -> 46 warps < 48.
+        assert calculate_occupancy(TESLA_C2075, 192, 20).occupancy == 1.0
+        assert calculate_occupancy(TESLA_C2075, 192, 21).occupancy < 1.0
+
+    def test_shared_memory_limits_blocks(self):
+        result = calculate_occupancy(
+            TESLA_C2075, 256, 16, smem_per_block=24 * 1024
+        )
+        # 48KB smem / 24KB per block = 2 blocks = 16 warps.
+        assert result.active_blocks == 2
+        assert result.active_warps == 16
+        assert result.limiter == "shared_memory"
+
+    def test_large_cache_config_shrinks_smem(self):
+        small = calculate_occupancy(
+            TESLA_C2075, 256, 16, 12 * 1024, CacheConfig.SMALL_CACHE
+        )
+        large = calculate_occupancy(
+            TESLA_C2075, 256, 16, 12 * 1024, CacheConfig.LARGE_CACHE
+        )
+        assert small.active_blocks == 4
+        assert large.active_blocks == 1
+
+    def test_over_register_limit_is_unlaunchable(self):
+        result = calculate_occupancy(GTX680, 256, 64)
+        assert not result.is_launchable
+
+    def test_smem_over_capacity_is_unlaunchable(self):
+        result = calculate_occupancy(GTX680, 256, 16, 49 * 1024)
+        assert not result.is_launchable
+
+    def test_register_allocation_is_rounded_per_warp(self):
+        # 17 regs * 32 = 544 -> rounds to 768 on GTX680 (unit 256).
+        result = calculate_occupancy(GTX680, 32, 17)
+        assert result.allocated_registers % GTX680.register_allocation_unit == 0
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            calculate_occupancy(GTX680, 0, 16)
+        with pytest.raises(ValueError):
+            calculate_occupancy(GTX680, 4096, 16)
+        with pytest.raises(ValueError):
+            calculate_occupancy(GTX680, 256, -1)
+
+
+class TestOccupancyLevels:
+    def test_c2075_block256_has_six_levels(self):
+        # Matches the paper's C2075 sweeps: 0.167 .. 1.0.
+        assert occupancy_levels(TESLA_C2075, 256) == [8, 16, 24, 32, 40, 48]
+
+    def test_gtx680_block256_has_eight_levels(self):
+        # Matches the paper's GTX680 sweeps: 0.125 .. 1.0.
+        assert occupancy_levels(GTX680, 256) == [8, 16, 24, 32, 40, 48, 56, 64]
+
+    def test_block_count_capped_by_max_blocks(self):
+        levels = occupancy_levels(TESLA_C2075, 32)
+        assert len(levels) == TESLA_C2075.max_blocks_per_sm
+
+
+class TestInverseQueries:
+    def test_register_budget_for_full_occupancy_gtx680(self):
+        assert max_regs_per_thread_for_warps(GTX680, 256, 64) == 32
+
+    def test_register_budget_for_half_occupancy_gtx680(self):
+        budget = max_regs_per_thread_for_warps(GTX680, 256, 32)
+        assert budget == GTX680.max_registers_per_thread
+
+    def test_register_budget_unreachable_returns_none(self):
+        # 24KB smem per block caps at 2 blocks = 16 warps; 48 unreachable.
+        assert (
+            max_regs_per_thread_for_warps(
+                TESLA_C2075, 256, 48, smem_per_block=24 * 1024
+            )
+            is None
+        )
+
+    def test_smem_padding_caps_occupancy(self):
+        padding = min_smem_padding_to_cap_warps(TESLA_C2075, 256, 24, 20)
+        assert padding is not None and padding > 0
+        result = calculate_occupancy(TESLA_C2075, 256, 20, padding)
+        assert result.active_warps == 24
+
+    def test_no_padding_needed_when_already_below(self):
+        assert min_smem_padding_to_cap_warps(GTX680, 256, 64, 20) == 0
+
+
+@given(
+    block=st.integers(min_value=1, max_value=1024),
+    regs=st.integers(min_value=1, max_value=63),
+    smem=st.integers(min_value=0, max_value=48 * 1024),
+)
+def test_occupancy_monotone_in_resources(block, regs, smem):
+    """More registers or shared memory never increases occupancy."""
+    for arch in (GTX680, TESLA_C2075):
+        base = calculate_occupancy(arch, block, regs, smem)
+        more_regs = calculate_occupancy(arch, block, min(regs + 4, 63), smem)
+        more_smem = calculate_occupancy(arch, block, regs, smem + 1024)
+        assert more_regs.active_warps <= base.active_warps
+        assert more_smem.active_warps <= base.active_warps
+
+
+@given(
+    block=st.integers(min_value=1, max_value=1024),
+    regs=st.integers(min_value=1, max_value=63),
+)
+def test_occupancy_bounded(block, regs):
+    for arch in (GTX680, TESLA_C2075):
+        result = calculate_occupancy(arch, block, regs)
+        assert 0.0 <= result.occupancy <= 1.0
+        assert result.active_threads <= arch.max_threads_per_sm
+        assert result.allocated_registers <= arch.registers_per_sm

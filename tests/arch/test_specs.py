@@ -1,0 +1,61 @@
+"""Architecture descriptor tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075, CacheConfig, known_architectures
+from repro.arch.specs import GpuArchitecture
+
+
+class TestPublishedNumbers:
+    """The paper's Platform section, verbatim."""
+
+    def test_gtx680(self):
+        assert GTX680.num_sms == 8
+        assert GTX680.cores_per_sm == 192
+        assert GTX680.total_cores == 1536
+        assert GTX680.registers_per_sm == 65536
+        assert GTX680.max_warps_per_sm == 64
+        assert GTX680.max_threads_per_sm == 2048
+        assert GTX680.onchip_memory_bytes == 64 * 1024
+
+    def test_c2075(self):
+        assert TESLA_C2075.num_sms == 14
+        assert TESLA_C2075.cores_per_sm == 32
+        assert TESLA_C2075.total_cores == 448
+        assert TESLA_C2075.registers_per_sm == 32768
+        assert TESLA_C2075.max_warps_per_sm == 48
+        assert TESLA_C2075.max_threads_per_sm == 1536
+
+    def test_cache_splits(self):
+        for arch in known_architectures():
+            assert arch.l1_cache_bytes(CacheConfig.SMALL_CACHE) == 16 * 1024
+            assert arch.shared_memory_bytes(CacheConfig.SMALL_CACHE) == 48 * 1024
+            assert arch.l1_cache_bytes(CacheConfig.LARGE_CACHE) == 48 * 1024
+            assert arch.shared_memory_bytes(CacheConfig.LARGE_CACHE) == 16 * 1024
+
+    def test_fermi_caches_global_kepler_does_not(self):
+        assert TESLA_C2075.l1_caches_global
+        assert not GTX680.l1_caches_global
+
+
+class TestDescriptor:
+    def test_inconsistent_thread_warp_counts_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(GTX680, max_threads_per_sm=1000)
+
+    def test_with_overrides(self):
+        tweaked = GTX680.with_overrides(dram_latency=900)
+        assert tweaked.dram_latency == 900
+        assert tweaked.num_sms == GTX680.num_sms
+        assert GTX680.dram_latency != 900  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GTX680.num_sms = 4  # type: ignore[misc]
+
+    def test_full_occupancy_register_thresholds(self):
+        # The Fig. 8 max-live thresholds fall straight out of the specs.
+        assert GTX680.registers_per_thread_at_full_occupancy == 32
+        assert TESLA_C2075.registers_per_thread_at_full_occupancy == 21

@@ -1,0 +1,96 @@
+"""KernelBuilder tests."""
+
+import pytest
+
+from repro.bench.builder import KernelBuilder
+from repro.sim.interp import LaunchConfig, run_kernel
+
+
+class TestBuilder:
+    def test_fresh_registers_are_distinct(self):
+        b = KernelBuilder("m")
+        regs = b.regs(5)
+        assert len(set(regs)) == 5
+
+    def test_global_thread_id_computes_gid(self):
+        b = KernelBuilder("m")
+        gid = b.global_thread_id()
+        out = b.scaled(gid, 2)
+        b.emit(f"ST.global [{out}], {gid}")
+        b.emit("EXIT")
+        module = b.build()
+        result = run_kernel(module, LaunchConfig(grid_blocks=2, block_size=4))
+        for block in range(2):
+            for tid in range(4):
+                g = block * 4 + tid
+                assert result[4 * g] == g
+
+    def test_counted_loop_runs_trip_count_times(self):
+        b = KernelBuilder("m")
+        gid = b.global_thread_id()
+        addr = b.scaled(gid, 2)
+        total = b.reg()
+        b.emit(f"MOV {total}, 0")
+        b.counted_loop(7)
+        b.emit(f"IADD {total}, {total}, 1")
+        b.close_loop()
+        b.emit(f"ST.global [{addr}], {total}")
+        b.emit("EXIT")
+        module = b.build()
+        result = run_kernel(module, LaunchConfig(block_size=2))
+        assert result[0] == 7
+
+    def test_nested_loops(self):
+        b = KernelBuilder("m")
+        gid = b.global_thread_id()
+        addr = b.scaled(gid, 2)
+        total = b.reg()
+        b.emit(f"MOV {total}, 0")
+        b.counted_loop(3)
+        b.counted_loop(4)
+        b.emit(f"IADD {total}, {total}, 1")
+        b.close_loop()
+        b.close_loop()
+        b.emit(f"ST.global [{addr}], {total}")
+        b.emit("EXIT")
+        result = run_kernel(b.build(), LaunchConfig(block_size=1))
+        assert result[0] == 12
+
+    def test_live_chain_folds_values(self):
+        b = KernelBuilder("m")
+        gid = b.global_thread_id()
+        addr = b.scaled(gid, 2)
+        values = []
+        for i in range(3):
+            r = b.reg()
+            b.emit(f"MOV {r}, {float(i + 1)}")
+            values.append(r)
+        out = b.live_chain(values, coeff=1.0)
+        b.emit(f"ST.global [{addr}], {out}")
+        b.emit("EXIT")
+        result = run_kernel(b.build(), LaunchConfig(block_size=1))
+        # FFMA fold with coeff 1: 1 + 2 + 3.
+        assert result[0] == pytest.approx(6.0)
+
+    def test_device_function(self):
+        b = KernelBuilder("m")
+        gid = b.global_thread_id()
+        addr = b.scaled(gid, 2)
+        out = b.reg()
+        b.emit(f"CALL {out}, double_it({gid})")
+        b.emit(f"ST.global [{addr}], {out}")
+        b.emit("EXIT")
+        b.device_function("double_it", 1, ["IADD %v1, %v0, %v0", "RET %v1"])
+        result = run_kernel(b.build(), LaunchConfig(block_size=4))
+        for tid in range(4):
+            assert result[4 * tid] == 2 * tid
+
+    def test_shared_bytes_propagated(self):
+        b = KernelBuilder("m", shared_bytes=512)
+        b.emit("EXIT")
+        assert b.build().kernel().shared_bytes == 512
+
+    def test_built_module_validates(self):
+        b = KernelBuilder("m")
+        b.emit("EXIT")
+        b.build().validate()  # no exception

@@ -1,0 +1,67 @@
+"""max-live metric and tuning-direction tests (Fig. 8 lines 1-4)."""
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.compiler.maxlive import (
+    function_max_live,
+    kernel_max_live,
+    tuning_direction,
+)
+from tests.helpers import (
+    call_kernel,
+    loop_kernel,
+    module_from_asm,
+    straight_line_kernel,
+)
+
+
+def _pressure_module(n):
+    """Kernel holding n values live simultaneously."""
+    lines = ["S2R %v0, %tid", "SHL %v1, %v0, 2"]
+    for i in range(n):
+        lines.append(f"LD.global %v{2 + i}, [%v1+{4 * i}]")
+    accum = "%v2"
+    for i in range(1, n):
+        lines.append(f"FADD %v{100 + i}, {accum}, %v{2 + i}")
+        accum = f"%v{100 + i}"
+    lines.append(f"ST.global [%v1], {accum}")
+    lines.append("EXIT")
+    body = "\n".join(f"    {line}" for line in lines)
+    return module_from_asm(f".module m\n.kernel k shared=0\nBB0:\n{body}\n.end")
+
+
+class TestMaxLive:
+    def test_straight_line(self):
+        module = straight_line_kernel()
+        assert kernel_max_live(module, "k") == function_max_live(module, "k")
+
+    def test_call_tree_adds_live_across(self):
+        module = call_kernel()
+        whole = kernel_max_live(module, "k")
+        kernel_only = function_max_live(module, "k")
+        # Values held across the calls stack under the callee's needs.
+        assert whole > kernel_only or whole >= kernel_only
+
+    def test_pressure_scales(self):
+        assert kernel_max_live(_pressure_module(30), "k") > kernel_max_live(
+            _pressure_module(10), "k"
+        )
+
+
+class TestDirection:
+    def test_low_pressure_tunes_down(self):
+        module = loop_kernel()
+        threshold = GTX680.registers_per_thread_at_full_occupancy
+        assert tuning_direction(module, "k", threshold) == "decreasing"
+
+    def test_high_pressure_tunes_up(self):
+        module = _pressure_module(40)
+        threshold = GTX680.registers_per_thread_at_full_occupancy
+        assert tuning_direction(module, "k", threshold) == "increasing"
+
+    def test_kepler_threshold_is_32(self):
+        # The paper sets the Kepler max-live threshold to 32: the number
+        # of registers per thread at the hardware maximum occupancy.
+        assert GTX680.registers_per_thread_at_full_occupancy == 32
+
+    def test_fermi_threshold_is_21(self):
+        assert TESLA_C2075.registers_per_thread_at_full_occupancy == 21

@@ -1,0 +1,47 @@
+"""Multi-version binary container edge cases."""
+
+import pytest
+
+from repro.compiler.multiversion import MultiVersionBinary
+
+from tests.runtime.test_adaptation import make_binary
+
+
+class TestSerialization:
+    def test_failsafe_versions_survive_round_trip(self):
+        binary = make_binary([16, 32], failsafe=[8])
+        again = MultiVersionBinary.from_bytes(binary.to_bytes())
+        assert [v.label for v in again.failsafe] == ["fs8"]
+        assert again.failsafe[0].achieved_warps == 8
+
+    def test_version_count(self):
+        binary = make_binary([16, 32, 48], failsafe=[8])
+        assert binary.version_count() == 4
+
+    def test_original_is_first_candidate(self):
+        binary = make_binary([16, 32])
+        assert binary.original.label == "v16"
+
+    def test_metadata_preserved(self):
+        binary = make_binary([16])
+        binary.versions[0].outcome.local_bytes_per_thread = 48
+        binary.versions[0].outcome.spilled_variables = 3
+        binary.versions[0].outcome.stack_moves = 2
+        again = MultiVersionBinary.from_bytes(binary.to_bytes())
+        v = again.versions[0]
+        assert v.outcome.local_bytes_per_thread == 48
+        assert v.outcome.spilled_variables == 3
+        assert v.outcome.stack_moves == 2
+
+    def test_decoded_module_runs(self):
+        from repro.sim.interp import LaunchConfig, run_kernel
+
+        binary = make_binary([16])
+        again = MultiVersionBinary.from_bytes(binary.to_bytes())
+        # The embedded module decodes to something executable.
+        run_kernel(again.versions[0].module, LaunchConfig(block_size=1))
+
+    def test_truncated_payload_rejected(self):
+        data = make_binary([16, 32]).to_bytes()
+        with pytest.raises(Exception):
+            MultiVersionBinary.from_bytes(data[: len(data) - 10])

@@ -1,0 +1,116 @@
+"""Occupancy realisation tests: every version achieves its target."""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075, calculate_occupancy, occupancy_levels
+from repro.compiler.realize import (
+    RealizeError,
+    realize_occupancy,
+    repad_version,
+)
+from repro.compiler.tuning import original_version
+from repro.isa.encoding import decode_module
+from repro.sim.interp import LaunchConfig, run_kernel
+from tests.helpers import module_from_asm
+
+
+def pressure_module(n=24):
+    lines = ["S2R %v0, %tid", "SHL %v1, %v0, 2"]
+    for i in range(n):
+        lines.append(f"LD.global %v{2 + i}, [%v1+{4 * i}]")
+    accum = "%v2"
+    for i in range(1, n):
+        lines.append(f"FADD %v{100 + i}, {accum}, %v{2 + i}")
+        accum = f"%v{100 + i}"
+    lines.append(f"ST.global [%v1], {accum}")
+    lines.append("EXIT")
+    body = "\n".join(f"    {line}" for line in lines)
+    return module_from_asm(f".module m\n.kernel k shared=0\nBB0:\n{body}\n.end")
+
+
+class TestRealize:
+    def test_achieves_each_feasible_level(self):
+        module = pressure_module()
+        for warps in occupancy_levels(GTX680, 256):
+            version = realize_occupancy(module, "k", GTX680, 256, warps)
+            assert version.achieved_warps == warps, version.label
+
+    def test_higher_occupancy_means_fewer_registers(self):
+        module = pressure_module()
+        low = realize_occupancy(module, "k", GTX680, 256, 32)
+        high = realize_occupancy(module, "k", GTX680, 256, 64)
+        assert high.regs_per_thread <= low.regs_per_thread
+
+    def test_occupancy_formula_consistency(self):
+        """Achieved warps must agree with the occupancy calculator."""
+        module = pressure_module()
+        version = realize_occupancy(module, "k", GTX680, 256, 48)
+        occ = calculate_occupancy(
+            GTX680, 256, version.regs_per_thread, version.smem_per_block
+        )
+        assert occ.active_warps == version.achieved_warps
+
+    def test_conservative_promotes_spills(self):
+        module = pressure_module(30)
+        plain = realize_occupancy(module, "k", GTX680, 256, 64)
+        conservative = realize_occupancy(
+            module, "k", GTX680, 256, 64, conservative=True
+        )
+        assert conservative.achieved_warps == 64
+        # The conservative version trades shared memory for local spills.
+        assert (
+            conservative.outcome.local_bytes_per_thread
+            <= plain.outcome.local_bytes_per_thread
+        )
+
+    def test_versions_remain_semantically_correct(self):
+        module = pressure_module(16)
+        launch = LaunchConfig(block_size=8)
+        memory = {i * 4: float(i % 9) for i in range(64)}
+        expected = run_kernel(module, launch, global_memory=memory)
+        for warps in (32, 48, 64):
+            version = realize_occupancy(
+                module, "k", GTX680, 256, warps, conservative=True
+            )
+            got = run_kernel(version.module, launch, global_memory=memory)
+            assert got == pytest.approx(expected), version.label
+
+    def test_binary_decodes_to_module(self):
+        module = pressure_module(8)
+        version = realize_occupancy(module, "k", GTX680, 256, 64)
+        decoded = decode_module(version.binary)
+        assert str(decoded) == str(version.module)
+
+    def test_unreachable_target_raises(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=25000
+            BB0:
+                EXIT
+            .end
+            """
+        )
+        # 25KB user smem caps C2075 at 1 block (8 warps at block=256).
+        with pytest.raises(RealizeError):
+            realize_occupancy(module, "k", TESLA_C2075, 256, 48)
+
+
+class TestRepad:
+    def test_padding_lowers_occupancy_without_recompiling(self):
+        module = pressure_module(8)
+        base = original_version(module, "k", GTX680, 256)
+        assert base.achieved_warps == 64  # low pressure: max occupancy
+        padded = repad_version(base, GTX680, 256, 32)
+        assert padded.achieved_warps == 32
+        assert padded.binary == base.binary  # same code object
+        assert padded.smem_padding > 0
+
+    def test_every_lower_level_reachable_by_padding(self):
+        module = pressure_module(8)
+        base = original_version(module, "k", TESLA_C2075, 256)
+        for warps in occupancy_levels(TESLA_C2075, 256):
+            if warps >= base.achieved_warps:
+                continue
+            padded = repad_version(base, TESLA_C2075, 256, warps)
+            assert padded.achieved_warps == warps

@@ -1,0 +1,131 @@
+"""Static selection heuristic tests (ICS'14 fallback, Fig. 8 lines 15-19)."""
+
+import math
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.compiler.static_select import (
+    memory_instruction_distance,
+    static_selection,
+    warps_needed,
+)
+from tests.helpers import module_from_asm
+from tests.runtime.test_adaptation import _dummy_version
+
+
+def compute_only_module():
+    return module_from_asm(
+        """
+        .module cb
+        .kernel k shared=0
+        BB0:
+            S2R %v0, %tid
+            MOV %v1, 0
+            MOV %v2, 1
+            BRA H
+        H:
+            ISET.lt %v3, %v1, 64
+            CBR %v3, B, D
+        B:
+            IMAD %v2, %v2, 3, 1
+            IADD %v1, %v1, 1
+            BRA H
+        D:
+            SHL %v4, %v0, 2
+            ST.global [%v4], %v2
+            EXIT
+        .end
+        """
+    )
+
+
+def memory_dense_module():
+    lines = ["S2R %v0, %tid", "SHL %v1, %v0, 2", "MOV %v2, 0", "BRA H"]
+    head = "H:\n    ISET.lt %v3, %v2, 16\n    CBR %v3, B, D\nB:"
+    body = []
+    for i in range(6):
+        body.append(f"    LD.global %v{10 + i}, [%v1+{128 * i}]")
+    body.append("    FADD %v20, %v10, %v11")
+    body.append("    IADD %v2, %v2, 1")
+    body.append("    BRA H")
+    tail = "D:\n    ST.global [%v1], %v20\n    EXIT"
+    return module_from_asm(
+        ".module md\n.kernel k shared=0\nBB0:\n"
+        + "\n".join(f"    {l}" for l in lines)
+        + "\n" + head + "\n" + "\n".join(body) + "\n" + tail + "\n.end"
+    )
+
+
+class TestDistance:
+    def test_compute_only_has_huge_distance(self):
+        # A single store outside the loop against ~100 weighted compute
+        # instructions per memory op.
+        assert memory_instruction_distance(compute_only_module(), "k") > 40
+
+    def test_memory_dense_is_small(self):
+        assert memory_instruction_distance(memory_dense_module(), "k") < 4
+
+    def test_loop_weighting_dominates(self):
+        # The same loads outside a loop would be diluted by loop compute.
+        dense = memory_instruction_distance(memory_dense_module(), "k")
+        sparse = memory_instruction_distance(compute_only_module(), "k")
+        assert dense < sparse
+
+
+class TestWarpsNeeded:
+    def test_compute_only_needs_few_warps(self):
+        assert warps_needed(compute_only_module(), "k", GTX680) <= 8
+
+    def test_memory_free_kernel_needs_one(self):
+        module = module_from_asm(
+            """
+            .module nf
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                IADD %v1, %v0, 1
+                EXIT
+            .end
+            """
+        )
+        assert math.isinf(memory_instruction_distance(module, "k"))
+        assert warps_needed(module, "k", GTX680) == 1
+
+    def test_memory_dense_needs_many(self):
+        assert warps_needed(memory_dense_module(), "k", TESLA_C2075) >= 16
+
+    def test_capped_by_hardware(self):
+        for arch in (GTX680, TESLA_C2075):
+            need = warps_needed(memory_dense_module(), "k", arch)
+            assert need <= arch.max_warps_per_sm
+
+    def test_wider_issue_needs_more_warps(self):
+        module = memory_dense_module()
+        assert warps_needed(module, "k", GTX680) > warps_needed(
+            module, "k", TESLA_C2075
+        )
+
+
+class TestSelection:
+    def test_picks_lowest_sufficient(self):
+        module = memory_dense_module()
+        need = warps_needed(module, "k", TESLA_C2075)
+        versions = [_dummy_version(f"v{w}", w) for w in (8, 16, 24, 32, 48)]
+        chosen = static_selection(module, "k", TESLA_C2075, versions)
+        assert chosen.achieved_warps >= need
+        cheaper = [
+            v for v in versions
+            if need <= v.achieved_warps < chosen.achieved_warps
+        ]
+        assert not cheaper
+
+    def test_falls_back_to_highest_when_none_sufficient(self):
+        module = memory_dense_module()
+        versions = [_dummy_version(f"v{w}", w) for w in (2, 4)]
+        chosen = static_selection(module, "k", TESLA_C2075, versions)
+        assert chosen.achieved_warps == 4
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            static_selection(memory_dense_module(), "k", GTX680, [])

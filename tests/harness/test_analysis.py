@@ -1,0 +1,86 @@
+"""Occupancy-headroom analysis tests."""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.compiler.realize import KernelVersion
+from repro.harness.analysis import HeadroomReport, occupancy_headroom
+from repro.harness.experiments import SweepPoint, SweepResult
+from repro.regalloc.allocator import AllocationOutcome
+from repro.ir.function import Function, Module
+from repro.isa.instructions import Instruction, Opcode
+
+
+def _version(regs, smem=0):
+    module = Module("m")
+    fn = Function("k", is_kernel=True)
+    fn.add_block("BB0").append(Instruction(Opcode.EXIT))
+    module.add(fn)
+    outcome = AllocationOutcome(
+        module=module, kernel_name="k", registers_per_thread=regs,
+        shared_bytes_per_block=smem, local_bytes_per_thread=0,
+        spilled_variables=0, stack_moves=0,
+    )
+    return KernelVersion(
+        label=f"r{regs}", target_warps=0, achieved_warps=0, occupancy=0.0,
+        regs_per_thread=regs, smem_per_block=smem, smem_padding=0,
+        outcome=outcome,
+    )
+
+
+def make_sweep(cycles_by_warps, regs=20):
+    points = [
+        SweepPoint(
+            warps=w, occupancy=w / 48, cycles=c, version=_version(regs)
+        )
+        for w, c in sorted(cycles_by_warps.items())
+    ]
+    return SweepResult(benchmark="synthetic", arch_name="Tesla C2075", points=points)
+
+
+class TestHeadroom:
+    def test_flat_curve_has_big_headroom(self):
+        sweep = make_sweep({8: 100, 16: 100, 24: 100, 32: 100, 40: 100, 48: 100})
+        report = occupancy_headroom(sweep, TESLA_C2075, 256)
+        assert report.lowest_equivalent_warps == 8
+        assert len(report.plateau) == 6
+        # At 8 warps a thread may use up to 63 registers.
+        assert report.registers_available == 63
+        assert report.has_headroom
+
+    def test_bell_curve_has_narrow_plateau(self):
+        sweep = make_sweep({8: 300, 16: 200, 24: 100, 32: 104, 40: 180, 48: 250})
+        report = occupancy_headroom(sweep, TESLA_C2075, 256, tolerance=0.05)
+        assert report.best_warps == 24
+        assert report.lowest_equivalent_warps == 24
+        assert {round(o * 48) for o, _ in report.plateau} == {24, 32}
+
+    def test_extra_registers_computed_against_usage(self):
+        sweep = make_sweep({24: 100, 48: 101}, regs=20)
+        report = occupancy_headroom(sweep, TESLA_C2075, 256)
+        # At 24 warps: 32768/(24*32) = 42 -> rounding -> >= 40 regs.
+        assert report.registers_available >= 40
+        assert report.extra_registers == report.registers_available - 20
+
+    def test_empty_sweep_rejected(self):
+        sweep = SweepResult(benchmark="x", arch_name="y", points=[])
+        with pytest.raises(ValueError):
+            occupancy_headroom(sweep, GTX680, 256)
+
+    def test_tolerance_widens_plateau(self):
+        sweep = make_sweep({8: 120, 24: 100, 48: 110})
+        narrow = occupancy_headroom(sweep, TESLA_C2075, 256, tolerance=0.05)
+        wide = occupancy_headroom(sweep, TESLA_C2075, 256, tolerance=0.25)
+        assert len(wide.plateau) > len(narrow.plateau)
+        assert wide.lowest_equivalent_warps <= narrow.lowest_equivalent_warps
+
+
+class TestOnRealBenchmark:
+    def test_gaussian_headroom_on_c2075(self):
+        """The paper's srad/gaussian story: halve occupancy for free."""
+        from repro.harness import occupancy_sweep
+
+        sweep = occupancy_sweep("gaussian", TESLA_C2075)
+        report = occupancy_headroom(sweep, TESLA_C2075, 256, tolerance=0.05)
+        assert report.lowest_equivalent_warps <= 24  # at least half
+        assert report.has_headroom

@@ -1,0 +1,87 @@
+"""Harness structure tests (fast paths; full regeneration in benchmarks/)."""
+
+import pytest
+
+from repro.arch import TESLA_C2075
+from repro.harness import (
+    SweepResult,
+    clear_caches,
+    occupancy_sweep,
+    render_figure11,
+    render_figure12,
+    render_table2,
+    table2,
+)
+from repro.harness.experiments import (
+    Fig11Row,
+    Fig12Row,
+    SweepPoint,
+    _SWEEP_CACHE,
+)
+
+
+@pytest.fixture(scope="module")
+def gaussian_sweep():
+    clear_caches()
+    return occupancy_sweep("gaussian", TESLA_C2075)
+
+
+class TestOccupancySweep:
+    def test_covers_all_levels(self, gaussian_sweep):
+        assert [p.warps for p in gaussian_sweep.points] == [8, 16, 24, 32, 40, 48]
+
+    def test_normalization_best(self, gaussian_sweep):
+        pairs = gaussian_sweep.normalized(to="best")
+        assert min(r for _, r in pairs) == pytest.approx(1.0)
+
+    def test_normalization_max(self, gaussian_sweep):
+        pairs = gaussian_sweep.normalized(to="max")
+        assert pairs[-1][1] == pytest.approx(1.0)
+
+    def test_bad_normalization_rejected(self, gaussian_sweep):
+        with pytest.raises(ValueError):
+            gaussian_sweep.normalized(to="median")
+
+    def test_render(self, gaussian_sweep):
+        text = gaussian_sweep.render()
+        assert "gaussian" in text and "occupancy" in text
+
+    def test_sweep_cached(self, gaussian_sweep):
+        assert ("gaussian", TESLA_C2075.name, "small_cache") in _SWEEP_CACHE
+        again = occupancy_sweep("gaussian", TESLA_C2075)
+        assert again is gaussian_sweep
+
+
+class TestRenderers:
+    def test_render_figure11(self):
+        rows = [
+            Fig11Row(
+                benchmark="x", orion_min=0.5, nvcc=1.0, orion_max=1.4,
+                orion_select=1.3, selected_label="v", iterations_to_converge=3,
+            )
+        ]
+        text = render_figure11(rows, "TestArch")
+        assert "TestArch" in text
+        assert "+30.00%" in text
+
+    def test_render_figure12(self):
+        rows = [
+            Fig12Row(
+                benchmark="x", normalized_registers=0.8,
+                normalized_runtime=1.0, selected_label="v",
+            )
+        ]
+        text = render_figure12(rows, "TestArch")
+        assert "20.00%" in text
+
+
+class TestTable2:
+    def test_table2_matches_paper(self):
+        rows = table2()
+        assert len(rows) == 12
+        for row in rows:
+            assert row.measured_regs == row.paper_regs, row.benchmark
+            assert row.measured_calls == row.paper_calls, row.benchmark
+            assert row.measured_smem == row.paper_smem, row.benchmark
+        text = render_table2(rows)
+        assert "cfd" in text and "streamcluster" in text

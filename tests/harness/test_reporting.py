@@ -1,0 +1,45 @@
+"""ASCII table/series rendering tests."""
+
+from repro.harness.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [("a", 1.0), ("longer", 2.5)],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.0000" in out and "2.5000" in out
+
+    def test_title_underlined(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_none_renders_dash(self):
+        out = format_table(["a", "b"], [("x", None)])
+        assert out.splitlines()[-1].split()[-1] == "-"
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        out = format_series([0.5, 1.0], [1.0, 2.0], "occ", "runtime")
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "#" in lines[-1]
+
+    def test_bars_scale_with_value(self):
+        out = format_series([0.1, 0.2], [1.0, 3.0], "x", "y")
+        lines = out.splitlines()
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_empty_series(self):
+        out = format_series([], [], "x", "y")
+        assert "x" in out

@@ -1,0 +1,197 @@
+"""Copy-propagation and DCE tests."""
+
+import pytest
+
+from repro.ir.cleanup import (
+    cleanup_function,
+    cleanup_module,
+    eliminate_dead_code,
+    propagate_copies,
+)
+from repro.ir.ssa import construct_ssa, destruct_ssa
+from repro.isa.instructions import Opcode
+from repro.sim.interp import LaunchConfig, run_kernel
+from tests.helpers import loop_kernel, module_from_asm
+
+
+class TestCopyPropagation:
+    def test_simple_forwarding(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                MOV %v1, %v0
+                SHL %v2, %v1, 2
+                ST.global [%v2], %v1
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        count = propagate_copies(fn)
+        assert count == 2
+        shl = fn.instructions()[2]
+        assert str(shl.srcs[0]) == "%v0"
+
+    def test_redefinition_kills_copy(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                MOV %v1, %v0
+                S2R %v0, %ctaid
+                SHL %v2, %v1, 2
+                ST.global [%v2], %v0
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        propagate_copies(fn)
+        shl = fn.instructions()[3]
+        # %v1 must NOT be replaced by the redefined %v0.
+        assert str(shl.srcs[0]) == "%v1"
+
+    def test_copies_do_not_cross_blocks(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                MOV %v1, %v0
+                BRA NEXT
+            NEXT:
+                ST.global [0], %v1
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        propagate_copies(fn)
+        store = fn.blocks["NEXT"].instructions[0]
+        assert str(store.srcs[0]) == "%v1"
+
+
+class TestDeadCodeElimination:
+    def test_unused_result_removed(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                IADD %v1, %v0, 1
+                IADD %v2, %v0, 2
+                SHL %v3, %v0, 2
+                ST.global [%v3], %v1
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        removed = eliminate_dead_code(fn)
+        assert removed == 1  # %v2 is dead
+        assert all("%v2" not in str(i) for i in fn.instructions())
+
+    def test_dead_chain_removed_transitively(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                IADD %v1, %v0, 1
+                IMUL %v2, %v1, 3
+                IADD %v3, %v2, 5
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        removed = eliminate_dead_code(fn)
+        # The whole chain AND the now-unused S2R disappear.
+        assert removed == 4
+        assert len(fn.instructions()) == 1  # just EXIT
+
+    def test_stores_calls_barriers_kept(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=4
+            BB0:
+                S2R %v0, %tid
+                CALL %v1, noise(%v0)
+                ST.shared [0], %v0
+                BAR
+                EXIT
+            .end
+            .func noise args=1 returns=1
+            BB0:
+                FMUL %v1, %v0, 2.0
+                RET %v1
+            .end
+            """
+        )
+        fn = module.kernel()
+        eliminate_dead_code(fn)
+        opcodes = [i.opcode for i in fn.instructions()]
+        assert Opcode.CALL in opcodes
+        assert Opcode.ST in opcodes
+        assert Opcode.BAR in opcodes
+
+    def test_dead_loads_removed(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                LD.global %v1, [%v0]
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        # The load and the address-producing S2R both die.
+        assert eliminate_dead_code(fn) == 2
+
+
+class TestCleanupPipeline:
+    def test_phi_copy_residue_cleaned(self):
+        module = loop_kernel()
+        launch = LaunchConfig(block_size=4, params={0: 5})
+        expected = run_kernel(module, launch)
+        fn = module.kernel()
+        construct_ssa(fn)
+        destruct_ssa(fn)
+        before = len(fn.instructions())
+        report = cleanup_function(fn)
+        assert (
+            report.copies_propagated > 0 or report.instructions_removed >= 0
+        )
+        assert len(fn.instructions()) <= before
+        module.validate()
+        assert run_kernel(module, launch) == pytest.approx(expected)
+
+    def test_cleanup_module_aggregates(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                MOV %v1, %v0
+                IADD %v9, %v0, 7
+                ST.global [0], %v1
+                EXIT
+            .end
+            """
+        )
+        report = cleanup_module(module)
+        assert report.copies_propagated >= 1
+        assert report.instructions_removed >= 1

@@ -1,0 +1,147 @@
+"""Function-inliner tests."""
+
+import pytest
+
+from repro.ir.callgraph import count_static_calls
+from repro.ir.inline import InlineReport, function_size, inline_module
+from repro.ir.verify import verify_module
+from repro.sim.interp import LaunchConfig, run_kernel
+from tests.helpers import call_kernel, module_from_asm
+
+
+def assert_same_behavior(original, transformed, launch, memory):
+    expected = run_kernel(original, launch, global_memory=memory)
+    actual = run_kernel(transformed, launch, global_memory=memory)
+    assert actual == pytest.approx(expected)
+
+
+class TestInlining:
+    def test_small_functions_fully_inlined(self):
+        module = call_kernel()
+        original = module.copy()
+        memory = {4 * t: float(t) for t in range(8)}
+        report = inline_module(module)
+        assert report.inlined_sites == 3  # two scale sites + nested offset
+        assert report.remaining_sites == 0
+        assert set(report.removed_functions) == {"scale", "offset"}
+        module.validate()
+        assert verify_module(module) == []
+        assert_same_behavior(
+            original, module, LaunchConfig(block_size=8), memory
+        )
+
+    def test_size_threshold_blocks_large_callees(self):
+        module = call_kernel()
+        report = inline_module(module, size_threshold=1)
+        assert report.inlined_sites == 0
+        assert report.remaining_sites == 3
+        assert any(reason == "too large" for _, _, reason in report.skipped)
+
+    def test_growth_cap(self):
+        module = call_kernel()
+        report = inline_module(module, max_growth=4)
+        assert report.remaining_sites > 0
+        assert any(
+            reason == "caller growth cap" for _, _, reason in report.skipped
+        )
+
+    def test_callee_overwriting_argument(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                SHL %v1, %v0, 2
+                CALL %v2, bump(%v0)
+                IADD %v3, %v2, %v0
+                ST.global [%v1], %v3
+                EXIT
+            .end
+            .func bump args=1 returns=1
+            BB0:
+                IADD %v0, %v0, 10
+                RET %v0
+            .end
+            """
+        )
+        original = module.copy()
+        inline_module(module)
+        # %v0 in the caller must keep its pre-call value after inlining.
+        assert_same_behavior(original, module, LaunchConfig(block_size=4), {})
+
+    def test_immediate_argument(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                SHL %v1, %v0, 2
+                CALL %v2, triple(7)
+                ST.global [%v1], %v2
+                EXIT
+            .end
+            .func triple args=1 returns=1
+            BB0:
+                IMUL %v1, %v0, 3
+                RET %v1
+            .end
+            """
+        )
+        inline_module(module)
+        out = run_kernel(module, LaunchConfig(block_size=2))
+        assert out[0] == 21
+
+    def test_branchy_callee(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                SHL %v1, %v0, 2
+                CALL %v2, clamp4(%v0)
+                ST.global [%v1], %v2
+                EXIT
+            .end
+            .func clamp4 args=1 returns=1
+            BB0:
+                ISET.gt %v1, %v0, 4
+                CBR %v1, HI, LO
+            HI:
+                RET 4
+            LO:
+                RET %v0
+            .end
+            """
+        )
+        original = module.copy()
+        report = inline_module(module)
+        assert report.inlined_sites == 1
+        assert_same_behavior(original, module, LaunchConfig(block_size=8), {})
+        out = run_kernel(module, LaunchConfig(block_size=8))
+        assert out[4 * 7] == 4 and out[4 * 2] == 2
+
+    def test_nested_calls_inline_bottom_up(self):
+        module = call_kernel()
+        report = inline_module(module, size_threshold=100)
+        assert report.remaining_sites == 0
+        # The kernel absorbed everything.
+        assert function_size(module.functions["k"]) > 7
+
+    def test_dead_function_retention_optional(self):
+        module = call_kernel()
+        inline_module(module, drop_dead_functions=False)
+        assert "scale" in module.functions
+
+    def test_table2_calls_survive_realistic_threshold(self):
+        """The benchmark call counts assume nvcc-style inlining already
+        happened: a second inlining pass with the default threshold must
+        not remove the calls Table 2 counts (callees exceed it)."""
+        from repro.bench.kernels import BENCHMARKS
+
+        module = BENCHMARKS["cfd"].build()
+        before = count_static_calls(module, "kernel")
+        inline_module(module, size_threshold=1)
+        assert count_static_calls(module, "kernel") == before

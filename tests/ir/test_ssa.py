@@ -1,0 +1,270 @@
+"""SSA construction/destruction tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function, Module
+from repro.ir.liveness import analyze_liveness
+from repro.ir.ssa import SSAError, construct_ssa, destruct_ssa, lift_to_virtual
+from repro.isa.instructions import Imm, Opcode
+from repro.isa.registers import PhysReg, VirtualReg
+from tests.helpers import (
+    diamond_kernel,
+    loop_kernel,
+    module_from_asm,
+    straight_line_kernel,
+)
+
+
+def assert_single_assignment(fn: Function) -> None:
+    defs = Counter()
+    for inst in fn.instructions():
+        for reg in inst.regs_written():
+            defs[reg] += 1
+    multiple = {r: c for r, c in defs.items() if c > 1}
+    assert not multiple, f"multiply-defined: {multiple}"
+
+
+class TestConstruct:
+    def test_straight_line_needs_no_phi(self):
+        fn = straight_line_kernel().kernel()
+        construct_ssa(fn)
+        assert_single_assignment(fn)
+        assert not any(i.opcode is Opcode.PHI for i in fn.instructions())
+
+    def test_diamond_gets_one_phi(self):
+        fn = diamond_kernel().kernel()
+        construct_ssa(fn)
+        assert_single_assignment(fn)
+        phis = [i for i in fn.instructions() if i.opcode is Opcode.PHI]
+        assert len(phis) == 1
+        assert len(phis[0].phi_args) == 2
+        assert {b for b, _ in phis[0].phi_args} == {"BBT", "BBF"}
+
+    def test_loop_gets_phis_for_carried_values(self):
+        fn = loop_kernel().kernel()
+        construct_ssa(fn)
+        assert_single_assignment(fn)
+        head_phis = fn.blocks["HEAD"].phis()
+        # Accumulator and induction variable both need φs at the header.
+        assert len(head_phis) == 2
+
+    def test_pruned_ssa_skips_dead_joins(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                ISET.lt %v1, %v0, 4
+                CBR %v1, T, F
+            T:
+                MOV %v2, 1
+                ST.global [%v0], %v2
+                BRA J
+            F:
+                MOV %v2, 2
+                ST.global [%v0], %v2
+                BRA J
+            J:
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        construct_ssa(fn)
+        # %v2 is dead at J: pruned SSA must not put a φ there.
+        assert fn.blocks["J"].phis() == []
+
+    def test_undefined_use_raises(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                ST.global [%v9], %v9
+                EXIT
+            .end
+            """
+        )
+        with pytest.raises(SSAError):
+            construct_ssa(module.kernel())
+
+    def test_allow_undef_inserts_zero_init(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                ST.global [%v9], %v9
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        construct_ssa(fn, allow_undef=True)
+        first = fn.entry.instructions[0]
+        assert first.opcode is Opcode.MOV and first.srcs == [Imm(0)]
+
+    def test_device_args_survive(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                CALL %v0, f(1, 2)
+                ST.global [0], %v0
+                EXIT
+            .end
+            .func f args=2 returns=1
+            BB0:
+                IADD %v2, %v0, %v1
+                RET %v2
+            .end
+            """
+        )
+        f = module.functions["f"]
+        construct_ssa(f)
+        assert_single_assignment(f)
+        # Args %v0 and %v1 are still read somewhere.
+        read = {r for i in f.instructions() for r in i.regs_read()}
+        assert VirtualReg(0) in read and VirtualReg(1) in read
+
+    def test_widths_preserved(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                ISET.lt %v1, %v0, 4
+                CBR %v1, T, F
+            T:
+                LD.global %v2.w2, [%v0]
+                BRA J
+            F:
+                LD.global %v2.w2, [%v0+8]
+                BRA J
+            J:
+                FADD %v3, %v2.w2, 1.0
+                ST.global [%v0], %v3
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        construct_ssa(fn)
+        phis = fn.blocks["J"].phis()
+        assert len(phis) == 1
+        assert phis[0].dst.width == 2
+
+
+class TestDestruct:
+    def test_round_trip_removes_phis(self):
+        fn = loop_kernel().kernel()
+        construct_ssa(fn)
+        destruct_ssa(fn)
+        assert not any(i.opcode is Opcode.PHI for i in fn.instructions())
+        fn.validate()
+
+    def test_copies_land_on_predecessor_edges(self):
+        fn = diamond_kernel().kernel()
+        construct_ssa(fn)
+        phi_dst = fn.blocks["BBJ"].phis()[0].dst
+        destruct_ssa(fn)
+        writers = [
+            block.label
+            for block in fn.ordered_blocks()
+            for inst in block.instructions
+            if phi_dst in inst.regs_written()
+        ]
+        assert sorted(writers) == ["BBF", "BBT"]
+
+    def test_swap_cycle_uses_temp(self):
+        """φ-web that swaps two values each iteration needs a cycle break."""
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                MOV %v1, 1
+                MOV %v2, 2
+                MOV %v3, 0
+                BRA HEAD
+            HEAD:
+                PHI %v4, [BB0: %v1], [BODY: %v5]
+                PHI %v5, [BB0: %v2], [BODY: %v4]
+                PHI %v6, [BB0: %v3], [BODY: %v7]
+                IADD %v7, %v6, 1
+                ISET.lt %v8, %v7, 10
+                CBR %v8, BODY, DONE
+            BODY:
+                BRA HEAD
+            DONE:
+                ST.global [0], %v4
+                ST.global [4], %v5
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        destruct_ssa(fn)
+        fn.validate()
+        # The swap must not clobber: some MOV writes a fresh temporary.
+        body_like = [
+            b for b in fn.ordered_blocks() if b.label.startswith("BODY")
+        ]
+        movs = [
+            i
+            for b in body_like
+            for i in b.instructions
+            if i.opcode is Opcode.MOV
+        ]
+        assert len(movs) >= 3  # two swapped values + temp (plus counter)
+
+
+class TestLift:
+    def test_lift_replaces_phys_regs(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R R0, %tid
+                IADD R1, R0, 1
+                ST.global [R0], R1
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        lift_to_virtual(fn)
+        assert not any(
+            isinstance(r, PhysReg) for r in fn.all_regs()
+        )
+        construct_ssa(fn)
+        assert_single_assignment(fn)
+
+    def test_lift_then_ssa_splits_reused_register(self):
+        """R1 reused for two unrelated values becomes two variables."""
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R R0, %tid
+                MOV R1, 5
+                ST.global [R0], R1
+                MOV R1, 9
+                ST.global [R0+4], R1
+                EXIT
+            .end
+            """
+        )
+        fn = module.kernel()
+        lift_to_virtual(fn)
+        construct_ssa(fn)
+        stores = [i for i in fn.instructions() if i.opcode is Opcode.ST]
+        assert stores[0].srcs[0] != stores[1].srcs[0]

@@ -1,0 +1,178 @@
+"""Machine verifier tests."""
+
+import pytest
+
+from repro.ir.function import Function, Module
+from repro.ir.verify import (
+    VerificationError,
+    assert_verified,
+    verify_module,
+)
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+)
+from repro.isa.registers import PhysReg, VirtualReg
+from repro.regalloc import allocate_module
+from tests.helpers import (
+    call_kernel,
+    diamond_kernel,
+    loop_kernel,
+    module_from_asm,
+    straight_line_kernel,
+)
+
+
+@pytest.mark.parametrize(
+    "make", [straight_line_kernel, diamond_kernel, loop_kernel, call_kernel]
+)
+def test_clean_fixtures_verify(make):
+    assert verify_module(make()) == []
+
+
+def _kernel_with(instructions):
+    module = Module("m")
+    fn = Function("k", is_kernel=True)
+    block = fn.add_block("BB0")
+    for inst in instructions:
+        block.append(inst)
+    block.append(Instruction(Opcode.EXIT))
+    module.add(fn)
+    return module
+
+
+class TestStructuralChecks:
+    def test_comparison_without_predicate(self):
+        module = _kernel_with(
+            [Instruction(Opcode.ISET, dst=VirtualReg(0), srcs=[Imm(1), Imm(2)])]
+        )
+        issues = verify_module(module)
+        assert any("predicate" in str(i) for i in issues)
+
+    def test_memory_without_space(self):
+        module = _kernel_with(
+            [Instruction(Opcode.LD, dst=VirtualReg(0), srcs=[], offset=0)]
+        )
+        issues = verify_module(module)
+        assert any("memory space" in str(i) for i in issues)
+
+    def test_param_store_flagged(self):
+        module = _kernel_with(
+            [Instruction(Opcode.ST, srcs=[Imm(1)], space=MemSpace.PARAM)]
+        )
+        issues = verify_module(module)
+        assert any("read-only" in str(i) for i in issues)
+
+    def test_surviving_phi_flagged(self):
+        fn = diamond_kernel().kernel()
+        from repro.ir.ssa import construct_ssa
+
+        construct_ssa(fn)
+        module = Module("m")
+        module.add(fn)
+        issues = verify_module(module)
+        assert any("φ" in str(i) for i in issues)
+
+    def test_s2r_without_special(self):
+        module = _kernel_with([Instruction(Opcode.S2R, dst=VirtualReg(0))])
+        issues = verify_module(module)
+        assert any("special" in str(i) for i in issues)
+
+
+class TestDefinedness:
+    def test_read_before_write_flagged(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                IADD %v1, %v0, 1
+                ST.global [0], %v1
+                EXIT
+            .end
+            """
+        )
+        issues = verify_module(module)
+        assert any("before definition" in str(i) for i in issues)
+
+    def test_one_armed_definition_flagged(self):
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                ISET.lt %v1, %v0, 4
+                CBR %v1, T, J
+            T:
+                MOV %v2, 1
+                BRA J
+            J:
+                ST.global [0], %v2
+                EXIT
+            .end
+            """
+        )
+        issues = verify_module(module)
+        assert any("%v2" in str(i) for i in issues)
+
+    def test_both_arms_defined_is_clean(self):
+        assert verify_module(diamond_kernel()) == []
+
+    def test_device_args_are_defined(self):
+        assert verify_module(call_kernel()) == []
+
+
+class TestPhysicalChecks:
+    def test_allocated_modules_verify(self):
+        # allocate_module runs the verifier internally; reaching here
+        # without VerificationError is itself the test.
+        outcome = allocate_module(call_kernel(), "k", 24)
+        assert verify_module(outcome.module, physical=True, reg_budget=24) == []
+
+    def test_misaligned_wide_flagged(self):
+        module = _kernel_with(
+            [
+                Instruction(Opcode.MOV, dst=PhysReg(0), srcs=[Imm(0)]),
+                Instruction(
+                    Opcode.MOV, dst=PhysReg(1, 2), srcs=[Imm(0.0)]
+                ),
+            ]
+        )
+        issues = verify_module(module, physical=True)
+        assert any("misaligned" in str(i) for i in issues)
+
+    def test_budget_overflow_flagged(self):
+        module = _kernel_with(
+            [Instruction(Opcode.MOV, dst=PhysReg(30), srcs=[Imm(1)])]
+        )
+        issues = verify_module(module, physical=True, reg_budget=16)
+        assert any("budget" in str(i) for i in issues)
+
+    def test_leftover_virtual_flagged(self):
+        module = _kernel_with(
+            [Instruction(Opcode.MOV, dst=VirtualReg(5), srcs=[Imm(1)])]
+        )
+        issues = verify_module(module, physical=True)
+        assert any("virtual register" in str(i) for i in issues)
+
+    def test_value_abi_call_flagged(self):
+        module = call_kernel()
+        issues = verify_module(module, physical=True)
+        assert any("value-ABI" in str(i) for i in issues)
+
+
+class TestAssertVerified:
+    def test_raises_with_issue_list(self):
+        module = _kernel_with(
+            [Instruction(Opcode.S2R, dst=VirtualReg(0))]
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            assert_verified(module)
+        assert excinfo.value.issues
+
+    def test_clean_module_passes(self):
+        assert_verified(straight_line_kernel())

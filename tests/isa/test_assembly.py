@@ -1,0 +1,168 @@
+"""Assembly text round-trip and parser error tests."""
+
+import pytest
+
+from repro.isa.assembly import (
+    AsmError,
+    format_instruction,
+    format_module,
+    parse_instruction,
+    parse_module,
+)
+from repro.isa.instructions import CmpOp, Imm, MemSpace, Opcode
+from repro.isa.registers import PhysReg, SpecialReg, VirtualReg
+
+from tests.helpers import (
+    call_kernel,
+    diamond_kernel,
+    loop_kernel,
+    straight_line_kernel,
+    wide_kernel,
+)
+
+
+ALL_FIXTURES = [
+    straight_line_kernel,
+    diamond_kernel,
+    loop_kernel,
+    call_kernel,
+    wide_kernel,
+]
+
+
+@pytest.mark.parametrize("make", ALL_FIXTURES)
+def test_text_round_trip(make):
+    module = make()
+    text = format_module(module)
+    again = parse_module(text)
+    assert format_module(again) == text
+
+
+class TestInstructionParsing:
+    def test_s2r(self):
+        inst = parse_instruction("S2R %v0, %tid")
+        assert inst.opcode is Opcode.S2R
+        assert inst.special is SpecialReg.TID
+        assert inst.dst == VirtualReg(0)
+
+    def test_iset_with_cmp(self):
+        inst = parse_instruction("ISET.ge %v3, %v1, 100")
+        assert inst.cmp is CmpOp.GE
+        assert inst.srcs[1] == Imm(100)
+
+    def test_load_with_negative_offset(self):
+        inst = parse_instruction("LD.global %v1, [%v0-8]")
+        assert inst.space is MemSpace.GLOBAL
+        assert inst.offset == -8
+
+    def test_load_absolute_address(self):
+        inst = parse_instruction("LD.param %v1, [16]")
+        assert inst.srcs == []
+        assert inst.offset == 16
+
+    def test_store_operand_order(self):
+        inst = parse_instruction("ST.shared [%v2+4], %v9")
+        assert inst.srcs[0] == VirtualReg(9)
+        assert inst.srcs[1] == VirtualReg(2)
+        assert inst.offset == 4
+
+    def test_call_with_result(self):
+        inst = parse_instruction("CALL %v5, helper(%v1, 3.5)")
+        assert inst.callee == "helper"
+        assert inst.dst == VirtualReg(5)
+        assert inst.srcs == [VirtualReg(1), Imm(3.5)]
+
+    def test_call_without_result(self):
+        inst = parse_instruction("CALL log_it(%v1)")
+        assert inst.dst is None
+
+    def test_phys_reg_and_width(self):
+        inst = parse_instruction("FADD R4.w2, R0.w2, R2.w2")
+        assert inst.dst == PhysReg(4, 2)
+
+    def test_phi(self):
+        inst = parse_instruction("PHI %v5, [BB0: %v1], [BB1: 0]")
+        assert inst.opcode is Opcode.PHI
+        assert inst.phi_args == [("BB0", VirtualReg(1)), ("BB1", Imm(0))]
+
+    def test_round_trip_each_shape(self):
+        lines = [
+            "S2R %v0, %ctaid",
+            "MOV %v1, 42",
+            "MOV %v2, -1.5",
+            "IMAD %v3, %v1, %v2, %v0",
+            "ISET.ne %v4, %v3, 0",
+            "LD.local %v5, [%v3+12]",
+            "ST.global [%v3], %v5",
+            "CBR %v4, A, B",
+            "BRA A",
+            "CALL %v6, f(%v5)",
+            "RET %v6",
+            "RET",
+            "EXIT",
+            "BAR",
+            "NOP",
+            "SELP %v7, %v4, %v5, %v6",
+        ]
+        for line in lines:
+            inst = parse_instruction(line)
+            assert format_instruction(inst) == line
+
+    def test_comment_stripped(self):
+        inst = parse_instruction("MOV %v1, 3  # three")
+        assert inst.srcs == [Imm(3)]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "FROB %v1, %v2",
+            "LD.global %v1, %v2",
+            "S2R %v0, %nope",
+            "CALL %v1, noparens",
+            "MOV 5, %v1",
+        ],
+    )
+    def test_bad_lines_raise(self, bad):
+        with pytest.raises(AsmError):
+            parse_instruction(bad)
+
+
+class TestModuleParsing:
+    def test_unknown_block_fails_validation(self):
+        text = """
+        .module m
+        .kernel k shared=0
+        BB0:
+            BRA NOWHERE
+        .end
+        """
+        module = parse_module(text)
+        with pytest.raises(ValueError):
+            module.validate()
+
+    def test_kernel_with_ret_fails_validation(self):
+        text = """
+        .module m
+        .kernel k shared=0
+        BB0:
+            RET
+        .end
+        """
+        with pytest.raises(ValueError):
+            parse_module(text).validate()
+
+    def test_instruction_outside_block_raises(self):
+        with pytest.raises(AsmError):
+            parse_module(".module m\n.kernel k shared=0\nMOV %v0, 1\n.end")
+
+    def test_shared_attr_parsed(self):
+        module = call_kernel()
+        assert module.functions["k"].is_kernel
+        assert module.functions["scale"].num_args == 1
+        assert module.functions["scale"].returns_value
+
+    def test_fresh_vregs_do_not_collide(self):
+        module = straight_line_kernel()
+        fn = module.kernel()
+        fresh = fn.new_vreg()
+        assert fresh not in fn.all_regs()

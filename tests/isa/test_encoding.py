@@ -1,0 +1,147 @@
+"""Binary codec tests, including a hypothesis-generated program round-trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.function import Function, Module
+from repro.isa.assembly import format_module
+from repro.isa.encoding import CodecError, decode_module, encode_module
+from repro.isa.instructions import (
+    CmpOp,
+    Imm,
+    Instruction,
+    MemSpace,
+    Opcode,
+)
+from repro.isa.registers import PhysReg, SpecialReg, VirtualReg
+
+from tests.helpers import (
+    call_kernel,
+    diamond_kernel,
+    loop_kernel,
+    straight_line_kernel,
+    wide_kernel,
+)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [straight_line_kernel, diamond_kernel, loop_kernel, call_kernel, wide_kernel],
+)
+def test_binary_round_trip_fixtures(make):
+    module = make()
+    data = encode_module(module)
+    again = decode_module(data)
+    assert format_module(again) == format_module(module)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CodecError):
+        decode_module(b"NOPE" + b"\x00" * 16)
+
+
+def test_truncated_rejected():
+    data = encode_module(straight_line_kernel())
+    with pytest.raises(CodecError):
+        decode_module(data[: len(data) // 2])
+
+
+def test_trailing_bytes_rejected():
+    data = encode_module(straight_line_kernel())
+    with pytest.raises(CodecError):
+        decode_module(data + b"\x00")
+
+
+def test_forward_call_reference():
+    """A function may call one defined later in the module."""
+    module = Module("fwd")
+    caller = Function("caller", is_kernel=True)
+    bb = caller.add_block("BB0")
+    bb.append(Instruction(Opcode.CALL, dst=VirtualReg(1), srcs=[Imm(1)], callee="late"))
+    bb.append(Instruction(Opcode.EXIT))
+    module.add(caller)
+    late = Function("late", is_kernel=False, num_args=1, returns_value=True)
+    bb = late.add_block("BB0")
+    bb.append(Instruction(Opcode.RET, srcs=[VirtualReg(0)]))
+    module.add(late)
+
+    again = decode_module(encode_module(module))
+    assert format_module(again) == format_module(module)
+
+
+# ----------------------------------------------------------------------
+# Property-based round trip over arbitrary straight-line programs
+# ----------------------------------------------------------------------
+_regs = st.builds(
+    VirtualReg,
+    index=st.integers(min_value=0, max_value=200),
+    width=st.sampled_from([1, 2, 3, 4]),
+)
+_phys = st.builds(
+    PhysReg,
+    index=st.integers(min_value=0, max_value=60),
+    width=st.sampled_from([1, 2]),
+)
+_operands = st.one_of(
+    _regs,
+    _phys,
+    st.sampled_from(list(SpecialReg)),
+    st.builds(Imm, st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+    st.builds(Imm, st.floats(allow_nan=False, allow_infinity=False, width=32)),
+)
+
+
+@st.composite
+def _alu_instruction(draw):
+    opcode = draw(
+        st.sampled_from(
+            [Opcode.IADD, Opcode.FMUL, Opcode.XOR, Opcode.IMAD, Opcode.MOV]
+        )
+    )
+    nsrc = {Opcode.IMAD: 3, Opcode.MOV: 1}.get(opcode, 2)
+    return Instruction(
+        opcode,
+        dst=draw(_regs),
+        srcs=[draw(_operands) for _ in range(nsrc)],
+    )
+
+
+@st.composite
+def _mem_instruction(draw):
+    space = draw(st.sampled_from(list(MemSpace)))
+    offset = draw(st.integers(min_value=-(2**20), max_value=2**20))
+    if draw(st.booleans()):
+        return Instruction(
+            Opcode.LD, dst=draw(_regs), srcs=[draw(_regs)], space=space, offset=offset
+        )
+    return Instruction(
+        Opcode.ST, srcs=[draw(_operands), draw(_regs)], space=space, offset=offset
+    )
+
+
+@st.composite
+def _set_instruction(draw):
+    return Instruction(
+        draw(st.sampled_from([Opcode.ISET, Opcode.FSET])),
+        dst=draw(_regs),
+        srcs=[draw(_operands), draw(_operands)],
+        cmp=draw(st.sampled_from(list(CmpOp))),
+    )
+
+
+_any_instruction = st.one_of(_alu_instruction(), _mem_instruction(), _set_instruction())
+
+
+@given(body=st.lists(_any_instruction, min_size=0, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_binary_round_trip_random_programs(body):
+    module = Module("fuzz")
+    fn = Function("k", is_kernel=True)
+    bb = fn.add_block("BB0")
+    for inst in body:
+        bb.append(inst)
+    bb.append(Instruction(Opcode.EXIT))
+    module.add(fn)
+
+    again = decode_module(encode_module(module))
+    assert format_module(again) == format_module(module)

@@ -1,0 +1,78 @@
+"""Register model tests (widths, alignment, validation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    PhysReg,
+    SpecialReg,
+    VirtualReg,
+    is_aligned,
+    required_alignment,
+)
+
+
+class TestConstruction:
+    def test_default_width(self):
+        assert VirtualReg(3).width == 1
+        assert PhysReg(3).width == 1
+
+    @pytest.mark.parametrize("width", [0, 5, -1])
+    def test_bad_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            VirtualReg(0, width)
+        with pytest.raises(ValueError):
+            PhysReg(0, width)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualReg(-1)
+        with pytest.raises(ValueError):
+            PhysReg(-1)
+
+    def test_str_forms(self):
+        assert str(VirtualReg(7)) == "%v7"
+        assert str(VirtualReg(7, 2)) == "%v7.w2"
+        assert str(PhysReg(4, 4)) == "R4.w4"
+
+    def test_slots_range(self):
+        assert list(PhysReg(4, 2).slots) == [4, 5]
+
+    def test_hashable_and_ordered(self):
+        regs = {VirtualReg(1), VirtualReg(1), VirtualReg(2)}
+        assert len(regs) == 2
+        assert sorted([VirtualReg(2), VirtualReg(1)])[0] == VirtualReg(1)
+
+    def test_virtual_and_physical_distinct(self):
+        assert VirtualReg(1) != PhysReg(1)
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "width,alignment", [(1, 1), (2, 2), (3, 4), (4, 4)]
+    )
+    def test_required_alignment(self, width, alignment):
+        assert required_alignment(width) == alignment
+
+    def test_is_aligned(self):
+        assert is_aligned(0, 4)
+        assert is_aligned(4, 4)
+        assert not is_aligned(2, 4)
+        assert is_aligned(2, 2)
+        assert not is_aligned(3, 2)
+        assert is_aligned(17, 1)
+
+    @given(
+        index=st.integers(min_value=0, max_value=1000),
+        width=st.sampled_from([1, 2, 3, 4]),
+    )
+    def test_aligned_index_is_multiple(self, index, width):
+        if is_aligned(index, width):
+            assert index % required_alignment(width) == 0
+
+
+class TestSpecialRegs:
+    def test_all_have_distinct_names(self):
+        names = [s.value for s in SpecialReg]
+        assert len(names) == len(set(names))
+        assert "tid" in names and "ctaid" in names

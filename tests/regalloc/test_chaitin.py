@@ -1,0 +1,184 @@
+"""Fig. 4 allocator tests: validity, wide variables, spilling, precolour."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.interference import InterferenceGraph
+from repro.isa.registers import VirtualReg, is_aligned
+from repro.regalloc.chaitin import color_graph, minimum_registers
+
+
+def v(i, w=1):
+    return VirtualReg(i, w)
+
+
+def graph_from_edges(nodes, edges):
+    g = InterferenceGraph()
+    for node in nodes:
+        g.add_node(node)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+def assert_valid(graph, result, num_colors, align=True):
+    for var, base in result.coloring.items():
+        assert 0 <= base
+        assert base + var.width <= num_colors
+        if align:
+            assert is_aligned(base, var.width), f"{var} at {base} misaligned"
+    for a in result.coloring:
+        for b in graph.neighbors(a):
+            if b not in result.coloring:
+                continue
+            ra = set(result.occupied_slots(a))
+            rb = set(result.occupied_slots(b))
+            assert not (ra & rb), f"{a} and {b} overlap"
+
+
+class TestBasicColoring:
+    def test_empty_graph(self):
+        result = color_graph(InterferenceGraph(), 4)
+        assert result.coloring == {} and result.spilled == []
+
+    def test_independent_nodes_share_slot_zero(self):
+        g = graph_from_edges([v(0), v(1), v(2)], [])
+        result = color_graph(g, 4)
+        assert set(result.coloring.values()) == {0}
+
+    def test_triangle_needs_three(self):
+        nodes = [v(0), v(1), v(2)]
+        g = graph_from_edges(nodes, itertools.combinations(nodes, 2))
+        result = color_graph(g, 3)
+        assert not result.spilled
+        assert_valid(g, result, 3)
+        assert len(set(result.coloring.values())) == 3
+
+    def test_triangle_with_two_colors_spills(self):
+        nodes = [v(0), v(1), v(2)]
+        g = graph_from_edges(nodes, itertools.combinations(nodes, 2))
+        result = color_graph(g, 2)
+        assert len(result.spilled) == 1
+        assert_valid(g, result, 2)
+
+    def test_chain_two_colors(self):
+        nodes = [v(i) for i in range(10)]
+        edges = [(nodes[i], nodes[i + 1]) for i in range(9)]
+        result = color_graph(graph_from_edges(nodes, edges), 2)
+        assert not result.spilled
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            color_graph(InterferenceGraph(), 0)
+
+
+class TestWideVariables:
+    def test_wide_gets_aligned_base(self):
+        a, b = v(0, 2), v(1, 1)
+        g = graph_from_edges([a, b], [(a, b)])
+        result = color_graph(g, 4)
+        assert not result.spilled
+        assert result.coloring[a] % 2 == 0
+
+    def test_quad_alignment(self):
+        a, b = v(0, 4), v(1, 1)
+        g = graph_from_edges([a, b], [(a, b)])
+        result = color_graph(g, 8)
+        assert result.coloring[a] % 4 == 0
+
+    def test_interfering_wides_disjoint(self):
+        a, b, c = v(0, 2), v(1, 2), v(2, 2)
+        g = graph_from_edges([a, b, c], itertools.combinations([a, b, c], 2))
+        result = color_graph(g, 6)
+        assert not result.spilled
+        assert_valid(g, result, 6)
+
+    def test_wide_spills_when_fragmented(self):
+        # Three singles pinned by mutual interference with a w2: in 3
+        # slots a w2 plus two interfering singles cannot all fit.
+        a = v(0, 2)
+        b, c = v(1), v(2)
+        g = graph_from_edges([a, b, c], [(a, b), (a, c), (b, c)])
+        result = color_graph(g, 3)
+        assert result.spilled
+        assert_valid(g, result, 3)
+
+    def test_alignment_disabled(self):
+        a, b = v(0, 2), v(1, 1)
+        g = graph_from_edges([a, b], [(a, b)])
+        result = color_graph(g, 3, align_wide=False)
+        assert not result.spilled
+        assert_valid(g, result, 3, align=False)
+
+
+class TestPrecolored:
+    def test_precolored_kept(self):
+        a, b = v(0), v(1)
+        g = graph_from_edges([a, b], [(a, b)])
+        result = color_graph(g, 4, precolored={a: 2})
+        assert result.coloring[a] == 2
+        assert result.coloring[b] != 2
+
+    def test_precolored_blocks_neighbors(self):
+        a, b, c = v(0), v(1), v(2)
+        g = graph_from_edges([a, b, c], [(a, b), (a, c), (b, c)])
+        result = color_graph(g, 3, precolored={a: 0, b: 1})
+        assert result.coloring[c] == 2
+
+    def test_precolored_out_of_range_rejected(self):
+        g = graph_from_edges([v(0)], [])
+        with pytest.raises(ValueError):
+            color_graph(g, 2, precolored={v(0): 2})
+
+    def test_precolored_misaligned_rejected(self):
+        g = graph_from_edges([v(0, 2)], [])
+        with pytest.raises(ValueError):
+            color_graph(g, 4, precolored={v(0, 2): 1})
+
+
+class TestMinimumRegisters:
+    def test_triangle_needs_exactly_three(self):
+        nodes = [v(0), v(1), v(2)]
+        g = graph_from_edges(nodes, itertools.combinations(nodes, 2))
+        assert minimum_registers(g) == 3
+
+    def test_empty_graph_zero(self):
+        assert minimum_registers(InterferenceGraph()) == 0
+
+    def test_wide_clique_counts_slots(self):
+        a, b = v(0, 2), v(1, 2)
+        g = graph_from_edges([a, b], [(a, b)])
+        assert minimum_registers(g) == 4
+
+
+@given(
+    n=st.integers(min_value=1, max_value=14),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    colors=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+    wide=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_random_graphs_always_valid(n, density, colors, seed, wide):
+    """Property: any colouring returned is conflict-free, aligned, in range."""
+    import random
+
+    rng = random.Random(seed)
+    nodes = [
+        v(i, rng.choice([1, 1, 1, 2]) if wide else 1) for i in range(n)
+    ]
+    g = InterferenceGraph()
+    for node in nodes:
+        g.add_node(node)
+    for a, b in itertools.combinations(nodes, 2):
+        if rng.random() < density:
+            g.add_edge(a, b)
+    result = color_graph(g, colors)
+    assert_valid(g, result, colors)
+    # Everything is either coloured or spilled, never both.
+    colored = set(result.coloring)
+    spilled = set(result.spilled)
+    assert colored | spilled == set(nodes)
+    assert not (colored & spilled)

@@ -1,0 +1,143 @@
+"""Property-based end-to-end fuzzing of the whole allocation pipeline.
+
+Hypothesis generates random structured kernels (straight-line segments,
+diamonds, counted loops, device-function calls, wide values); each is
+allocated at a randomly chosen register budget and must produce global
+memory identical to the original program under the functional
+interpreter — the strongest single invariant in the repository.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.function import Module
+from repro.isa.assembly import parse_module
+from repro.regalloc.allocator import BudgetError, allocate_module
+from repro.sim.interp import LaunchConfig, run_kernel
+
+
+@st.composite
+def random_kernel(draw) -> tuple[Module, int]:
+    """A random structured kernel plus a plausible register budget."""
+    rng_vals = st.integers(min_value=0, max_value=9)
+    n_persistent = draw(st.integers(min_value=1, max_value=10))
+    n_segments = draw(st.integers(min_value=1, max_value=3))
+    use_loop = draw(st.booleans())
+    use_call = draw(st.booleans())
+    use_diamond = draw(st.booleans())
+    use_wide = draw(st.booleans())
+
+    lines = [
+        "S2R %v0, %tid",
+        "SHL %v1, %v0, 2",
+    ]
+    next_reg = 2
+    live = []
+
+    def fresh() -> str:
+        nonlocal next_reg
+        name = f"%v{next_reg}"
+        next_reg += 1
+        return name
+
+    for i in range(n_persistent):
+        r = fresh()
+        lines.append(f"LD.global {r}, [%v1+{4 * i}]")
+        live.append(r)
+
+    if use_wide:
+        w = fresh() + ".w2"
+        lines.append(f"LD.global {w}, [%v1+64]")
+        live.append(w)
+
+    blocks = []
+    if use_diamond:
+        cond, t_val = fresh(), fresh()
+        lines.append(f"ISET.lt {cond}, %v0, 2")
+        lines.append(f"CBR {cond}, ARM_T, ARM_F")
+        blocks.append(("ARM_T", [f"MOV {t_val}, 3.5", "BRA JOIN"]))
+        blocks.append(("ARM_F", [f"MOV {t_val}, 1.5", "BRA JOIN"]))
+        join_lines = []
+        blocks.append(("JOIN", join_lines))
+        live.append(t_val)
+        tail = join_lines
+    else:
+        tail = lines
+
+    if use_loop:
+        counter, accum = fresh(), fresh()
+        trips = draw(st.integers(min_value=1, max_value=4))
+        tail.append(f"MOV {counter}, 0")
+        tail.append(f"MOV {accum}, 0.0")
+        tail.append("BRA HEAD")
+        body = []
+        for value in live[: draw(st.integers(min_value=1, max_value=len(live)))]:
+            nxt = fresh()
+            body.append(f"FFMA {nxt}, {value}, 1.25, {accum}")
+            accum = nxt
+        blocks.append(
+            (
+                "HEAD",
+                [
+                    f"ISET.lt %v90, {counter}, {trips}",
+                    "CBR %v90, BODY, DONE",
+                ],
+            )
+        )
+        blocks.append(
+            ("BODY", body + [f"IADD {counter}, {counter}, 1", "BRA HEAD"])
+        )
+        done_lines = []
+        blocks.append(("DONE", done_lines))
+        live.append(accum)
+        tail = done_lines
+
+    result = live[draw(st.integers(min_value=0, max_value=len(live) - 1))]
+    if use_call:
+        out = fresh()
+        base = result if not result.endswith(".w2") else live[0]
+        tail.append(f"CALL {out}, helper({base})")
+        result = out
+    if result.endswith(".w2"):
+        narrowed = fresh()
+        tail.append(f"FADD {narrowed}, {result}, 0.0")
+        result = narrowed
+    tail.append(f"ST.global [%v1], {result}")
+    tail.append("EXIT")
+
+    text = [".module fuzz", ".kernel k shared=0", "BB0:"]
+    text.extend(f"    {line}" for line in lines)
+    for label, body_lines in blocks:
+        text.append(f"{label}:")
+        text.extend(f"    {line}" for line in body_lines)
+    if use_call:
+        text.append(".end")
+        text.append(".func helper args=1 returns=1")
+        text.append("BB0:")
+        text.append("    FMUL %v1, %v0, 2.0")
+        text.append("    FADD %v2, %v1, 0.25")
+        text.append("    RET %v2")
+    text.append(".end")
+
+    module = parse_module("\n".join(text))
+    module.validate()
+    budget = draw(st.integers(min_value=4, max_value=24))
+    return module, budget
+
+
+@given(random_kernel())
+@settings(max_examples=40, deadline=None)
+def test_allocation_preserves_semantics_on_random_programs(case):
+    module, budget = case
+    launch = LaunchConfig(grid_blocks=1, block_size=4)
+    memory = {i * 4: float(i % 5 + 1) for i in range(64)}
+    expected = run_kernel(module, launch, global_memory=memory)
+    try:
+        outcome = allocate_module(module, "k", budget, block_size=4)
+    except BudgetError:
+        return  # too tight for this program: a legitimate outcome
+    actual = run_kernel(outcome.module, launch, global_memory=memory)
+    assert actual == pytest.approx(expected)
+    assert outcome.registers_per_thread <= budget

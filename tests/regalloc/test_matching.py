@@ -1,0 +1,98 @@
+"""Kuhn–Munkres tests, cross-checked against scipy and brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.regalloc.matching import (
+    assignment_weight,
+    max_weight_assignment,
+    min_cost_assignment,
+)
+
+
+class TestSmallCases:
+    def test_identity(self):
+        cost = [[0.0, 1.0], [1.0, 0.0]]
+        assert min_cost_assignment(cost) == [0, 1]
+
+    def test_swap(self):
+        cost = [[5.0, 1.0], [1.0, 5.0]]
+        assert min_cost_assignment(cost) == [1, 0]
+
+    def test_empty(self):
+        assert min_cost_assignment([]) == []
+
+    def test_single(self):
+        assert min_cost_assignment([[3.0]]) == [0]
+
+    def test_rectangular_rows_less_than_columns(self):
+        cost = [[9.0, 1.0, 9.0], [9.0, 9.0, 1.0]]
+        assert min_cost_assignment(cost) == [1, 2]
+
+    def test_more_rows_than_columns_rejected(self):
+        with pytest.raises(ValueError):
+            min_cost_assignment([[1.0], [2.0]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            min_cost_assignment([[1.0, 2.0], [1.0]])
+
+    def test_max_weight_negates(self):
+        weights = [[5.0, 1.0], [1.0, 5.0]]
+        assert max_weight_assignment(weights) == [0, 1]
+
+
+def _brute_force_min(cost):
+    n, m = len(cost), len(cost[0])
+    best, best_assign = float("inf"), None
+    for perm in itertools.permutations(range(m), n):
+        total = sum(cost[i][perm[i]] for i in range(n))
+        if total < best:
+            best, best_assign = total, list(perm)
+    return best, best_assign
+
+
+@given(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=50), min_size=n, max_size=n
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_matches_brute_force(cost):
+    cost = [[float(c) for c in row] for row in cost]
+    best, _ = _brute_force_min(cost)
+    assign = min_cost_assignment(cost)
+    assert len(set(assign)) == len(assign)  # injective
+    total = sum(cost[i][assign[i]] for i in range(len(cost)))
+    assert total == pytest.approx(best)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_matches_scipy(n, m, seed):
+    rng = np.random.default_rng(seed)
+    cost = rng.integers(0, 1000, size=(n, n + m)).astype(float)
+    assign = min_cost_assignment(cost.tolist())
+    rows, cols = linear_sum_assignment(cost)
+    ours = sum(cost[i][assign[i]] for i in range(n))
+    theirs = cost[rows, cols].sum()
+    assert ours == pytest.approx(theirs)
+
+
+def test_assignment_weight_helper():
+    weights = [[2.0, 0.0], [0.0, 3.0]]
+    assert assignment_weight(weights, [0, 1]) == 5.0

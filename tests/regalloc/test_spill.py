@@ -1,0 +1,112 @@
+"""Spill insertion and shared-memory promotion unit tests."""
+
+import pytest
+
+from repro.isa.instructions import MemSpace, Opcode
+from repro.isa.registers import VirtualReg
+from repro.regalloc.shared_assign import (
+    access_frequencies,
+    promote_spills_to_shared,
+)
+from repro.regalloc.spill import SpillState, insert_spill_code, spill_traffic
+from repro.sim.interp import LaunchConfig, run_kernel
+from tests.helpers import loop_kernel, module_from_asm
+
+
+def v(i, w=1):
+    return VirtualReg(i, w)
+
+
+class TestSpillInsertion:
+    def test_def_gets_store_use_gets_load(self):
+        module = loop_kernel()
+        fn = module.kernel()
+        state = insert_spill_code(fn, [v(2)])  # the accumulator
+        assert v(2) in state.offsets
+        spaces = [
+            (i.opcode, i.space)
+            for i in fn.instructions()
+            if i.is_memory and i.space is MemSpace.LOCAL
+        ]
+        assert (Opcode.ST, MemSpace.LOCAL) in spaces
+        assert (Opcode.LD, MemSpace.LOCAL) in spaces
+        # The spilled variable itself no longer appears anywhere.
+        assert v(2) not in fn.all_regs()
+
+    def test_semantics_preserved(self):
+        module = loop_kernel()
+        launch = LaunchConfig(block_size=4, params={0: 5})
+        expected = run_kernel(module, launch)
+        spilled = module.copy()
+        insert_spill_code(spilled.kernel(), [v(2), v(3)])
+        assert run_kernel(spilled, launch) == pytest.approx(expected)
+
+    def test_wide_variable_offsets(self):
+        state = SpillState()
+        assert state.assign(v(0, 2)) == 0
+        assert state.assign(v(1)) == 8
+        assert state.frame_bytes == 12
+
+    def test_spill_traffic_counts(self):
+        module = loop_kernel()
+        fn = module.kernel()
+        before = spill_traffic(fn)
+        insert_spill_code(fn, [v(2)])
+        assert spill_traffic(fn) > before
+
+
+class TestSharedPromotion:
+    def _spilled_kernel(self):
+        module = loop_kernel()
+        fn = module.kernel()
+        state = insert_spill_code(fn, [v(2), v(3)])
+        return module, fn, state
+
+    def test_loop_weighted_frequencies(self):
+        module, fn, state = self._spilled_kernel()
+        freq = access_frequencies(fn, state)
+        # Both spilled values live in the loop: heavily weighted.
+        assert all(f >= 10 for f in freq.values())
+
+    def test_promotion_rewrites_to_shared(self):
+        module, fn, state = self._spilled_kernel()
+        promo = promote_spills_to_shared(fn, state, 64, block_size=4)
+        assert promo.promoted
+        assert promo.frame_bytes > 0
+        assert promo.extra_shared_bytes == promo.frame_bytes * 4
+        shared_ops = [
+            i for i in fn.instructions()
+            if i.is_memory and i.space is MemSpace.SHARED
+        ]
+        assert shared_ops
+        # Every promoted access is based off the per-thread base register.
+        for inst in shared_ops:
+            assert promo.base_reg in inst.regs_read()
+
+    def test_promotion_preserves_semantics(self):
+        module, fn, state = self._spilled_kernel()
+        launch = LaunchConfig(block_size=4, params={0: 6})
+        expected = run_kernel(loop_kernel(), launch)
+        promote_spills_to_shared(fn, state, 64, block_size=4)
+        assert run_kernel(module, launch) == pytest.approx(expected)
+
+    def test_budget_zero_is_noop(self):
+        module, fn, state = self._spilled_kernel()
+        before = str(fn)
+        promo = promote_spills_to_shared(fn, state, 0, block_size=4)
+        assert not promo.promoted
+        assert str(fn) == before
+
+    def test_budget_limits_promotion(self):
+        module, fn, state = self._spilled_kernel()
+        promo = promote_spills_to_shared(fn, state, 4, block_size=4)
+        assert len(promo.promoted) == 1  # only one 4-byte slot fits
+
+    def test_user_shared_offsets_respected(self):
+        module, fn, state = self._spilled_kernel()
+        promo = promote_spills_to_shared(
+            fn, state, 64, block_size=4, user_shared_bytes=256
+        )
+        for inst in fn.instructions():
+            if inst.is_memory and inst.space is MemSpace.SHARED:
+                assert inst.offset >= 256

@@ -1,0 +1,169 @@
+"""Fig. 9 dynamic selection state machine tests (no simulator needed)."""
+
+import pytest
+
+from repro.compiler.multiversion import MultiVersionBinary
+from repro.compiler.realize import KernelVersion
+from repro.regalloc.allocator import AllocationOutcome
+from repro.ir.function import Function, Module
+from repro.isa.instructions import Instruction, Opcode
+from repro.runtime.adaptation import DynamicTuner
+
+
+def _dummy_version(label, warps):
+    module = Module(label)
+    fn = Function("k", is_kernel=True)
+    fn.add_block("BB0").append(Instruction(Opcode.EXIT))
+    module.add(fn)
+    outcome = AllocationOutcome(
+        module=module,
+        kernel_name="k",
+        registers_per_thread=16,
+        shared_bytes_per_block=0,
+        local_bytes_per_thread=0,
+        spilled_variables=0,
+        stack_moves=0,
+    )
+    from repro.isa.encoding import encode_module
+
+    return KernelVersion(
+        label=label,
+        target_warps=warps,
+        achieved_warps=warps,
+        occupancy=warps / 64,
+        regs_per_thread=16,
+        smem_per_block=0,
+        smem_padding=0,
+        outcome=outcome,
+        binary=encode_module(module),
+    )
+
+
+def make_binary(warp_list, direction="increasing", failsafe=(), can_tune=True):
+    return MultiVersionBinary(
+        kernel_name="k",
+        arch_name="GTX680",
+        block_size=256,
+        direction=direction,
+        can_tune=can_tune,
+        versions=[_dummy_version(f"v{w}", w) for w in warp_list],
+        failsafe=[_dummy_version(f"fs{w}", w) for w in failsafe],
+    )
+
+
+def drive(tuner, runtimes_by_label):
+    """Feed runtimes until convergence; returns labels tried in order."""
+    tried = []
+    for _ in range(20):
+        version = tuner.next_version()
+        tried.append(version.label)
+        tuner.report(runtimes_by_label[version.label])
+        if tuner.converged:
+            break
+    return tried
+
+
+class TestUpwardSearch:
+    def test_walks_until_degradation_then_keeps_previous(self):
+        binary = make_binary([16, 32, 48, 64])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v16": 100.0, "v32": 80.0, "v48": 70.0, "v64": 90.0}
+        drive(tuner, runtimes)
+        assert tuner.converged
+        assert tuner.final_version.label == "v48"
+
+    def test_two_percent_plateau_keeps_climbing(self):
+        """<=2% slowdown is not degradation in the upward direction."""
+        binary = make_binary([16, 32, 48])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v16": 100.0, "v32": 101.0, "v48": 80.0}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v48"
+
+    def test_exhausting_candidates_picks_best(self):
+        binary = make_binary([16, 32, 48])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v16": 100.0, "v32": 90.0, "v48": 85.0}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v48"
+
+    def test_converges_within_three_for_typical_profile(self):
+        """Paper: 'usually only needs three iterations'."""
+        binary = make_binary([16, 32, 48, 64])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v16": 100.0, "v32": 70.0, "v48": 95.0, "v64": 99.0}
+        drive(tuner, runtimes)
+        assert tuner.iterations_to_converge <= 3
+        assert tuner.final_version.label == "v32"
+
+
+class TestDownwardSearch:
+    def test_slowdown_beyond_noise_stops(self):
+        binary = make_binary([48, 32, 16], direction="decreasing")
+        tuner = DynamicTuner(binary)
+        runtimes = {"v48": 100.0, "v32": 104.0, "v16": 50.0}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v48"
+
+    def test_sub_noise_slowdown_keeps_walking(self):
+        """Half the upward tolerance is treated as measurement noise."""
+        binary = make_binary([48, 32, 16], direction="decreasing")
+        tuner = DynamicTuner(binary)
+        runtimes = {"v48": 100.0, "v32": 100.5, "v16": 100.9}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v16"
+
+    def test_flat_profile_reaches_lowest(self):
+        """Equal performance lets occupancy drop all the way (srad case)."""
+        binary = make_binary([48, 32, 16], direction="decreasing")
+        tuner = DynamicTuner(binary)
+        runtimes = {"v48": 100.0, "v32": 100.0, "v16": 100.0}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v16"
+
+
+class TestFailsafe:
+    def test_misprediction_tries_failsafe(self):
+        binary = make_binary([32, 48, 64], failsafe=[16])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v32": 100.0, "v48": 150.0, "fs16": 80.0}
+        tried = drive(tuner, runtimes)
+        assert "fs16" in tried
+        assert tuner.final_version.label == "fs16"
+
+    def test_failsafe_losing_keeps_original(self):
+        binary = make_binary([32, 48], failsafe=[16])
+        tuner = DynamicTuner(binary)
+        runtimes = {"v32": 100.0, "v48": 150.0, "fs16": 200.0}
+        drive(tuner, runtimes)
+        assert tuner.final_version.label == "v32"
+
+
+class TestEdgeCases:
+    def test_not_tunable_locks_immediately(self):
+        binary = make_binary([32], can_tune=False)
+        tuner = DynamicTuner(binary)
+        assert tuner.converged
+        assert tuner.next_version().label == "v32"
+
+    def test_single_candidate(self):
+        binary = make_binary([64])
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"v64": 50.0})
+        assert tuner.final_version.label == "v64"
+
+    def test_negative_runtime_rejected(self):
+        tuner = DynamicTuner(make_binary([16, 32]))
+        tuner.next_version()
+        with pytest.raises(ValueError):
+            tuner.report(-1.0)
+
+    def test_final_version_stable_after_convergence(self):
+        binary = make_binary([16, 32])
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"v16": 100.0, "v32": 200.0})
+        label = tuner.final_version.label
+        for _ in range(5):
+            assert tuner.next_version().label == label
+            tuner.report(123.0)
+        assert tuner.final_version.label == label

@@ -1,0 +1,69 @@
+"""Kernel splitting tests (Section 3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.splitting import (
+    pieces_for_tuning,
+    split_launch,
+    splittable,
+)
+from repro.sim.interp import LaunchConfig
+
+
+class TestSplitLaunch:
+    def test_even_split(self):
+        launch = LaunchConfig(grid_blocks=8, block_size=128)
+        pieces = split_launch(launch, 4)
+        assert [p.launch.grid_blocks for p in pieces] == [2, 2, 2, 2]
+        assert [p.first_block for p in pieces] == [0, 2, 4, 6]
+
+    def test_uneven_split(self):
+        launch = LaunchConfig(grid_blocks=10, block_size=128)
+        pieces = split_launch(launch, 4)
+        assert [p.launch.grid_blocks for p in pieces] == [3, 3, 2, 2]
+
+    def test_more_pieces_than_blocks(self):
+        launch = LaunchConfig(grid_blocks=3, block_size=64)
+        pieces = split_launch(launch, 10)
+        assert len(pieces) == 3
+        assert all(p.launch.grid_blocks == 1 for p in pieces)
+
+    def test_params_preserved(self):
+        launch = LaunchConfig(grid_blocks=4, block_size=64, params={0: 7})
+        for piece in split_launch(launch, 2):
+            assert piece.launch.params == {0: 7}
+
+    def test_zero_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            split_launch(LaunchConfig(grid_blocks=4), 0)
+
+    @given(
+        blocks=st.integers(min_value=1, max_value=500),
+        pieces=st.integers(min_value=1, max_value=20),
+    )
+    def test_blocks_conserved(self, blocks, pieces):
+        launch = LaunchConfig(grid_blocks=blocks, block_size=32)
+        out = split_launch(launch, pieces)
+        assert sum(p.launch.grid_blocks for p in out) == blocks
+        # Pieces tile the grid contiguously.
+        cursor = 0
+        for piece in out:
+            assert piece.first_block == cursor
+            cursor += piece.launch.grid_blocks
+
+
+class TestSplitPolicy:
+    def test_small_grid_not_splittable(self):
+        assert not splittable(LaunchConfig(grid_blocks=3))
+
+    def test_large_grid_splittable(self):
+        assert splittable(LaunchConfig(grid_blocks=64))
+
+    def test_pieces_covers_candidates(self):
+        launch = LaunchConfig(grid_blocks=100)
+        assert pieces_for_tuning(launch, candidate_versions=4) == 5
+
+    def test_pieces_limited_by_grid(self):
+        launch = LaunchConfig(grid_blocks=6)
+        assert pieces_for_tuning(launch, candidate_versions=10) == 3

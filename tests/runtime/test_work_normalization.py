@@ -1,0 +1,100 @@
+"""Work-normalised tuning (the paper's future-work fix for bfs).
+
+Paper Section 4.2: "bfs does different amounts of work in each
+iteration, making it difficult to compare consecutive invocations ...
+we may be able to improve tuning for such cases by calculating the
+amount of work at each iteration and applying a multiplicative factor
+to the runtime."  This implements and tests exactly that.
+"""
+
+import pytest
+
+from repro.arch import GTX680
+from repro.runtime.adaptation import DynamicTuner
+from repro.runtime.launcher import OrionRuntime, Workload
+from repro.sim import LaunchConfig
+
+from tests.runtime.test_adaptation import make_binary
+
+
+class TestTunerNormalization:
+    def test_growing_work_without_normalization_mistunes(self):
+        """A growing frontier makes every next version look slower."""
+        binary = make_binary([16, 32, 48], direction="increasing")
+        tuner = DynamicTuner(binary)
+        # True per-work cost improves (100 -> 90 -> 80) but raw runtimes
+        # grow because iterations do 1x, 2x, 3x work.
+        tuner.next_version(); tuner.report(100.0)
+        tuner.next_version(); tuner.report(180.0)
+        assert tuner.converged
+        assert tuner.final_version.label == "v16"  # wrong: stopped early
+
+    def test_growing_work_with_normalization_tunes_correctly(self):
+        binary = make_binary([16, 32, 48], direction="increasing")
+        tuner = DynamicTuner(binary)
+        tuner.next_version(); tuner.report(100.0, work=1.0)
+        tuner.next_version(); tuner.report(180.0, work=2.0)
+        tuner.next_version(); tuner.report(240.0, work=3.0)
+        assert tuner.converged
+        assert tuner.final_version.label == "v48"
+
+    def test_invalid_work_rejected(self):
+        binary = make_binary([16, 32])
+        tuner = DynamicTuner(binary)
+        tuner.next_version()
+        with pytest.raises(ValueError):
+            tuner.report(10.0, work=0.0)
+
+
+class TestWorkloadProfile:
+    def test_work_at_cycles_through_profile(self):
+        workload = Workload(
+            launch=LaunchConfig(grid_blocks=8),
+            iterations=4,
+            work_profile=[1.0, 0.5],
+        )
+        assert workload.work_at(0) == 1.0
+        assert workload.work_at(1) == 0.5
+        assert workload.work_at(2) == 1.0
+
+    def test_no_profile_means_unit_work(self):
+        workload = Workload(launch=LaunchConfig(grid_blocks=8))
+        assert workload.work_at(7) == 1.0
+
+
+class TestEndToEnd:
+    def test_varying_grid_still_converges(self):
+        """bfs-style shrinking frontier: tuner still locks a version."""
+        from repro.compiler import CompileOptions, compile_binary
+        from tests.helpers import module_from_asm
+
+        module = module_from_asm(
+            """
+            .module m
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                S2R %v1, %ctaid
+                S2R %v2, %ntid
+                IMAD %v3, %v1, %v2, %v0
+                SHL %v4, %v3, 7
+                LD.global %v5, [%v4]
+                FADD %v6, %v5, 1.0
+                ST.global [%v4], %v6
+                EXIT
+            .end
+            """
+        )
+        binary = compile_binary(module, "k", CompileOptions(arch=GTX680))
+        runtime = OrionRuntime(GTX680, binary)
+        workload = Workload(
+            launch=LaunchConfig(grid_blocks=64, block_size=256),
+            iterations=8,
+            work_profile=[1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2],
+            max_events_per_warp=500,
+        )
+        report = runtime.execute(workload)
+        assert report.final_version is not None
+        assert len(report.records) == 8
+        # Later iterations launch fewer blocks.
+        assert report.records[-1].cycles <= report.records[0].cycles

@@ -1,0 +1,122 @@
+"""Whole-GPU timing and energy model tests."""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075, calculate_occupancy
+from repro.sim.energy import gpu_power, kernel_energy
+from repro.sim.gpu import LaunchError, simulate_kernel
+from repro.sim.interp import LaunchConfig
+from tests.helpers import module_from_asm
+
+
+def streaming_module(trips=20):
+    return module_from_asm(
+        f"""
+        .module stream
+        .kernel k shared=0
+        BB0:
+            S2R %v0, %tid
+            S2R %v1, %ctaid
+            S2R %v2, %ntid
+            IMAD %v3, %v1, %v2, %v0
+            SHL %v4, %v3, 7
+            MOV %v5, 0
+            MOV %v6, 0.0
+            BRA HEAD
+        HEAD:
+            ISET.lt %v7, %v5, {trips}
+            CBR %v7, BODY, DONE
+        BODY:
+            IMAD %v8, %v5, 16384, %v4
+            LD.global %v9, [%v8]
+            FFMA %v6, %v9, 2.0, %v6
+            IADD %v5, %v5, 1
+            BRA HEAD
+        DONE:
+            ST.global [%v4], %v6
+            EXIT
+        .end
+        """
+    )
+
+
+class TestSimulateKernel:
+    def test_runs_and_reports(self):
+        module = streaming_module()
+        timing = simulate_kernel(
+            GTX680, module, "k",
+            LaunchConfig(grid_blocks=32, block_size=256),
+            regs_per_thread=16,
+        )
+        assert timing.total_cycles > 0
+        assert timing.resident_warps == 64
+        assert timing.occupancy.occupancy == 1.0
+
+    def test_unlaunchable_config_raises(self):
+        module = streaming_module()
+        with pytest.raises(LaunchError):
+            simulate_kernel(
+                GTX680, module, "k", LaunchConfig(grid_blocks=1, block_size=256),
+                regs_per_thread=64,
+            )
+
+    def test_occupancy_reduces_waves(self):
+        module = streaming_module()
+        launch = LaunchConfig(grid_blocks=112, block_size=256)
+        low = simulate_kernel(
+            TESLA_C2075, module, "k", launch, regs_per_thread=16, forced_warps=8
+        )
+        high = simulate_kernel(
+            TESLA_C2075, module, "k", launch, regs_per_thread=16, forced_warps=48
+        )
+        assert low.waves > high.waves
+        # For this latency-bound kernel, more resident warps win overall.
+        assert high.total_cycles < low.total_cycles
+
+    def test_forced_warps_capped_by_launch(self):
+        module = streaming_module()
+        timing = simulate_kernel(
+            GTX680, module, "k", LaunchConfig(grid_blocks=1, block_size=64),
+            regs_per_thread=16, forced_warps=64,
+        )
+        assert timing.resident_warps == 2
+
+    def test_registers_lower_occupancy(self):
+        module = streaming_module()
+        launch = LaunchConfig(grid_blocks=64, block_size=256)
+        lean = simulate_kernel(
+            GTX680, module, "k", launch, regs_per_thread=20
+        )
+        fat = simulate_kernel(
+            GTX680, module, "k", launch, regs_per_thread=63
+        )
+        assert lean.occupancy.active_warps > fat.occupancy.active_warps
+
+
+class TestEnergy:
+    def test_power_grows_with_occupancy(self):
+        low = calculate_occupancy(TESLA_C2075, 256, 20, 24 * 1024)
+        high = calculate_occupancy(TESLA_C2075, 256, 20)
+        assert high.active_warps > low.active_warps
+        assert gpu_power(TESLA_C2075, high) > gpu_power(TESLA_C2075, low)
+
+    def test_energy_is_power_times_cycles(self):
+        module = streaming_module(trips=5)
+        timing = simulate_kernel(
+            TESLA_C2075, module, "k",
+            LaunchConfig(grid_blocks=14, block_size=256),
+            regs_per_thread=16,
+        )
+        report = kernel_energy(TESLA_C2075, timing)
+        assert report.energy == pytest.approx(report.power * timing.total_cycles)
+
+    def test_lower_occupancy_at_flat_runtime_saves_energy(self):
+        """The Figure 13 mechanism, in isolation."""
+        full = calculate_occupancy(TESLA_C2075, 256, 16)
+        half = calculate_occupancy(TESLA_C2075, 256, 16, 16 * 1024)
+        assert half.active_warps < full.active_warps
+        cycles = 1_000_000
+        assert (
+            gpu_power(TESLA_C2075, half) * cycles
+            < gpu_power(TESLA_C2075, full) * cycles
+        )

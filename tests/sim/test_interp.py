@@ -1,0 +1,213 @@
+"""Functional interpreter tests."""
+
+import pytest
+
+from repro.sim.interp import InterpError, Interpreter, LaunchConfig, run_kernel
+from tests.helpers import (
+    call_kernel,
+    diamond_kernel,
+    loop_kernel,
+    module_from_asm,
+    straight_line_kernel,
+    wide_kernel,
+)
+
+
+class TestBasics:
+    def test_straight_line(self):
+        module = straight_line_kernel()
+        launch = LaunchConfig(grid_blocks=1, block_size=4, params={0: 100})
+        memory = {(t + 100) * 4: float(t + 1) for t in range(4)}
+        out = run_kernel(module, launch, global_memory=memory)
+        for t in range(4):
+            assert out[(t + 100) * 4] == pytest.approx(2.0 * (t + 1))
+
+    def test_diamond_branches_per_thread(self):
+        module = diamond_kernel()
+        out = run_kernel(module, LaunchConfig(block_size=32))
+        assert out[4 * 10] == 1  # tid 10 < 16
+        assert out[4 * 20] == 2  # tid 20 >= 16
+
+    def test_loop_accumulates(self):
+        module = loop_kernel()
+        out = run_kernel(module, LaunchConfig(block_size=2, params={0: 5}))
+        assert out[0] == 0 + 1 + 2 + 3 + 4
+        assert out[4] == 10
+
+    def test_value_abi_calls(self):
+        module = call_kernel()
+        memory = {4 * t: float(t) for t in range(4)}
+        out = run_kernel(module, LaunchConfig(block_size=4), global_memory=memory)
+        # scale(x) = 3 * (x + 1); applied twice.
+        for t in range(4):
+            expected = 3.0 * (3.0 * (t + 1.0) + 1.0)
+            assert out[4 * t] == pytest.approx(expected)
+
+    def test_wide_values(self):
+        module = wide_kernel()
+        memory = {}
+        for t in range(2):
+            memory[8 * t] = 2.0 + t
+            memory[8 * t + 16] = 10.0
+        out = run_kernel(module, LaunchConfig(block_size=2), global_memory=memory)
+        for t in range(2):
+            assert out[8 * t] == pytest.approx(0.5 * (2.0 + t + 10.0))
+
+    def test_multi_block_grid(self):
+        module = module_from_asm(
+            """
+            .module grid
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                S2R %v1, %ctaid
+                S2R %v2, %ntid
+                IMAD %v3, %v1, %v2, %v0
+                SHL %v4, %v3, 2
+                ST.global [%v4], %v3
+                EXIT
+            .end
+            """
+        )
+        out = run_kernel(module, LaunchConfig(grid_blocks=3, block_size=4))
+        assert len(out) == 12
+        for i in range(12):
+            assert out[4 * i] == i
+
+
+class TestSharedMemoryAndBarriers:
+    def test_reverse_through_shared(self):
+        """Thread t writes smem[t], barrier, reads smem[N-1-t]."""
+        module = module_from_asm(
+            """
+            .module rev
+            .kernel k shared=64
+            BB0:
+                S2R %v0, %tid
+                S2R %v1, %ntid
+                SHL %v2, %v0, 2
+                ST.shared [%v2], %v0
+                BAR
+                ISUB %v3, %v1, 1
+                ISUB %v4, %v3, %v0
+                SHL %v5, %v4, 2
+                LD.shared %v6, [%v5]
+                ST.global [%v2], %v6
+                EXIT
+            .end
+            """
+        )
+        out = run_kernel(module, LaunchConfig(block_size=8))
+        for t in range(8):
+            assert out[4 * t] == 7 - t
+
+    def test_shared_is_per_block(self):
+        module = module_from_asm(
+            """
+            .module pb
+            .kernel k shared=4
+            BB0:
+                S2R %v0, %tid
+                ISET.eq %v1, %v0, 0
+                CBR %v1, W, R
+            W:
+                S2R %v2, %ctaid
+                ST.shared [0], %v2
+                BRA R
+            R:
+                BAR
+                LD.shared %v3, [0]
+                S2R %v4, %ctaid
+                S2R %v5, %ntid
+                IMAD %v6, %v4, %v5, %v0
+                SHL %v7, %v6, 2
+                ST.global [%v7], %v3
+                EXIT
+            .end
+            """
+        )
+        out = run_kernel(module, LaunchConfig(grid_blocks=2, block_size=2))
+        assert out[0] == 0 and out[4] == 0
+        assert out[8] == 1 and out[12] == 1
+
+
+class TestLocalMemory:
+    def test_local_is_private(self):
+        module = module_from_asm(
+            """
+            .module loc
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                ST.local [0], %v0
+                BAR
+                LD.local %v1, [0]
+                SHL %v2, %v0, 2
+                ST.global [%v2], %v1
+                EXIT
+            .end
+            """
+        )
+        out = run_kernel(module, LaunchConfig(block_size=4))
+        for t in range(4):
+            assert out[4 * t] == t
+
+
+class TestErrors:
+    def test_infinite_loop_detected(self):
+        module = module_from_asm(
+            """
+            .module inf
+            .kernel k shared=0
+            BB0:
+                BRA BB0
+            .end
+            """
+        )
+        interp = Interpreter(module, max_steps=1000)
+        with pytest.raises(InterpError):
+            interp.run("k", LaunchConfig(block_size=1))
+
+    def test_param_store_rejected(self):
+        module = module_from_asm(
+            """
+            .module p
+            .kernel k shared=0
+            BB0:
+                MOV %v0, 1
+                ST.param [0], %v0
+                EXIT
+            .end
+            """
+        )
+        with pytest.raises(InterpError):
+            run_kernel(module, LaunchConfig(block_size=1))
+
+    def test_running_device_function_rejected(self):
+        module = call_kernel()
+        with pytest.raises(InterpError):
+            Interpreter(module).run("scale", LaunchConfig(block_size=1))
+
+
+class TestSpecialRegs:
+    def test_laneid_warpid(self):
+        module = module_from_asm(
+            """
+            .module sw
+            .kernel k shared=0
+            BB0:
+                S2R %v0, %tid
+                S2R %v1, %laneid
+                S2R %v2, %warpid
+                SHL %v3, %v0, 3
+                ST.global [%v3], %v1
+                ST.global [%v3+4], %v2
+                EXIT
+            .end
+            """
+        )
+        out = run_kernel(module, LaunchConfig(block_size=64))
+        assert out[8 * 33] == 1  # lane of tid 33
+        assert out[8 * 33 + 4] == 1  # warp of tid 33
+        assert out[8 * 5] == 5
+        assert out[8 * 5 + 4] == 0

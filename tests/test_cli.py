@@ -1,0 +1,113 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+from repro.isa.assembly import format_module
+from repro.isa.encoding import decode_module
+from tests.helpers import call_kernel, straight_line_kernel
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "kernel.oras"
+    path.write_text(format_module(straight_line_kernel()))
+    return path
+
+
+@pytest.fixture()
+def call_asm_file(tmp_path):
+    path = tmp_path / "calls.oras"
+    path.write_text(format_module(call_kernel()))
+    return path
+
+
+class TestAsmDis:
+    def test_round_trip(self, asm_file, tmp_path, capsys):
+        binary = tmp_path / "kernel.bin"
+        assert main(["asm", str(asm_file), "-o", str(binary)]) == 0
+        assert binary.read_bytes()[:4] == b"ORAS"
+        out = tmp_path / "back.oras"
+        assert main(["dis", str(binary), "-o", str(out)]) == 0
+        assert out.read_text() == asm_file.read_text()
+
+    def test_dis_to_stdout(self, asm_file, tmp_path, capsys):
+        binary = tmp_path / "kernel.bin"
+        main(["asm", str(asm_file), "-o", str(binary)])
+        capsys.readouterr()
+        assert main(["dis", str(binary)]) == 0
+        assert ".kernel k" in capsys.readouterr().out
+
+    def test_bad_input_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.oras"
+        bad.write_text("this is not assembly")
+        binary = tmp_path / "out.bin"
+        assert main(["asm", str(bad), "-o", str(binary)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompileInspect:
+    def test_compile_writes_multiversion(self, call_asm_file, tmp_path, capsys):
+        out = tmp_path / "fat.bin"
+        code = main(
+            ["compile", str(call_asm_file), "-o", str(out), "--arch", "gtx680"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "direction=" in stdout
+        assert out.exists()
+        code = main(["inspect", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "occupancy" in stdout and "candidate" in stdout
+
+    def test_compile_accepts_binary_input(self, asm_file, tmp_path, capsys):
+        binary = tmp_path / "kernel.bin"
+        main(["asm", str(asm_file), "-o", str(binary)])
+        out = tmp_path / "fat.bin"
+        assert main(["compile", str(binary), "-o", str(out)]) == 0
+
+
+class TestRun:
+    def test_run_prints_memory(self, tmp_path, capsys):
+        from repro.harness.reporting import format_table  # noqa: F401
+        from tests.helpers import module_from_asm
+
+        src = tmp_path / "store.oras"
+        src.write_text(
+            format_module(
+                module_from_asm(
+                    """
+                    .module m
+                    .kernel k shared=0
+                    BB0:
+                        S2R %v0, %tid
+                        LD.param %v1, [0]
+                        IADD %v2, %v0, %v1
+                        SHL %v3, %v0, 2
+                        ST.global [%v3], %v2
+                        EXIT
+                    .end
+                    """
+                )
+            )
+        )
+        code = main(
+            ["run", str(src), "--grid", "1", "--block-size", "4",
+             "--param", "0=100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 global words written" in out
+        assert "100" in out
+
+
+class TestSweep:
+    def test_sweep_prints_series(self, asm_file, capsys):
+        code = main(
+            ["sweep", str(asm_file), "--arch", "c2075", "--grid", "16",
+             "--block-size", "128", "--max-events", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized runtime" in out

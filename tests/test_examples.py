@@ -1,0 +1,54 @@
+"""Example-script smoke tests (cheap ones run; heavy ones import-check)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "occupancy_sweep",
+        "custom_kernel",
+        "energy_savings",
+        "performance_model",
+    ],
+)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(module.main)
+
+
+def test_custom_kernel_example_runs(capsys):
+    module = _load("custom_kernel")
+    module.main()
+    out = capsys.readouterr().out
+    assert "semantics      : identical" in out
+    assert "BROKEN" not in out
+
+
+def test_quickstart_kernel_source_is_valid():
+    from repro.isa.assembly import parse_module
+
+    module = _load("quickstart")
+    parsed = parse_module(module.build_kernel_source())
+    parsed.validate()
+
+
+def test_occupancy_sweep_rejects_unknown_benchmark(monkeypatch):
+    module = _load("occupancy_sweep")
+    monkeypatch.setattr(sys, "argv", ["occupancy_sweep.py", "nope"])
+    with pytest.raises(SystemExit):
+        module.main()
