@@ -72,6 +72,8 @@ def cmd_dis(args: argparse.Namespace) -> int:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.harness.reporting import format_phase_report
+
     module = _load_module(Path(args.input))
     kernel = args.kernel or module.kernel().name
     arch = ARCHS[args.arch]
@@ -84,10 +86,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
             can_tune=not args.no_tune,
             max_versions=args.max_versions,
         ),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
     )
     Path(args.output).write_bytes(binary.to_bytes())
     print(f"kernel {kernel!r} on {arch.name}: direction={binary.direction}")
     print(_version_table(binary))
+    if args.timings:
+        print(format_phase_report())
     print(f"multi-version binary -> {args.output}")
     return 0
 
@@ -215,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-versions", type=int, default=5)
     p.add_argument("--no-tune", action="store_true",
                    help="force static selection (no runtime tuning)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for candidate realization "
+                        "(default: $ORION_COMPILE_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed compile cache")
+    p.add_argument("--timings", action="store_true",
+                   help="print the phase-timer / cache-hit report")
     _add_arch(p)
     p.set_defaults(func=cmd_compile)
 

@@ -11,7 +11,10 @@ end converts the transformed assembly code back to binary code."
 
 :func:`compile_binary` is that whole path: it accepts an ORAS binary
 (or an in-memory module), runs the Fig. 8 compile-time tuning, and
-returns the multi-version binary for the runtime.
+returns the multi-version binary for the runtime.  The driver consults
+the content-addressed compile cache (:mod:`repro.perf.cache`) first —
+a hit deserializes the stored fat binary instead of re-running the
+middle end — and charges every stage to :data:`repro.perf.TIMERS`.
 
 :func:`nvcc_baseline` models the paper's comparison point: a quality
 single-thread allocation (graph colouring under the 63-register cap)
@@ -30,12 +33,19 @@ from repro.compiler.realize import KernelVersion
 from repro.compiler.tuning import compile_time_tuning
 from repro.ir.function import Module
 from repro.isa.encoding import decode_module, encode_module
+from repro.perf.cache import CompileCache, compile_cache_key, default_cache
+from repro.perf.timers import TIMERS
 from repro.regalloc.allocator import allocate_module
 
 
 @dataclass(frozen=True)
 class CompileOptions:
-    """Knobs of one compilation."""
+    """Knobs of one compilation.
+
+    Every field is part of the compile-cache key (the frozen repr is
+    the fingerprint); worker count deliberately is not, so it lives in
+    the ``jobs`` argument of :func:`compile_binary` instead.
+    """
 
     arch: GpuArchitecture
     block_size: int = 256
@@ -55,21 +65,56 @@ def compile_binary(
     data: bytes | Module,
     kernel_name: str,
     options: CompileOptions,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache: CompileCache | None = None,
 ) -> MultiVersionBinary:
-    """Full Orion compilation: candidate generation + fat binary."""
-    module = front_end(data)
-    plan = compile_time_tuning(
-        module,
-        kernel_name,
-        options.arch,
-        options.block_size,
-        can_tune=options.can_tune,
-        cache_config=options.cache_config,
-        max_versions=options.max_versions,
-    )
-    return MultiVersionBinary.from_plan(
-        plan, options.arch.name, options.block_size
-    )
+    """Full Orion compilation: candidate generation + fat binary.
+
+    ``use_cache=False`` always runs the middle end (the pre-cache
+    behaviour); otherwise ``cache`` (default: the process-wide
+    :func:`repro.perf.default_cache`) is consulted first.  ``jobs``
+    parallelises candidate realisation — see
+    :func:`repro.compiler.tuning.compile_time_tuning`; it never changes
+    the output bytes, which is why it is not part of the cache key.
+    """
+    if cache is None and use_cache:
+        cache = default_cache()
+    key: str | None = None
+    if cache is not None:
+        module_bytes = data if isinstance(data, bytes) else encode_module(data)
+        key = compile_cache_key(module_bytes, kernel_name, options)
+        with TIMERS.phase("cache_lookup"):
+            payload = cache.lookup(key)
+        if payload is not None:
+            with TIMERS.phase("cache_decode"):
+                try:
+                    return MultiVersionBinary.from_bytes(payload)
+                except Exception:
+                    # A truncated/corrupted entry (torn disk write, manual
+                    # edit) is a miss, not an error; recompiling below
+                    # overwrites it with a good payload.
+                    pass
+    with TIMERS.phase("front_end"):
+        module = front_end(data)
+    with TIMERS.phase("tuning"):
+        plan = compile_time_tuning(
+            module,
+            kernel_name,
+            options.arch,
+            options.block_size,
+            can_tune=options.can_tune,
+            cache_config=options.cache_config,
+            max_versions=options.max_versions,
+            jobs=jobs,
+        )
+    with TIMERS.phase("pack"):
+        binary = MultiVersionBinary.from_plan(
+            plan, options.arch.name, options.block_size
+        )
+        if cache is not None and key is not None:
+            cache.store(key, binary.to_bytes())
+    return binary
 
 
 def nvcc_baseline(

@@ -22,6 +22,7 @@ candidate kernel versions the runtime then trials:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.arch.occupancy import calculate_occupancy, occupancy_levels
@@ -135,8 +136,18 @@ def compile_time_tuning(
     can_tune: bool = True,
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
     max_versions: int = 5,
+    jobs: int | None = None,
 ) -> TuningPlan:
-    """Fig. 8: produce the candidate kernel-version set."""
+    """Fig. 8: produce the candidate kernel-version set.
+
+    ``jobs`` realises independent occupancy candidates in parallel
+    worker processes (``None`` reads ``ORION_COMPILE_JOBS``, default 1).
+    Parallelism never changes the plan: ``versions[0]`` is still the
+    original, candidates keep their occupancy order, and the resulting
+    binaries are byte-identical to a sequential compile — workers are
+    gathered in submission order and any pool failure falls back to the
+    sequential path.
+    """
     threshold = arch.registers_per_thread_at_full_occupancy
     direction = tuning_direction(module, kernel_name, threshold)
     plan = TuningPlan(
@@ -161,22 +172,17 @@ def compile_time_tuning(
             if w >= max(floor, original.achieved_warps + 1)
         ]
         targets = _thin(targets, max_versions - 1)
-        for warps in targets:
-            try:
-                plan.versions.append(
-                    realize_occupancy(
-                        module,
-                        kernel_name,
-                        arch,
-                        block_size,
-                        warps,
-                        cache_config,
-                        conservative=True,
-                        label=f"conservative warps={warps}",
-                    )
-                )
-            except RealizeError:
-                continue
+        plan.versions.extend(
+            _realize_targets(
+                module,
+                kernel_name,
+                arch,
+                block_size,
+                targets,
+                cache_config,
+                _resolve_jobs(jobs),
+            )
+        )
         # Fail-safe: one padded version below the original.
         lower = [w for w in levels if w < original.achieved_warps]
         if lower:
@@ -237,6 +243,121 @@ def compile_time_tuning(
         plan.versions = [chosen]
         plan.failsafe = []
     return plan
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: explicit arg, else ``ORION_COMPILE_JOBS``."""
+    if jobs is None:
+        raw = os.environ.get("ORION_COMPILE_JOBS", "")
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+def _realize_one(
+    module: Module,
+    kernel_name: str,
+    arch: GpuArchitecture,
+    block_size: int,
+    warps: int,
+    cache_config: CacheConfig,
+) -> KernelVersion | None:
+    """One conservative candidate, or ``None`` when unrealisable.
+
+    Module-level (picklable) so it can run in a worker process; failures
+    come back as values rather than exceptions to keep the RealizeError
+    semantics identical across transports.
+    """
+    try:
+        return realize_occupancy(
+            module,
+            kernel_name,
+            arch,
+            block_size,
+            warps,
+            cache_config,
+            conservative=True,
+            label=f"conservative warps={warps}",
+        )
+    except RealizeError:
+        return None
+
+
+def _realize_targets(
+    module: Module,
+    kernel_name: str,
+    arch: GpuArchitecture,
+    block_size: int,
+    targets: list[int],
+    cache_config: CacheConfig,
+    jobs: int,
+) -> list[KernelVersion]:
+    """Realise each target level, in parallel when ``jobs > 1``.
+
+    Candidates are independent compiles of the same input module, so the
+    only ordering requirement is that results come back in target order;
+    gathering futures in submission order guarantees that.  Any pool
+    failure (no fork support, pickling, resource limits) silently falls
+    back to the sequential loop, which is also the ``jobs == 1`` path.
+    """
+    if jobs > 1 and len(targets) > 1:
+        try:
+            return _realize_parallel(
+                module,
+                kernel_name,
+                arch,
+                block_size,
+                targets,
+                cache_config,
+                jobs,
+            )
+        except Exception:
+            pass  # fall through to the sequential path
+    versions = []
+    for warps in targets:
+        version = _realize_one(
+            module, kernel_name, arch, block_size, warps, cache_config
+        )
+        if version is not None:
+            versions.append(version)
+    return versions
+
+
+def _realize_parallel(
+    module: Module,
+    kernel_name: str,
+    arch: GpuArchitecture,
+    block_size: int,
+    targets: list[int],
+    cache_config: CacheConfig,
+    jobs: int,
+) -> list[KernelVersion]:
+    import concurrent.futures
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - platform without fork
+        context = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(targets)), mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(
+                _realize_one,
+                module,
+                kernel_name,
+                arch,
+                block_size,
+                warps,
+                cache_config,
+            )
+            for warps in targets
+        ]
+        results = [future.result() for future in futures]
+    return [version for version in results if version is not None]
 
 
 def _thin(targets: list[int], limit: int) -> list[int]:

@@ -48,6 +48,48 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_phase_report(
+    timers=None,
+    cache_stats=None,
+    title: str = "Compilation phases",
+) -> str:
+    """Render the pipeline's phase timers plus compile-cache counters.
+
+    ``timers`` defaults to the process-wide :data:`repro.perf.TIMERS`;
+    ``cache_stats`` defaults to the default compile cache's counters.
+    """
+    from repro.perf import TIMERS, default_cache
+
+    timers = TIMERS if timers is None else timers
+    cache_stats = default_cache().stats if cache_stats is None else cache_stats
+    snapshot = timers.snapshot()
+    total = sum(stats.seconds for stats in snapshot.values())
+    rows = [
+        (
+            name,
+            stats.calls,
+            stats.seconds,
+            (100.0 * stats.seconds / total) if total else 0.0,
+        )
+        for name, stats in sorted(
+            snapshot.items(), key=lambda item: -item[1].seconds
+        )
+    ]
+    rows.append(("total", sum(s.calls for s in snapshot.values()), total, 100.0 if total else 0.0))
+    table = format_table(
+        ["phase", "calls", "seconds", "%"],
+        [(n, c, f"{s:.3f}", f"{p:.1f}") for n, c, s, p in rows],
+        title=title,
+    )
+    cache_line = (
+        f"compile cache: {cache_stats.hits} hits "
+        f"({cache_stats.memory_hits} memory, {cache_stats.disk_hits} disk), "
+        f"{cache_stats.misses} misses, "
+        f"hit rate {100.0 * cache_stats.hit_rate:.1f}%"
+    )
+    return table + "\n" + cache_line
+
+
 def _cell(value: object) -> str:
     if value is None:
         return "-"

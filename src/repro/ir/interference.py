@@ -5,15 +5,20 @@ other; interfering variables cannot share an on-chip memory slot.  Moves
 get the classic Chaitin refinement: for ``MOV d, s`` the definition of
 ``d`` does not interfere with ``s`` itself, which keeps copy-related
 variables colourable to the same slot.
+
+Construction runs in the same dense-bitmask domain as the liveness
+analysis: the backward walk keeps the live set as one integer and the
+adjacency as per-register bitmasks, then materialises the classic
+``dict[Reg, set[Reg]]`` adjacency once at the end.  Node order is the
+deterministic dense numbering (first appearance in the instruction
+stream), stable across runs and hash seeds.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
-from repro.ir.liveness import analyze_liveness
+from repro.ir.liveness import _RegNumbering, analyze_liveness
 from repro.isa.instructions import Opcode
 from repro.isa.registers import Reg, VirtualReg
 
@@ -77,46 +82,112 @@ def build_interference(
     """
     cfg = cfg or CFG(fn)
     info = analyze_liveness(fn, cfg)
-    graph = InterferenceGraph()
+
+    args = [VirtualReg(i, 1) for i in range(fn.num_args)]
+    numbering = _RegNumbering(fn, cfg.rpo)
+    index = numbering.index
+    for reg in args:
+        if reg not in index:
+            index[reg] = len(numbering.regs)
+            numbering.regs.append(reg)
+
+    def mask_of(regs) -> int:
+        mask = 0
+        for reg in regs:
+            mask |= 1 << index[reg]
+        return mask
+
+    present = 0  # nodes of the graph, as a bitmask
+    adjacency = [0] * len(numbering.regs)
 
     for label in cfg.rpo:
         block = fn.blocks[label]
-        live: set[Reg] = set(info.live_out[label])
-        for reg in live:
-            graph.add_node(reg)
+        live = mask_of(info.live_out[label])
+        present |= live
         for idx in range(len(block.instructions) - 1, -1, -1):
             inst = block.instructions[idx]
             written = inst.regs_written()
-            move_source: Reg | None = None
+            move_mask = 0
             if (
                 inst.opcode is Opcode.MOV
                 and inst.srcs
                 and isinstance(inst.srcs[0], VirtualReg)
             ):
-                move_source = inst.srcs[0]
+                move_mask = 1 << index[inst.srcs[0]]
             for dst in written:
-                graph.add_node(dst)
-                for other in live:
-                    if other is not dst and other != dst and other != move_source:
-                        graph.add_edge(dst, other)
+                dbit = index[dst]
+                present |= 1 << dbit
+                others = live & ~(1 << dbit) & ~move_mask
+                if others:
+                    adjacency[dbit] |= others
+                    mask = others
+                    base = 0
+                    while mask:
+                        chunk = mask & 0xFFFFFFFF
+                        while chunk:
+                            low = chunk & -chunk
+                            adjacency[base + low.bit_length() - 1] |= 1 << dbit
+                            chunk ^= low
+                        mask >>= 32
+                        base += 32
             for dst in written:
-                live.discard(dst)
+                live &= ~(1 << index[dst])
             if inst.opcode is not Opcode.PHI:
                 for src in inst.regs_read():
-                    graph.add_node(src)
-                    live.add(src)
+                    b = 1 << index[src]
+                    present |= b
+                    live |= b
 
     # Arguments are defined "before" the entry block: they interfere with
     # everything live at entry (including each other).
-    entry_live = set(info.live_in[cfg.entry])
-    args = [VirtualReg(i, 1) for i in range(fn.num_args)]
+    entry_live = mask_of(info.live_in[cfg.entry])
     for arg in args:
-        graph.add_node(arg)
-        for other in entry_live:
-            if other != arg:
-                graph.add_edge(arg, other)
+        abit = index[arg]
+        present |= 1 << abit
+        others = entry_live & ~(1 << abit)
+        adjacency[abit] |= others
+        mask = others
+        base = 0
+        while mask:
+            chunk = mask & 0xFFFFFFFF
+            while chunk:
+                low = chunk & -chunk
+                adjacency[base + low.bit_length() - 1] |= 1 << abit
+                chunk ^= low
+            mask >>= 32
+            base += 32
 
+    graph = InterferenceGraph()
+    regs = numbering.regs
+    mask = present
+    base = 0
+    while mask:
+        chunk = mask & 0xFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            i = base + low.bit_length() - 1
+            graph.adjacency[regs[i]] = {
+                regs[j] for j in _bit_indices(adjacency[i])
+            }
+            chunk ^= low
+        mask >>= 32
+        base += 32
     return graph
+
+
+def _bit_indices(mask: int) -> list[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    out: list[int] = []
+    base = 0
+    while mask:
+        chunk = mask & 0xFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            out.append(base + low.bit_length() - 1)
+            chunk ^= low
+        mask >>= 32
+        base += 32
+    return out
 
 
 def move_pairs(fn: Function) -> list[tuple[Reg, Reg]]:

@@ -11,6 +11,15 @@ Liveness drives three things in Orion:
 
 Variables here are register objects (virtual or physical); a wide
 variable counts ``width`` slots toward max-live.
+
+Internally the dataflow runs over *dense* register numbers and Python
+integer bitmasks: every register in the function is assigned a bit, the
+per-block use/def/live sets are single ints, and the fixpoint is a
+proper worklist (only predecessors of blocks whose live-in changed are
+revisited).  The public :class:`LivenessInfo` API still speaks
+``set[Reg]`` — the masks are materialised once, after the fixpoint —
+so downstream consumers (interference, SSA pruning, the compressible
+stack) are untouched.
 """
 
 from __future__ import annotations
@@ -40,19 +49,87 @@ class LivenessInfo:
     )
 
 
-def _block_use_def(fn: Function, label: str) -> tuple[set[Reg], set[Reg]]:
-    uses: set[Reg] = set()
-    defs: set[Reg] = set()
+class _RegNumbering:
+    """Dense bit numbering of every register appearing in a function.
+
+    Bits are assigned in first-appearance order over a deterministic
+    walk of the instruction stream, so the numbering (and everything
+    derived from it) is stable across runs and hash seeds.
+    """
+
+    __slots__ = ("index", "regs", "widths")
+
+    def __init__(self, fn: Function, labels: list[str]) -> None:
+        index: dict[Reg, int] = {}
+        regs: list[Reg] = []
+        for label in labels:
+            for inst in fn.blocks[label].instructions:
+                for reg in inst.regs_read():
+                    if reg not in index:
+                        index[reg] = len(regs)
+                        regs.append(reg)
+                for reg in inst.regs_written():
+                    if reg not in index:
+                        index[reg] = len(regs)
+                        regs.append(reg)
+        self.index = index
+        self.regs = regs
+        self.widths = [r.width for r in regs]
+
+    def bit(self, reg: Reg) -> int:
+        return 1 << self.index[reg]
+
+    def materialize(self, mask: int) -> set[Reg]:
+        """Expand a bitmask back into a ``set[Reg]``."""
+        out: set[Reg] = set()
+        regs = self.regs
+        base = 0
+        while mask:
+            chunk = mask & 0xFFFFFFFF
+            while chunk:
+                low = chunk & -chunk
+                out.add(regs[base + low.bit_length() - 1])
+                chunk ^= low
+            mask >>= 32
+            base += 32
+        return out
+
+    def slots(self, mask: int) -> int:
+        """Total register slots of a mask (widths summed)."""
+        total = 0
+        widths = self.widths
+        base = 0
+        while mask:
+            chunk = mask & 0xFFFFFFFF
+            while chunk:
+                low = chunk & -chunk
+                total += widths[base + low.bit_length() - 1]
+                chunk ^= low
+            mask >>= 32
+            base += 32
+        return total
+
+
+def _block_masks(
+    fn: Function, label: str, numbering: _RegNumbering
+) -> tuple[int, int]:
+    """(upward-exposed uses, defs) of one block, as bitmasks."""
+    uses = 0
+    defs = 0
+    bit = numbering.bit
     for inst in fn.blocks[label].instructions:
         if inst.opcode is Opcode.PHI:
             # φ uses happen on the predecessor edge, not here; the def
             # happens at the top of this block.
-            defs.update(inst.regs_written())
+            for reg in inst.regs_written():
+                defs |= bit(reg)
             continue
         for reg in inst.regs_read():
-            if reg not in defs:
-                uses.add(reg)
-        defs.update(inst.regs_written())
+            b = bit(reg)
+            if not defs & b:
+                uses |= b
+        for reg in inst.regs_written():
+            defs |= bit(reg)
     return uses, defs
 
 
@@ -64,45 +141,70 @@ def analyze_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
     """
     cfg = cfg or CFG(fn)
     labels = cfg.rpo
-    uses: dict[str, set[Reg]] = {}
-    defs: dict[str, set[Reg]] = {}
+    numbering = _RegNumbering(fn, labels)
+    bit = numbering.bit
+
+    uses: dict[str, int] = {}
+    defs: dict[str, int] = {}
     for label in labels:
-        uses[label], defs[label] = _block_use_def(fn, label)
+        uses[label], defs[label] = _block_masks(fn, label, numbering)
 
-    phi_defs: dict[str, set[Reg]] = {
-        label: {p.dst for p in fn.blocks[label].phis() if p.dst is not None}
-        for label in labels
-    }
+    phi_defs: dict[str, int] = {}
+    # φ operands drawn from each incoming edge: succ -> {pred: mask}.
+    phi_edge_uses: dict[str, dict[str, int]] = {}
+    for label in labels:
+        mask = 0
+        edges: dict[str, int] = {}
+        for p in fn.blocks[label].phis():
+            if p.dst is not None:
+                mask |= bit(p.dst)
+            for pred, op in p.phi_args:
+                if _is_reg(op):
+                    edges[pred] = edges.get(pred, 0) | bit(op)
+        phi_defs[label] = mask
+        phi_edge_uses[label] = edges
 
-    live_in: dict[str, set[Reg]] = {label: set() for label in labels}
-    live_out: dict[str, set[Reg]] = {label: set() for label in labels}
+    live_in: dict[str, int] = {label: 0 for label in labels}
+    live_out: dict[str, int] = {label: 0 for label in labels}
 
-    changed = True
-    while changed:
-        changed = False
-        for label in reversed(labels):
-            out: set[Reg] = set()
-            for succ in cfg.succs[label]:
-                if succ not in live_in:
-                    continue
-                # live-in of successor minus its φ defs, plus the operands
-                # its φs draw from *this* edge.
-                out |= live_in[succ] - phi_defs[succ]
-                for p in fn.blocks[succ].phis():
-                    for pred, op in p.phi_args:
-                        if pred == label and _is_reg(op):
-                            out.add(op)
-            # φ destinations are defined at the block top, so they are
-            # live-in here without forcing liveness into predecessors
-            # (the subtraction above removes them on the way up).
-            new_in = uses[label] | (out - defs[label]) | phi_defs[label]
-            if out != live_out[label] or new_in != live_in[label]:
-                live_out[label] = out
+    # Worklist fixpoint: seed with every block in reverse RPO (one
+    # backward sweep converges most acyclic regions immediately), then
+    # revisit only the predecessors of blocks whose live-in grew.
+    pending = list(reversed(labels))
+    in_pending = set(pending)
+    preds = cfg.preds
+    succs = cfg.succs
+    while pending:
+        label = pending.pop()
+        in_pending.discard(label)
+        out = 0
+        for succ in succs[label]:
+            if succ not in live_in:
+                continue
+            # live-in of successor minus its φ defs, plus the operands
+            # its φs draw from *this* edge.
+            out |= live_in[succ] & ~phi_defs[succ]
+            out |= phi_edge_uses[succ].get(label, 0)
+        # φ destinations are defined at the block top, so they are
+        # live-in here without forcing liveness into predecessors
+        # (the subtraction above removes them on the way up).
+        new_in = uses[label] | (out & ~defs[label]) | phi_defs[label]
+        if out != live_out[label] or new_in != live_in[label]:
+            live_out[label] = out
+            if new_in != live_in[label]:
                 live_in[label] = new_in
-                changed = True
+                for pred in preds[label]:
+                    if pred in live_in and pred not in in_pending:
+                        in_pending.add(pred)
+                        pending.append(pred)
 
-    info = LivenessInfo(live_in=live_in, live_out=live_out, uses=uses, defs=defs)
-    _scan_points(fn, cfg, info)
+    info = LivenessInfo(
+        live_in={l: numbering.materialize(m) for l, m in live_in.items()},
+        live_out={l: numbering.materialize(m) for l, m in live_out.items()},
+        uses={l: numbering.materialize(m) for l, m in uses.items()},
+        defs={l: numbering.materialize(m) for l, m in defs.items()},
+    )
+    _scan_points(fn, cfg, info, numbering, live_out)
     return info
 
 
@@ -110,35 +212,47 @@ def _is_reg(op: object) -> bool:
     return isinstance(op, (PhysReg, VirtualReg))
 
 
-def _scan_points(fn: Function, cfg: CFG, info: LivenessInfo) -> None:
+def _scan_points(
+    fn: Function,
+    cfg: CFG,
+    info: LivenessInfo,
+    numbering: _RegNumbering,
+    live_out: dict[str, int],
+) -> None:
     """Walk each block backwards recording max-live and call-site sets."""
+    bit = numbering.bit
     max_live = 0
     for label in cfg.rpo:
         block = fn.blocks[label]
-        live: set[Reg] = set(info.live_out[label])
-        max_live = max(max_live, _slots(live))
+        live = live_out[label]
+        slots = numbering.slots(live)
+        max_live = max(max_live, slots)
         for idx in range(len(block.instructions) - 1, -1, -1):
             inst = block.instructions[idx]
             if inst.is_call:
                 # Variables live *across* the call: live after it, minus
                 # the call's own result.  These are the slots the
                 # compressible stack must preserve (Theorem 1's L_ik).
-                info.live_across_calls[(label, idx)] = set(live) - set(
-                    inst.regs_written()
+                across = live
+                for reg in inst.regs_written():
+                    across &= ~bit(reg)
+                info.live_across_calls[(label, idx)] = numbering.materialize(
+                    across
                 )
             for reg in inst.regs_written():
-                live.discard(reg)
-            if inst.opcode is Opcode.PHI:
+                b = bit(reg)
+                if live & b:
+                    live &= ~b
+                    slots -= reg.width
+            if inst.opcode is not Opcode.PHI:
                 # φ operands live on edges; handled via live_out of preds.
-                pass
-            else:
-                live.update(inst.regs_read())
-            max_live = max(max_live, _slots(live))
+                for reg in inst.regs_read():
+                    b = bit(reg)
+                    if not live & b:
+                        live |= b
+                        slots += reg.width
+            max_live = max(max_live, slots)
     info.max_live = max_live
-
-
-def _slots(regs: set[Reg]) -> int:
-    return sum(r.width for r in regs)
 
 
 def max_live(fn: Function) -> int:

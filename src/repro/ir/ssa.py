@@ -97,7 +97,7 @@ def construct_ssa(fn: Function, allow_undef: bool = False) -> None:
     for var, blocks in def_blocks.items():
         if not isinstance(var, VirtualReg):
             raise SSAError("construct_ssa requires virtual registers; lift first")
-        worklist = list(blocks)
+        worklist = sorted(blocks)
         placed: set[str] = set()
         while worklist:
             label = worklist.pop()

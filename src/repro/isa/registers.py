@@ -79,6 +79,17 @@ class PhysReg:
 Reg = VirtualReg | PhysReg
 
 
+def reg_sort_key(reg: Reg) -> tuple[int, int, int]:
+    """Stable total order over registers (virtual before physical).
+
+    Whenever a ``set[Reg]`` must be materialised into an ordering
+    (colouring stacks, cluster members, test output), sorting by this
+    key keeps the result independent of set iteration order and hash
+    seed, which keeps allocation output reproducible bit-for-bit.
+    """
+    return (0 if isinstance(reg, VirtualReg) else 1, reg.index, reg.width)
+
+
 def required_alignment(width: int) -> int:
     """Alignment (in slots) a value of ``width`` slots must start at."""
     if width == 1:

@@ -1,0 +1,27 @@
+"""Compilation-performance infrastructure: caching and phase timing.
+
+The pipeline (:mod:`repro.compiler.pipeline`) consults a
+content-addressed compile cache before doing any work and charges each
+stage to a process-wide phase timer, so the harness and CLI can report
+where compile time goes and how often the cache pays off.
+"""
+
+from repro.perf.cache import (
+    CacheStats,
+    CompileCache,
+    compile_cache_key,
+    default_cache,
+    reset_default_cache,
+)
+from repro.perf.timers import PhaseStats, PhaseTimers, TIMERS
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "PhaseStats",
+    "PhaseTimers",
+    "TIMERS",
+    "compile_cache_key",
+    "default_cache",
+    "reset_default_cache",
+]

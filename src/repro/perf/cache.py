@@ -1,0 +1,171 @@
+"""Content-addressed compile cache.
+
+A compilation is fully determined by the encoded input module, the
+kernel being compiled, and the :class:`~repro.compiler.pipeline.CompileOptions`
+knobs (the allocator is deterministic — see
+``tests/compiler/test_determinism.py``), so its result can be addressed
+by a SHA-256 digest of exactly those inputs.  Worker count is *not*
+part of the key: parallel and sequential compiles produce identical
+bytes.
+
+Two tiers:
+
+* **memory** — a plain dict of ``key -> serialized MultiVersionBinary``
+  bytes, always on.  Hits deserialize a fresh object, so callers can
+  mutate results freely.
+* **disk** — optional, enabled by a cache directory (the
+  ``ORION_CACHE_DIR`` environment variable or an explicit argument).
+  Entries are written atomically (temp file + rename) under
+  ``<dir>/<key[:2]>/<key>.ormv`` and survive across processes.  All
+  disk I/O is best-effort: a failed read or write degrades to a miss,
+  never an error.
+
+Invalidation is automatic: any change to the module bytes or options
+changes the key.  Stale entries are simply never looked up again; a
+directory can be deleted wholesale at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+_KEY_PREFIX = b"orion-compile-v1\x00"
+
+
+def compile_cache_key(module_bytes: bytes, kernel_name: str, options) -> str:
+    """SHA-256 content address of one compilation.
+
+    ``options`` is a :class:`repro.compiler.pipeline.CompileOptions`
+    (typed loosely to avoid an import cycle); its frozen-dataclass repr
+    — including the full architecture descriptor — is the fingerprint,
+    so adding a knob or changing a hardware constant invalidates
+    naturally.
+    """
+    digest = hashlib.sha256()
+    digest.update(_KEY_PREFIX)
+    digest.update(kernel_name.encode())
+    digest.update(b"\x00")
+    digest.update(repr(options).encode())
+    digest.update(b"\x00")
+    digest.update(module_bytes)
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`CompileCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CompileCache:
+    """Two-tier (memory + optional disk) content-addressed byte store."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, bytes] = {}
+        self.directory = Path(directory) if directory else None
+        self.stats = CacheStats()
+
+    # -- lookup --------------------------------------------------------
+    def lookup(self, key: str) -> bytes | None:
+        payload = self._memory.get(key)
+        if payload is not None:
+            self.stats.memory_hits += 1
+            return payload
+        payload = self._disk_read(key)
+        if payload is not None:
+            self._memory[key] = payload
+            self.stats.disk_hits += 1
+            return payload
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, payload: bytes) -> None:
+        self._memory[key] = payload
+        self._disk_write(key, payload)
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop the memory tier and reset counters (disk is untouched)."""
+        self._memory.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk tier -----------------------------------------------------
+    def _entry_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / key[:2] / f"{key}.ormv"
+
+    def _disk_read(self, key: str) -> bytes | None:
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def _disk_write(self, key: str, payload: bytes) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".ormv"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # best-effort: a full or read-only disk is a non-event
+
+
+_default: CompileCache | None = None
+
+
+def default_cache() -> CompileCache:
+    """The process-wide cache the pipeline consults.
+
+    Created on first use; picks up a disk tier from ``ORION_CACHE_DIR``
+    at creation time.
+    """
+    global _default
+    if _default is None:
+        _default = CompileCache(os.environ.get("ORION_CACHE_DIR") or None)
+    return _default
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (tests; env-var changes)."""
+    global _default
+    _default = None

@@ -1,0 +1,63 @@
+"""Wall-clock phase timers for the compilation pipeline.
+
+A :class:`PhaseTimers` instance accumulates (calls, seconds) per named
+phase.  The process-wide :data:`TIMERS` instance is what the pipeline
+charges; the harness and CLI read it back through
+:func:`repro.harness.reporting.format_phase_report`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one pipeline phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class PhaseTimers:
+    """Named wall-clock accumulators (perf_counter based)."""
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseStats] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Charge the enclosed block to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats = self.phases.setdefault(name, PhaseStats())
+            stats.calls += 1
+            stats.seconds += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge an externally-measured duration to ``name``."""
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.calls += 1
+        stats.seconds += seconds
+
+    def total_seconds(self) -> float:
+        return sum(stats.seconds for stats in self.phases.values())
+
+    def snapshot(self) -> dict[str, PhaseStats]:
+        """A point-in-time copy, safe to render while timing continues."""
+        return {
+            name: PhaseStats(stats.calls, stats.seconds)
+            for name, stats in self.phases.items()
+        }
+
+    def reset(self) -> None:
+        self.phases.clear()
+
+
+#: Process-wide timers the compilation pipeline charges.
+TIMERS = PhaseTimers()

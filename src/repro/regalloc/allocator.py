@@ -82,7 +82,10 @@ def allocate_module(
         raise BudgetError("register budget must be positive")
     work = module.copy()
     callgraph = CallGraph(work)
-    reachable = callgraph.reachable(kernel_name)
+    # Iterate function names in sorted order: the set's iteration order
+    # depends on the string hash seed, and allocation details (shared
+    # promotion offsets, shrink order) follow iteration order.
+    reachable = sorted(callgraph.reachable(kernel_name))
 
     for name in reachable:
         fn = work.functions[name]
@@ -279,7 +282,7 @@ def _allocate_function(
 
 
 def _offset_local_frames(
-    module: Module, reachable: set[str], states: dict[str, SpillState]
+    module: Module, reachable: list[str], states: dict[str, SpillState]
 ) -> None:
     """Give each function a disjoint local-memory frame window."""
     from repro.isa.instructions import MemSpace

@@ -25,7 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.interference import InterferenceGraph
-from repro.isa.registers import Reg, is_aligned, required_alignment
+from repro.isa.registers import (
+    Reg,
+    is_aligned,
+    reg_sort_key,
+    required_alignment,
+)
 
 
 @dataclass
@@ -48,8 +53,8 @@ class ColoringResult:
         return range(base, base + var.width)
 
 
-def _sort_key(var: Reg) -> tuple[int, int]:
-    return (var.index, var.width)
+def _sort_key(var: Reg) -> tuple[int, int, int]:
+    return reg_sort_key(var)
 
 
 def color_graph(
@@ -94,35 +99,57 @@ def _stack_order(
     candidates: list[Reg],
     always_blocking: set[Reg],
 ) -> list[Reg]:
-    """Fig. 4b ordering: trivial picks first, else optimistic candidates."""
-    remaining = sorted(candidates, key=_sort_key)
-    in_graph = set(remaining) | always_blocking
+    """Fig. 4b ordering: trivial picks first, else optimistic candidates.
+
+    Degrees are maintained incrementally over dense candidate indices —
+    removing a node decrements its neighbours' blocked-width and edge
+    counts — instead of rescanning every neighbour set per pick, which
+    turns the ordering from O(n²·deg) into O(n² + E) while selecting
+    the exact same stack.
+    """
+    order = sorted(candidates, key=_sort_key)
+    ids = {v: i for i, v in enumerate(order)}
+    widths = [v.width for v in order]
+    # blocked/edges start from the full graph (candidates plus the
+    # always-blocking precoloured nodes, which are never removed).
+    blocked = [0] * len(order)
+    edges = [0] * len(order)
+    neighbor_ids: list[list[int]] = []
+    for i, v in enumerate(order):
+        nbrs: list[int] = []
+        for n in graph.neighbors(v):
+            blocked[i] += n.width
+            edges[i] += 1
+            j = ids.get(n)
+            if j is not None:
+                nbrs.append(j)
+        neighbor_ids.append(nbrs)
+
+    alive = [True] * len(order)
+    remaining = list(range(len(order)))
     stack: list[Reg] = []
     while remaining:
-        next_var: Reg | None = None
-        for v in remaining:
-            blocked = sum(
-                n.width for n in graph.neighbors(v) if n in in_graph
-            )
-            if v.width + blocked <= num_colors:
-                if next_var is None or next_var.width > v.width:
-                    next_var = v
-        if next_var is None:
+        pick = -1
+        for i in remaining:
+            if widths[i] + blocked[i] <= num_colors:
+                if pick < 0 or widths[pick] > widths[i]:
+                    pick = i
+        if pick < 0:
             # No trivially colourable node: optimistic spill candidate
             # with minimal width, then minimal edge count (Fig. 4b).
-            next_var = remaining[0]
-            for v in remaining:
-                v_edges = sum(1 for n in graph.neighbors(v) if n in in_graph)
-                n_edges = sum(
-                    1 for n in graph.neighbors(next_var) if n in in_graph
-                )
-                if next_var.width > v.width or (
-                    next_var.width == v.width and n_edges > v_edges
+            pick = remaining[0]
+            for i in remaining:
+                if widths[pick] > widths[i] or (
+                    widths[pick] == widths[i] and edges[pick] > edges[i]
                 ):
-                    next_var = v
-        stack.append(next_var)
-        remaining.remove(next_var)
-        in_graph.discard(next_var)
+                    pick = i
+        stack.append(order[pick])
+        remaining.remove(pick)
+        alive[pick] = False
+        for j in neighbor_ids[pick]:
+            if alive[j]:
+                blocked[j] -= widths[pick]
+                edges[j] -= 1
     return stack
 
 

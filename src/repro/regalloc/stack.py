@@ -328,11 +328,14 @@ def _plan_once(
     extra_height: dict[tuple[str, str, int], int],
 ) -> InterprocResult:
     callgraph = CallGraph(module)
-    reachable = callgraph.reachable(kernel_name)
+    # Sorted for reproducibility: name-set iteration order is hash-seed
+    # dependent, and plan/layout bookkeeping follows iteration order.
+    reachable = sorted(callgraph.reachable(kernel_name))
+    reachable_set = set(reachable)
     top_down = [
         name
         for name in reversed(callgraph.bottom_up_order(kernel_name))
-        if name in reachable
+        if name in reachable_set
     ]
 
     slots_used: dict[str, int] = {}

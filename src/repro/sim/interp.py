@@ -236,91 +236,10 @@ class Interpreter:
         memory: dict[int, Value],
         shared: dict[int, Value],
     ) -> None:
-        op = inst.opcode
-        read = lambda i: self._read(inst.srcs[i], state, launch)
-
-        if op is Opcode.S2R:
-            self._write(inst.dst, self._special(inst.special, state, launch), state)
-            return
-        if op is Opcode.MOV:
-            self._write(inst.dst, read(0), state)
-            return
-        if op is Opcode.SELP:
-            self._write(inst.dst, read(1) if read(0) else read(2), state)
-            return
-        if op is Opcode.I2F:
-            self._write(inst.dst, float(read(0)), state)
-            return
-        if op is Opcode.F2I:
-            self._write(inst.dst, int(read(0)), state)
-            return
-        if op in (Opcode.LD, Opcode.ST):
-            self._memory_op(inst, state, launch, memory, shared)
-            return
-        if op in (Opcode.ISET, Opcode.FSET):
-            self._write(inst.dst, 1 if _CMP[inst.cmp](read(0), read(1)) else 0, state)
-            return
-        if op is Opcode.NOP:
-            return
-
-        a = read(0)
-        if op is Opcode.FRCP:
-            self._write(inst.dst, 1.0 / a if a else math.inf, state)
-            return
-        if op is Opcode.FSQRT:
-            self._write(inst.dst, math.sqrt(a) if a >= 0 else math.nan, state)
-            return
-        if op is Opcode.FEXP:
-            self._write(inst.dst, math.exp(min(a, 700.0)), state)
-            return
-        if op is Opcode.FLOG:
-            self._write(inst.dst, math.log(a) if a > 0 else -math.inf, state)
-            return
-        if op is Opcode.FSIN:
-            self._write(inst.dst, math.sin(a), state)
-            return
-
-        b = read(1)
-        result: Value
-        if op is Opcode.IADD:
-            result = a + b
-        elif op is Opcode.ISUB:
-            result = a - b
-        elif op is Opcode.IMUL:
-            result = a * b
-        elif op is Opcode.IMIN:
-            result = min(a, b)
-        elif op is Opcode.IMAX:
-            result = max(a, b)
-        elif op is Opcode.AND:
-            result = int(a) & int(b)
-        elif op is Opcode.OR:
-            result = int(a) | int(b)
-        elif op is Opcode.XOR:
-            result = int(a) ^ int(b)
-        elif op is Opcode.SHL:
-            result = int(a) << int(b)
-        elif op is Opcode.SHR:
-            result = int(a) >> int(b)
-        elif op is Opcode.FADD:
-            result = a + b
-        elif op is Opcode.FSUB:
-            result = a - b
-        elif op is Opcode.FMUL:
-            result = a * b
-        elif op is Opcode.FMIN:
-            result = min(a, b)
-        elif op is Opcode.FMAX:
-            result = max(a, b)
-        elif op is Opcode.FDIV:
-            result = a / b if b else math.inf
-        elif op is Opcode.IMAD:
-            result = a * b + read(2)
-        elif op is Opcode.FFMA:
-            result = a * b + read(2)
-        else:
-            raise InterpError(f"unimplemented opcode {op}")
-        self._write(inst.dst, result, state)
+        handler = _DISPATCH.get(inst.opcode)
+        if handler is None:
+            raise InterpError(f"unimplemented opcode {inst.opcode}")
+        handler(self, inst, state, launch, memory, shared)
 
     # ------------------------------------------------------------------
     def _memory_op(
@@ -402,6 +321,99 @@ class Interpreter:
         if reg is SpecialReg.WARPID:
             return state.tid // 32
         raise InterpError(f"unknown special register {reg}")
+
+
+# ----------------------------------------------------------------------
+# Dispatch table for straight-line opcodes (control flow stays in
+# ``_run_function``).  One dict probe per instruction replaces the long
+# if/elif chain the hot loop used to walk for every late-listed opcode.
+
+
+def _unary(fn):
+    def handler(interp, inst, state, launch, memory, shared):
+        a = interp._read(inst.srcs[0], state, launch)
+        interp._write(inst.dst, fn(a), state)
+
+    return handler
+
+
+def _binary(fn):
+    def handler(interp, inst, state, launch, memory, shared):
+        a = interp._read(inst.srcs[0], state, launch)
+        b = interp._read(inst.srcs[1], state, launch)
+        interp._write(inst.dst, fn(a, b), state)
+
+    return handler
+
+
+def _ternary(fn):
+    def handler(interp, inst, state, launch, memory, shared):
+        a = interp._read(inst.srcs[0], state, launch)
+        b = interp._read(inst.srcs[1], state, launch)
+        c = interp._read(inst.srcs[2], state, launch)
+        interp._write(inst.dst, fn(a, b, c), state)
+
+    return handler
+
+
+def _op_s2r(interp, inst, state, launch, memory, shared):
+    interp._write(inst.dst, interp._special(inst.special, state, launch), state)
+
+
+def _op_selp(interp, inst, state, launch, memory, shared):
+    pick = 1 if interp._read(inst.srcs[0], state, launch) else 2
+    interp._write(inst.dst, interp._read(inst.srcs[pick], state, launch), state)
+
+
+def _op_memory(interp, inst, state, launch, memory, shared):
+    interp._memory_op(inst, state, launch, memory, shared)
+
+
+def _op_set(interp, inst, state, launch, memory, shared):
+    a = interp._read(inst.srcs[0], state, launch)
+    b = interp._read(inst.srcs[1], state, launch)
+    interp._write(inst.dst, 1 if _CMP[inst.cmp](a, b) else 0, state)
+
+
+def _op_nop(interp, inst, state, launch, memory, shared):
+    return
+
+
+_DISPATCH = {
+    Opcode.S2R: _op_s2r,
+    Opcode.MOV: _unary(lambda a: a),
+    Opcode.SELP: _op_selp,
+    Opcode.I2F: _unary(float),
+    Opcode.F2I: _unary(int),
+    Opcode.LD: _op_memory,
+    Opcode.ST: _op_memory,
+    Opcode.ISET: _op_set,
+    Opcode.FSET: _op_set,
+    Opcode.NOP: _op_nop,
+    Opcode.FRCP: _unary(lambda a: 1.0 / a if a else math.inf),
+    Opcode.FSQRT: _unary(lambda a: math.sqrt(a) if a >= 0 else math.nan),
+    Opcode.FEXP: _unary(lambda a: math.exp(min(a, 700.0))),
+    Opcode.FLOG: _unary(lambda a: math.log(a) if a > 0 else -math.inf),
+    Opcode.FSIN: _unary(math.sin),
+    Opcode.IADD: _binary(lambda a, b: a + b),
+    Opcode.ISUB: _binary(lambda a, b: a - b),
+    Opcode.IMUL: _binary(lambda a, b: a * b),
+    Opcode.IMIN: _binary(min),
+    Opcode.IMAX: _binary(max),
+    Opcode.AND: _binary(lambda a, b: int(a) & int(b)),
+    Opcode.OR: _binary(lambda a, b: int(a) | int(b)),
+    Opcode.XOR: _binary(lambda a, b: int(a) ^ int(b)),
+    Opcode.SHL: _binary(lambda a, b: int(a) << int(b)),
+    Opcode.SHR: _binary(lambda a, b: int(a) >> int(b)),
+    Opcode.FADD: _binary(lambda a, b: a + b),
+    Opcode.FSUB: _binary(lambda a, b: a - b),
+    Opcode.FMUL: _binary(lambda a, b: a * b),
+    Opcode.FMIN: _binary(min),
+    Opcode.FMAX: _binary(max),
+    Opcode.FDIV: _binary(lambda a, b: a / b if b else math.inf),
+    Opcode.IMAD: _ternary(lambda a, b, c: a * b + c),
+    Opcode.FFMA: _ternary(lambda a, b, c: a * b + c),
+}
 
 
 def run_kernel(

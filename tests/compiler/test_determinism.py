@@ -1,0 +1,93 @@
+"""Bit-for-bit reproducibility of the compilation pipeline.
+
+Allocation materialises several ``set`` objects into orderings
+(colouring stacks, reachable-function lists, φ worklists).  Each of
+those sites sorts by a stable key (:func:`repro.isa.registers.reg_sort_key`
+or plain string order), so compiling the same module twice — even in
+processes with different string hash seeds — must yield identical
+encoded bytes.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.compiler.pipeline import CompileOptions, compile_binary
+from repro.isa.assembly import parse_module
+from repro.isa.encoding import encode_module
+from repro.regalloc.allocator import allocate_module
+from tests.helpers import call_kernel, loop_kernel, wide_kernel
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _compile_bytes(module_factory, arch) -> bytes:
+    data = encode_module(module_factory())
+    options = CompileOptions(arch=arch, block_size=128)
+    # use_cache=False: the point is to re-run the allocator, not to
+    # check that the compile cache returns what it stored.
+    return compile_binary(data, "k", options, use_cache=False).to_bytes()
+
+
+class TestDoubleCompile:
+    def test_compile_twice_identical_bytes(self):
+        for factory in (call_kernel, loop_kernel, wide_kernel):
+            for arch in (GTX680, TESLA_C2075):
+                first = _compile_bytes(factory, arch)
+                second = _compile_bytes(factory, arch)
+                assert first == second, (factory.__name__, arch.name)
+
+    def test_allocate_twice_identical_encoding(self):
+        # A tight budget forces spilling and shared promotion, the paths
+        # whose iteration order historically depended on set ordering.
+        first = allocate_module(
+            call_kernel(), "k", 6, smem_spill_budget_per_thread=16
+        )
+        second = allocate_module(
+            call_kernel(), "k", 6, smem_spill_budget_per_thread=16
+        )
+        assert encode_module(first.module) == encode_module(second.module)
+        assert first.colorings == second.colorings
+
+
+class TestHashSeedIndependence:
+    def test_compile_bytes_survive_hash_seed_change(self):
+        """The same compile in two differently-seeded interpreters matches."""
+        script = textwrap.dedent(
+            """
+            import hashlib, sys
+            from repro.arch import GTX680
+            from repro.compiler.pipeline import CompileOptions, compile_binary
+            from repro.isa.assembly import parse_module
+            from repro.isa.encoding import encode_module
+            from tests.helpers import call_kernel
+
+            data = encode_module(call_kernel())
+            binary = compile_binary(
+                data, "k", CompileOptions(arch=GTX680, block_size=128)
+            )
+            sys.stdout.write(hashlib.sha256(binary.to_bytes()).hexdigest())
+            """
+        )
+
+        def digest(seed: str) -> str:
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            return proc.stdout.strip()
+
+        assert digest("1") == digest("4242")

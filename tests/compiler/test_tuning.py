@@ -100,6 +100,35 @@ class TestDirectionAndCandidates:
         assert plan.failsafe == []
 
 
+class TestParallelRealization:
+    def test_parallel_plan_matches_sequential(self):
+        module = pressure_module()
+        sequential = compile_time_tuning(module, "k", GTX680, 256, jobs=1)
+        parallel = compile_time_tuning(module, "k", GTX680, 256, jobs=2)
+        assert [v.label for v in sequential.versions] == [
+            v.label for v in parallel.versions
+        ]
+        assert [v.binary for v in sequential.versions] == [
+            v.binary for v in parallel.versions
+        ]
+        assert [v.binary for v in sequential.failsafe] == [
+            v.binary for v in parallel.failsafe
+        ]
+
+    def test_jobs_env_var(self, monkeypatch):
+        from repro.compiler.tuning import _resolve_jobs
+
+        monkeypatch.delenv("ORION_COMPILE_JOBS", raising=False)
+        assert _resolve_jobs(None) == 1
+        assert _resolve_jobs(3) == 3
+        assert _resolve_jobs(0) == 1  # clamped
+        monkeypatch.setenv("ORION_COMPILE_JOBS", "4")
+        assert _resolve_jobs(None) == 4
+        assert _resolve_jobs(2) == 2  # explicit argument wins
+        monkeypatch.setenv("ORION_COMPILE_JOBS", "junk")
+        assert _resolve_jobs(None) == 1
+
+
 class TestStaticSelectHeuristic:
     def test_memory_distance(self):
         module = loop_kernel()

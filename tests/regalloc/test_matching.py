@@ -46,6 +46,42 @@ class TestSmallCases:
         assert max_weight_assignment(weights) == [0, 1]
 
 
+class TestDegenerateShapes:
+    def test_all_zero_costs(self):
+        cost = [[0.0] * 4 for _ in range(3)]
+        assign = min_cost_assignment(cost)
+        assert len(set(assign)) == 3
+        assert all(0 <= j < 4 for j in assign)
+        assert assignment_weight(cost, assign) == 0.0
+
+    def test_all_zero_weights_max(self):
+        weights = [[0.0] * 3 for _ in range(3)]
+        assign = max_weight_assignment(weights)
+        assert sorted(assign) == [0, 1, 2]
+        assert assignment_weight(weights, assign) == 0.0
+
+    def test_single_row_picks_cheapest_column(self):
+        assert min_cost_assignment([[7.0, 3.0, 5.0]]) == [1]
+
+    def test_single_row_max_picks_heaviest_column(self):
+        assert max_weight_assignment([[7.0, 3.0, 5.0]]) == [0]
+
+    def test_single_cell(self):
+        assert min_cost_assignment([[4.0]]) == [0]
+        assert max_weight_assignment([[4.0]]) == [0]
+
+    def test_every_small_rectangular_instance(self):
+        """Exhaustive 2×3 sweep over a small value alphabet."""
+        values = (0.0, 1.0, 2.0)
+        for flat in itertools.product(values, repeat=6):
+            cost = [list(flat[:3]), list(flat[3:])]
+            best, _ = _brute_force_min(cost)
+            assign = min_cost_assignment(cost)
+            assert len(set(assign)) == 2
+            total = sum(cost[i][assign[i]] for i in range(2))
+            assert total == pytest.approx(best), cost
+
+
 def _brute_force_min(cost):
     n, m = len(cost), len(cost[0])
     best, best_assign = float("inf"), None

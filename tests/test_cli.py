@@ -61,6 +61,32 @@ class TestCompileInspect:
         stdout = capsys.readouterr().out
         assert "occupancy" in stdout and "candidate" in stdout
 
+    def test_compile_perf_flags(self, call_asm_file, tmp_path, capsys):
+        plain = tmp_path / "plain.bin"
+        fast = tmp_path / "fast.bin"
+        code = main(
+            ["compile", str(call_asm_file), "-o", str(plain), "--no-cache"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "compile",
+                str(call_asm_file),
+                "-o",
+                str(fast),
+                "--jobs",
+                "2",
+                "--timings",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Compilation phases" in stdout
+        assert "compile cache:" in stdout
+        # Cache, jobs, and timing report never change the output bytes.
+        assert fast.read_bytes() == plain.read_bytes()
+
     def test_compile_accepts_binary_input(self, asm_file, tmp_path, capsys):
         binary = tmp_path / "kernel.bin"
         main(["asm", str(asm_file), "-o", str(binary)])
