@@ -10,7 +10,13 @@ CLI exposes the same workflow over ORAS files:
   binary and printing the candidate table;
 * ``inspect``  — describe a multi-version binary;
 * ``run``      — execute a kernel on the functional interpreter;
-* ``sweep``    — time every occupancy level on the simulated GPU.
+* ``sweep``    — time every occupancy level through a backend;
+* ``bench``    — drive the whole benchmark suite through the execution
+  engine, scheduling the per-kernel tuning sessions concurrently.
+
+``sweep`` and ``bench`` accept ``--backend`` (timing simulator,
+analytical MWP/CWP model, or functional interpreter) and ``--trace``
+(JSONL telemetry via the engine's trace sink).
 """
 
 from __future__ import annotations
@@ -25,12 +31,28 @@ from repro.compiler.pipeline import CompileOptions, compile_binary
 from repro.harness.reporting import format_series, format_table
 from repro.isa.assembly import format_module, parse_module
 from repro.isa.encoding import decode_module, encode_module
+from repro.sim.backend import BACKENDS
 from repro.sim.interp import LaunchConfig, run_kernel
 
 ARCHS: dict[str, GpuArchitecture] = {
     "gtx680": GTX680,
     "c2075": TESLA_C2075,
 }
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="timing",
+        help="execution backend (default: timing)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL telemetry trace of the engine to FILE "
+             "(also honoured via $ORION_TRACE_FILE)",
+    )
 
 
 def _load_module(path: Path):
@@ -153,12 +175,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.arch.occupancy import occupancy_levels
     from repro.compiler.realize import RealizeError, realize_occupancy
-    from repro.sim.gpu import simulate_kernel
+    from repro.runtime.engine import ExecutionEngine
+    from repro.runtime.session import Workload
 
     module = _load_module(Path(args.input))
     kernel = args.kernel or module.kernel().name
     arch = ARCHS[args.arch]
     launch = LaunchConfig(grid_blocks=args.grid, block_size=args.block_size)
+    workload = Workload(launch=launch, max_events_per_warp=args.max_events)
+    engine = ExecutionEngine(arch, backend=args.backend, trace_file=args.trace)
     occupancies, runtimes = [], []
     for warps in occupancy_levels(arch, args.block_size):
         try:
@@ -168,22 +193,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except RealizeError as exc:
             print(f"  warps={warps}: infeasible ({exc})")
             continue
-        timing = simulate_kernel(
-            arch,
-            version.module,
-            kernel,
-            launch,
-            regs_per_thread=version.regs_per_thread,
-            smem_per_block=version.smem_per_block,
-            max_events_per_warp=args.max_events,
-        )
+        measured = engine.measure(version, launch, workload, session=kernel)
         occupancies.append(warps / arch.max_warps_per_sm)
-        runtimes.append(timing.total_cycles)
+        runtimes.append(measured.cycles)
+    engine.telemetry.close()
     if not runtimes:
         print("no feasible occupancy level")
         return 1
     best = min(runtimes)
-    print(f"sweep of {kernel!r} on {arch.name}:")
+    print(f"sweep of {kernel!r} on {arch.name} ({engine.backend.name} backend):")
     print(
         format_series(
             occupancies,
@@ -192,6 +210,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "normalized runtime",
         )
     )
+    if args.trace:
+        print(f"telemetry trace -> {args.trace}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import BENCHMARKS, bench_suite
+    from repro.harness.reporting import (
+        format_suite_report,
+        format_telemetry_summary,
+    )
+    from repro.runtime.engine import ExecutionEngine
+
+    arch = ARCHS[args.arch]
+    engine = ExecutionEngine(
+        arch, backend=args.backend, jobs=args.jobs, trace_file=args.trace
+    )
+    try:
+        rows = bench_suite(
+            arch, only=args.only, jobs=args.jobs, suite_engine=engine
+        )
+    finally:
+        engine.telemetry.close()
+    print(
+        format_suite_report(
+            rows,
+            title=(
+                f"Benchmark suite on {arch.name} "
+                f"({engine.backend.name} backend, "
+                f"{len(rows)}/{len(BENCHMARKS)} kernels)"
+            ),
+        )
+    )
+    print(format_telemetry_summary(engine.telemetry, engine.cache.stats))
+    if args.trace:
+        print(f"telemetry trace -> {args.trace}")
     return 0
 
 
@@ -252,7 +306,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", type=int, default=256)
     p.add_argument("--max-events", type=int, default=3000)
     _add_arch(p)
+    _add_engine_options(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite through the execution engine",
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only this benchmark (repeatable; default: all 14)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="concurrent tuning sessions (default: $ORION_ENGINE_JOBS or 1)",
+    )
+    _add_arch(p)
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -10,16 +10,38 @@ process is fully usable by another.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from dataclasses import dataclass, field
 
 from repro.compiler.realize import KernelVersion
 from repro.compiler.tuning import TuningPlan
-from repro.isa.encoding import decode_module
+from repro.isa.encoding import decode_module, encode_module
 from repro.regalloc.allocator import AllocationOutcome
 
 _MAGIC = b"ORMV"
+
+_VERSION_HASH_PREFIX = b"orion-version-v1\x00"
+
+
+def version_content_hash(version: KernelVersion) -> str:
+    """SHA-256 content address of one kernel version.
+
+    Covers the encoded module bytes plus the register/shared-memory
+    envelope (two versions of identical code differ in timing only
+    through those, via occupancy).  The label is deliberately *not*
+    hashed: a re-labelled identical version measures identically, and
+    the measurement cache should treat it so.
+    """
+    payload = version.binary or encode_module(version.module)
+    digest = hashlib.sha256()
+    digest.update(_VERSION_HASH_PREFIX)
+    digest.update(payload)
+    digest.update(
+        f"\x00{version.regs_per_thread}\x00{version.smem_per_block}".encode()
+    )
+    return digest.hexdigest()
 
 
 @dataclass
@@ -57,6 +79,10 @@ class MultiVersionBinary:
 
     def version_count(self) -> int:
         return len(self.versions) + len(self.failsafe)
+
+    def content_hash(self) -> str:
+        """SHA-256 of the serialised binary (manifest + all versions)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -41,10 +41,12 @@ from repro.compiler.pipeline import CompileOptions, compile_binary, nvcc_baselin
 from repro.compiler.realize import KernelVersion, RealizeError, realize_occupancy
 from repro.harness.reporting import format_series, format_table
 from repro.ir.callgraph import count_static_calls
+from repro.perf.measure_cache import MeasurementCache
 from repro.regalloc.allocator import minimal_budget
-from repro.runtime.launcher import OrionRuntime, Workload
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.session import ExecutionReport, TuningSession, Workload
+from repro.sim.backend import MeasurementResult
 from repro.sim.energy import gpu_power
-from repro.sim.gpu import KernelTiming, simulate_kernel
 
 
 # ----------------------------------------------------------------------
@@ -52,7 +54,33 @@ from repro.sim.gpu import KernelTiming, simulate_kernel
 # ----------------------------------------------------------------------
 _COMPILE_CACHE: dict[tuple[str, str], MultiVersionBinary] = {}
 _NVCC_CACHE: dict[tuple[str, str], KernelVersion] = {}
-_TIMING_CACHE: dict[tuple, KernelTiming] = {}
+#: one content-addressed measurement cache shared by every engine the
+#: harness creates, so launches repeated across figures, tables, and
+#: tuning sessions dedupe to a single backend invocation
+_MEASUREMENT_CACHE = MeasurementCache()
+_ENGINES: dict[tuple[str, str, str], ExecutionEngine] = {}
+
+
+def engine(
+    arch: GpuArchitecture,
+    cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+    backend: str = "timing",
+) -> ExecutionEngine:
+    """The harness's engine for one (architecture, cache config, backend).
+
+    Engines share one measurement cache: every figure and table that
+    re-measures a launch another experiment already measured gets a
+    cache hit instead of a simulation.
+    """
+    key = (arch.name, cache_config.value, backend)
+    if key not in _ENGINES:
+        _ENGINES[key] = ExecutionEngine(
+            arch,
+            backend=backend,
+            cache_config=cache_config,
+            measurement_cache=_MEASUREMENT_CACHE,
+        )
+    return _ENGINES[key]
 
 
 def compiled(spec: BenchmarkSpec, arch: GpuArchitecture) -> MultiVersionBinary:
@@ -89,37 +117,31 @@ def time_version(
     arch: GpuArchitecture,
     version: KernelVersion,
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
-) -> KernelTiming:
-    """One launch of one version under the benchmark's workload traits."""
+) -> MeasurementResult:
+    """One launch of one version under the benchmark's workload traits.
+
+    Goes through the execution engine, so repeats (within this figure
+    or any other) are measurement-cache hits.
+    """
     wl = spec.workload
-    key = (
-        spec.name,
-        arch.name,
-        version.label,
-        version.regs_per_thread,
-        version.smem_per_block,
-        cache_config.value,
-    )
-    if key not in _TIMING_CACHE:
-        _TIMING_CACHE[key] = simulate_kernel(
-            arch,
-            version.module,
-            version.kernel_name,
-            wl.launch(),
-            regs_per_thread=version.regs_per_thread,
-            smem_per_block=version.smem_per_block,
-            cache_config=cache_config,
+    return engine(arch, cache_config).measure(
+        version,
+        wl.launch(),
+        Workload(
+            launch=wl.launch(),
             traits=wl.traits,
             ilp=wl.ilp,
             max_events_per_warp=wl.max_events_per_warp,
-        )
-    return _TIMING_CACHE[key]
+        ),
+        session=spec.name,
+    )
 
 
 def clear_caches() -> None:
     _COMPILE_CACHE.clear()
     _NVCC_CACHE.clear()
-    _TIMING_CACHE.clear()
+    _MEASUREMENT_CACHE.clear()
+    _ENGINES.clear()
     _SWEEP_CACHE.clear()
     _EXECUTE_CACHE.clear()
 
@@ -211,12 +233,12 @@ def occupancy_sweep(
             )
         except RealizeError:
             continue
-        timing = time_version(spec, arch, version, cache_config)
+        measured = time_version(spec, arch, version, cache_config)
         points.append(
             SweepPoint(
                 warps=warps,
                 occupancy=warps / arch.max_warps_per_sm,
-                cycles=timing.total_cycles,
+                cycles=measured.cycles,
                 version=version,
             )
         )
@@ -305,7 +327,7 @@ def figure5(arch: GpuArchitecture = TESLA_C2075) -> list[Fig5Row]:
                 space_minimization=space,
                 movement_minimization=movement,
             )
-            variants[label] = time_version(spec, arch, version).total_cycles
+            variants[label] = time_version(spec, arch, version).cycles
             moves[label] = version.outcome.stack_moves
         base = variants["optimized"]
         rows.append(
@@ -368,9 +390,44 @@ _EXECUTE_CACHE: dict[tuple[str, str], object] = {}
 def _execute(spec: BenchmarkSpec, arch: GpuArchitecture):
     key = (spec.name, arch.name)
     if key not in _EXECUTE_CACHE:
-        runtime = OrionRuntime(arch, compiled(spec, arch))
-        _EXECUTE_CACHE[key] = runtime.execute(_workload(spec))
+        session = TuningSession(
+            compiled(spec, arch), _workload(spec), name=spec.name
+        )
+        _EXECUTE_CACHE[key] = engine(arch).run(session)
     return _EXECUTE_CACHE[key]
+
+
+def bench_suite(
+    arch: GpuArchitecture,
+    backend: str = "timing",
+    jobs: int | None = None,
+    only: list[str] | None = None,
+    suite_engine: ExecutionEngine | None = None,
+) -> list[tuple[str, ExecutionReport]]:
+    """Drive the whole benchmark suite through one engine, concurrently.
+
+    One :class:`TuningSession` per benchmark, scheduled by
+    ``ExecutionEngine.run_many`` (``jobs``/``ORION_ENGINE_JOBS`` wide).
+    Sessions are independent and measurements content-addressed, so the
+    reports are identical at any scheduler width.  Pass ``suite_engine``
+    to control the backend instance, telemetry sinks, or trace file;
+    ``only`` restricts to a subset of benchmark names.
+    """
+    names = list(only) if only else list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {', '.join(unknown)}")
+    eng = suite_engine or engine(arch, backend=backend)
+    sessions = [
+        TuningSession(
+            compiled(BENCHMARKS[name], arch),
+            _workload(BENCHMARKS[name]),
+            name=name,
+        )
+        for name in names
+    ]
+    reports = eng.run_many(sessions, jobs=jobs)
+    return list(zip(names, reports))
 
 
 def _workload(spec: BenchmarkSpec) -> Workload:
@@ -396,18 +453,18 @@ def figure11(arch: GpuArchitecture) -> list[Fig11Row]:
         sweep = occupancy_sweep(spec.name, arch)
         nvcc = nvcc_version(spec, arch)
         iterations = max(1, spec.workload.iterations)
-        nvcc_total = time_version(spec, arch, nvcc).total_cycles * iterations
+        nvcc_total = time_version(spec, arch, nvcc).cycles * iterations
 
         # "All occupancy levels" includes the compiler's own candidate
         # versions (the original may beat every conservative level).
         level_cycles = [p.cycles for p in sweep.points]
         for version in compiled(spec, arch).versions:
-            level_cycles.append(time_version(spec, arch, version).total_cycles)
+            level_cycles.append(time_version(spec, arch, version).cycles)
 
         if spec.force_original or not spec.workload.can_tune:
             selected = orion_selected_version(spec, arch)
             select_total = (
-                time_version(spec, arch, selected).total_cycles * iterations
+                time_version(spec, arch, selected).cycles * iterations
             )
             converged = 0
             label = selected.label
@@ -484,8 +541,8 @@ def figure12(arch: GpuArchitecture) -> list[Fig12Row]:
         sel_occ = calculate_occupancy(
             arch, wl.block_size, selected.regs_per_thread, selected.smem_per_block
         )
-        nvcc_cycles = time_version(spec, arch, nvcc).total_cycles
-        sel_cycles = time_version(spec, arch, selected).total_cycles
+        nvcc_cycles = time_version(spec, arch, nvcc).cycles
+        sel_cycles = time_version(spec, arch, selected).cycles
         rows.append(
             Fig12Row(
                 benchmark=spec.name,
@@ -543,7 +600,7 @@ def figure13(arch: GpuArchitecture = TESLA_C2075) -> list[Fig13Row]:
         )
         nvcc_energy = (
             gpu_power(arch, nvcc_occ)
-            * time_version(spec, arch, nvcc).total_cycles
+            * time_version(spec, arch, nvcc).cycles
         )
 
         selected = orion_selected_version(spec, arch)
@@ -552,7 +609,7 @@ def figure13(arch: GpuArchitecture = TESLA_C2075) -> list[Fig13Row]:
         )
         sel_energy = (
             gpu_power(arch, sel_occ)
-            * time_version(spec, arch, selected).total_cycles
+            * time_version(spec, arch, selected).cycles
         )
 
         sweep = occupancy_sweep(spec.name, arch)
@@ -667,11 +724,11 @@ def table3(arch: GpuArchitecture) -> list[Table3Row]:
         module = spec.build()
         kernel = module.kernel().name
         nvcc = nvcc_version(spec, arch)
-        nvcc_cycles = time_version(spec, arch, nvcc).total_cycles
+        nvcc_cycles = time_version(spec, arch, nvcc).cycles
         selected = orion_selected_version(spec, arch)
         target = selected.achieved_warps
 
-        sc_cycles = time_version(spec, arch, selected).total_cycles
+        sc_cycles = time_version(spec, arch, selected).cycles
         large: float | None
         try:
             lc_version = realize_occupancy(
@@ -686,7 +743,7 @@ def table3(arch: GpuArchitecture) -> list[Table3Row]:
             )
             lc_cycles = time_version(
                 spec, arch, lc_version, CacheConfig.LARGE_CACHE
-            ).total_cycles
+            ).cycles
             large = nvcc_cycles / lc_cycles
         except RealizeError:
             large = None

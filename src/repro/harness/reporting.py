@@ -90,6 +90,48 @@ def format_phase_report(
     return table + "\n" + cache_line
 
 
+def format_suite_report(
+    rows: Iterable[tuple[str, object]],
+    title: str = "Benchmark suite (execution engine)",
+) -> str:
+    """Render (benchmark, ExecutionReport) pairs the engine produced."""
+    return format_table(
+        ["benchmark", "final version", "total cycles", "iters", "converged @", "split"],
+        [
+            (
+                name,
+                report.final_label,
+                report.total_cycles,
+                len(report.records),
+                report.iterations_to_converge,
+                "yes" if report.was_split else "no",
+            )
+            for name, report in rows
+        ],
+        title=title,
+    )
+
+
+def format_telemetry_summary(hub, cache_stats=None) -> str:
+    """Render a :class:`~repro.runtime.telemetry.TelemetryHub`'s event
+    counts plus the measurement-cache counters — the engine-side twin
+    of :func:`format_phase_report`."""
+    rows = [
+        (kind.value, count)
+        for kind, count in sorted(hub.counts.items(), key=lambda kv: kv[0].value)
+    ]
+    table = format_table(["event", "count"], rows, title="Engine telemetry")
+    if cache_stats is None:
+        return table
+    cache_line = (
+        f"measurement cache: {cache_stats.hits} hits "
+        f"({cache_stats.memory_hits} memory, {cache_stats.disk_hits} disk), "
+        f"{cache_stats.misses} misses, "
+        f"hit rate {100.0 * cache_stats.hit_rate:.1f}%"
+    )
+    return table + "\n" + cache_line
+
+
 def _cell(value: object) -> str:
     if value is None:
         return "-"

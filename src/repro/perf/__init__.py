@@ -13,15 +13,18 @@ from repro.perf.cache import (
     default_cache,
     reset_default_cache,
 )
+from repro.perf.measure_cache import MeasurementCache, measurement_cache_key
 from repro.perf.timers import PhaseStats, PhaseTimers, TIMERS
 
 __all__ = [
     "CacheStats",
     "CompileCache",
+    "MeasurementCache",
     "PhaseStats",
     "PhaseTimers",
     "TIMERS",
     "compile_cache_key",
     "default_cache",
+    "measurement_cache_key",
     "reset_default_cache",
 ]

@@ -1,12 +1,17 @@
-"""The Orion runtime: Fig. 9 dynamic adaptation, kernel splitting, and
-the workload launcher (paper Section 3.4)."""
+"""The Orion runtime: Fig. 9 dynamic adaptation, kernel splitting, the
+execution engine (pluggable backends, concurrent sessions, measurement
+cache), and structured telemetry (paper Section 3.4)."""
 
 from repro.runtime.adaptation import DynamicTuner, TrialRecord
-from repro.runtime.launcher import (
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.launcher import OrionRuntime
+from repro.runtime.session import (
     ExecutionReport,
     IterationRecord,
-    OrionRuntime,
+    TuningSession,
     Workload,
+    iteration_launches,
+    scaled_launch,
 )
 from repro.runtime.splitting import (
     SplitLaunch,
@@ -14,16 +19,32 @@ from repro.runtime.splitting import (
     split_launch,
     splittable,
 )
+from repro.runtime.telemetry import (
+    EventKind,
+    InMemorySink,
+    JsonlSink,
+    TelemetryEvent,
+    TelemetryHub,
+)
 
 __all__ = [
     "DynamicTuner",
+    "EventKind",
+    "ExecutionEngine",
     "ExecutionReport",
+    "InMemorySink",
     "IterationRecord",
+    "JsonlSink",
     "OrionRuntime",
     "SplitLaunch",
+    "TelemetryEvent",
+    "TelemetryHub",
     "TrialRecord",
+    "TuningSession",
     "Workload",
+    "iteration_launches",
     "pieces_for_tuning",
+    "scaled_launch",
     "split_launch",
     "splittable",
 ]

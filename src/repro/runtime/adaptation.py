@@ -133,10 +133,13 @@ class DynamicTuner:
         best_runtime = min(r.runtime for r in self.history)
         band = best_runtime * (1 + self.slowdown_tolerance)
         eligible_labels = {r.label for r in self.history if r.runtime <= band}
-        eligible = [
-            v for v in pool + self._candidates if v.label in eligible_labels
-        ]
-        chosen = min(eligible, key=lambda v: v.achieved_warps)
+        seen: set[str] = set()
+        eligible: list[KernelVersion] = []
+        for v in (*pool, *self._candidates):
+            if v.label in eligible_labels and v.label not in seen:
+                seen.add(v.label)
+                eligible.append(v)
+        chosen = min(eligible, key=lambda v: (v.achieved_warps, v.label))
         self._finalize(chosen)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,275 @@
+"""The execution engine: backends × sessions × cache × telemetry.
+
+This is the runtime half of the ROADMAP's production story.  The old
+``OrionRuntime`` hardwired the timing simulator and ran one workload at
+a time; the engine
+
+* measures through a pluggable :class:`~repro.sim.backend.ExecutionBackend`
+  (timing simulator, analytical model, functional interpreter — or
+  anything satisfying the protocol);
+* schedules many :class:`~repro.runtime.session.TuningSession`\\ s
+  concurrently over a thread pool (``ORION_ENGINE_JOBS`` / ``jobs``,
+  the same convention as the compiler's ``ORION_COMPILE_JOBS``);
+* dedupes repeated measurements across sessions and experiments in a
+  shared content-addressed
+  :class:`~repro.perf.measure_cache.MeasurementCache` (keyed on module
+  hash + launch + traits + cache config + backend);
+* narrates everything through structured telemetry
+  (:mod:`repro.runtime.telemetry`): a JSONL trace via
+  ``ORION_TRACE_FILE``/``--trace``, an in-memory stream for tests.
+
+Determinism is load-bearing: backends are pure functions of the
+request, sessions are independent, and reports are ordered by input —
+so concurrent execution is bit-identical to sequential.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.arch.specs import CacheConfig, GpuArchitecture
+from repro.compiler.multiversion import MultiVersionBinary, version_content_hash
+from repro.compiler.realize import KernelVersion
+from repro.perf.measure_cache import MeasurementCache, measurement_cache_key
+from repro.runtime.session import (
+    ExecutionReport,
+    TuningSession,
+    Workload,
+    iteration_launches,
+    scaled_launch,
+)
+from repro.runtime.telemetry import EventKind, JsonlSink, TelemetryHub
+from repro.sim.backend import (
+    ExecutionBackend,
+    MeasurementRequest,
+    MeasurementResult,
+    get_backend,
+)
+from repro.sim.interp import LaunchConfig
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """Effective scheduler width: explicit arg, else ``ORION_ENGINE_JOBS``."""
+    if jobs is None:
+        raw = os.environ.get("ORION_ENGINE_JOBS", "")
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+class ExecutionEngine:
+    """Schedules tuning sessions over a backend + measurement cache."""
+
+    def __init__(
+        self,
+        arch: GpuArchitecture,
+        backend: str | ExecutionBackend = "timing",
+        cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+        measurement_cache: MeasurementCache | None = None,
+        telemetry: TelemetryHub | None = None,
+        jobs: int | None = None,
+        trace_file: str | os.PathLike | None = None,
+    ) -> None:
+        self.arch = arch
+        self.backend = get_backend(backend)
+        self.cache_config = cache_config
+        self.cache = measurement_cache or MeasurementCache()
+        self.telemetry = telemetry or TelemetryHub()
+        self.jobs = jobs
+        self._lock = threading.Lock()
+        trace = trace_file or os.environ.get("ORION_TRACE_FILE") or None
+        if trace:
+            self.telemetry.add_sink(JsonlSink(trace))
+
+    # ------------------------------------------------------------------
+    # Measurement (cache + telemetry around one backend call)
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        version: KernelVersion,
+        launch: LaunchConfig,
+        workload: Workload | None = None,
+        session: str | None = None,
+        forced_warps: int | None = None,
+    ) -> MeasurementResult:
+        """Measure one version under one launch, through the cache.
+
+        ``forced_warps`` pins the resident-warp count (occupancy
+        sweeps); it is part of the cache key.
+        """
+        workload = workload or Workload(launch=launch)
+        key = measurement_cache_key(
+            version_content_hash(version),
+            self.backend.name,
+            self.arch.name,
+            launch.grid_blocks,
+            launch.block_size,
+            launch.params,
+            self.cache_config.value,
+            workload.traits,
+            workload.ilp,
+            workload.max_events_per_warp,
+            global_memory=workload.global_memory,
+            forced_warps=forced_warps,
+        )
+        with self._lock:
+            payload = self.cache.get(key)
+        if payload is not None:
+            self.telemetry.emit(
+                EventKind.CACHE_HIT, session, label=version.label, key=key[:12]
+            )
+            return MeasurementResult.from_payload(payload)
+        self.telemetry.emit(
+            EventKind.CACHE_MISS, session, label=version.label, key=key[:12]
+        )
+        self.telemetry.emit(
+            EventKind.BACKEND_INVOKE,
+            session,
+            backend=self.backend.name,
+            label=version.label,
+            grid_blocks=launch.grid_blocks,
+            block_size=launch.block_size,
+        )
+        result = self.backend.measure(
+            MeasurementRequest(
+                arch=self.arch,
+                version=version,
+                launch=launch,
+                cache_config=self.cache_config,
+                traits=workload.traits,
+                ilp=workload.ilp,
+                max_events_per_warp=workload.max_events_per_warp,
+                global_memory=workload.global_memory,
+                forced_warps=forced_warps,
+            )
+        )
+        with self._lock:
+            self.cache.put(key, result.to_payload())
+        return result
+
+    def measure_pinned(
+        self,
+        binary: MultiVersionBinary,
+        version: KernelVersion,
+        workload: Workload,
+        session: str | None = None,
+    ) -> int:
+        """Cycles for the full workload pinned to one version (no tuning).
+
+        Unlike the old ``OrionRuntime.measure_version``, this honours
+        ``workload.work_profile`` — iteration ``i`` launches the same
+        scaled grid the tuned run launches — so pinned baselines and
+        tuned runs measure the same total work.  Deduplication of equal
+        launches happens in the content-addressed cache rather than a
+        ``grid_blocks``-keyed memo, so two launches that differ in any
+        measured dimension are never conflated.
+        """
+        launches, was_split = iteration_launches(binary, workload)
+        total = 0
+        for i, launch in enumerate(launches):
+            work = workload.work_at(i)
+            if not was_split:
+                launch = scaled_launch(launch, work)
+            total += self.measure(version, launch, workload, session).cycles
+        return total
+
+    # ------------------------------------------------------------------
+    # Session execution
+    # ------------------------------------------------------------------
+    def run(self, session: TuningSession) -> ExecutionReport:
+        """Drive one session to completion (every iteration measured)."""
+        workload = session.workload
+        launches, was_split = session.iteration_launches()
+        self.telemetry.emit(
+            EventKind.SESSION_START,
+            session.name,
+            kernel=session.binary.kernel_name,
+            backend=self.backend.name,
+            iterations=len(launches),
+            was_split=was_split,
+        )
+        tuner = session.tuner
+        for i, launch in enumerate(launches):
+            work = workload.work_at(i)
+            if not was_split:
+                launch = scaled_launch(launch, work)
+            version = tuner.next_version()
+            tuning = not tuner.converged
+            cycles = self.measure(version, launch, workload, session.name).cycles
+            tuner.report(float(cycles), work=work)
+            if tuning:
+                self.telemetry.emit(
+                    EventKind.TRIAL,
+                    session.name,
+                    iteration=i + 1,
+                    label=version.label,
+                    cycles=cycles,
+                    work=work,
+                )
+            self.telemetry.emit(
+                EventKind.ITERATION,
+                session.name,
+                iteration=i + 1,
+                label=version.label,
+                cycles=cycles,
+                converged=tuner.converged,
+            )
+            if session.converge_at is None and tuner.converged:
+                session.converge_at = i + 1
+                self.telemetry.emit(
+                    EventKind.CONVERGED,
+                    session.name,
+                    iteration=i + 1,
+                    label=tuner.final_version.label,
+                )
+            session.record(i + 1, version.label, cycles)
+        report = session.finalize(was_split)
+        self.telemetry.emit(
+            EventKind.SESSION_FINALIZED,
+            session.name,
+            final=report.final_label,
+            total_cycles=report.total_cycles,
+            iterations_to_converge=report.iterations_to_converge,
+        )
+        return report
+
+    def run_many(
+        self, sessions: list[TuningSession], jobs: int | None = None
+    ) -> list[ExecutionReport]:
+        """Run sessions concurrently; reports in input order.
+
+        Sessions are independent and measurements deterministic, so the
+        reports are identical to sequential execution — concurrency
+        changes wall-clock time and telemetry interleaving only.  The
+        shared measurement cache makes overlapping sessions (same
+        kernel, same launches) collapse to one backend invocation per
+        distinct measurement.
+        """
+        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
+        width = min(jobs, len(sessions)) if sessions else 1
+        self.telemetry.emit(
+            EventKind.ENGINE_START,
+            None,
+            sessions=len(sessions),
+            jobs=width,
+            backend=self.backend.name,
+            arch=self.arch.name,
+        )
+        if width <= 1:
+            reports = [self.run(session) for session in sessions]
+        else:
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                reports = list(pool.map(self.run, sessions))
+        stats = self.cache.stats
+        self.telemetry.emit(
+            EventKind.ENGINE_FINISH,
+            None,
+            sessions=len(sessions),
+            cache_hits=stats.hits,
+            cache_misses=stats.misses,
+        )
+        return reports

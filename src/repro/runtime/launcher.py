@@ -1,70 +1,39 @@
-"""The Orion runtime: executes a workload while tuning occupancy.
+"""The Orion runtime facade (one workload, one kernel, tuned).
 
-Couples the Fig. 9 :class:`~repro.runtime.adaptation.DynamicTuner` to
-the timing simulator: each kernel-loop iteration launches the tuner's
-current candidate, measures it, and feeds the runtime back.  Iterations
-after convergence run the finalised version.  Kernels without a loop
-are *split* into multiple smaller launches to create iterations
-(Section 3.4), and the measured total always includes the cost of the
-trial iterations — the paper's Orion-Select bars do the same.
+Historically this module owned the whole execution loop; the loop now
+lives in the engine architecture —
+:class:`~repro.runtime.session.TuningSession` (per-workload tuner +
+iteration state) scheduled by an
+:class:`~repro.runtime.engine.ExecutionEngine` (pluggable backend,
+shared measurement cache, telemetry).  :class:`OrionRuntime` remains as
+the convenient single-workload entry point: it builds a session per
+``execute`` call and drives it through an engine it owns (or one you
+hand it, to share caches and telemetry across runtimes).
+
+``Workload``, ``ExecutionReport`` and ``IterationRecord`` are
+re-exported here for compatibility; they live in
+:mod:`repro.runtime.session`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.compiler.multiversion import MultiVersionBinary
 from repro.compiler.realize import KernelVersion
-from repro.runtime.adaptation import DynamicTuner
-from repro.runtime.splitting import pieces_for_tuning, split_launch, splittable
-from repro.sim.gpu import simulate_kernel
-from repro.sim.interp import LaunchConfig, Value
-from repro.sim.trace import MemoryTraits
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.session import (
+    ExecutionReport,
+    IterationRecord,
+    TuningSession,
+    Workload,
+)
 
-
-@dataclass
-class Workload:
-    """A kernel's dynamic execution profile."""
-
-    launch: LaunchConfig
-    iterations: int = 1
-    traits: MemoryTraits = field(default_factory=MemoryTraits)
-    global_memory: dict[int, Value] | None = None
-    ilp: float = 1.0
-    max_events_per_warp: int = 6000
-    #: Per-iteration relative work (e.g. bfs frontier sizes).  When set,
-    #: iteration ``i`` launches ``round(grid_blocks * work_profile[i])``
-    #: blocks and the tuner compares work-normalised runtimes — the
-    #: paper's future-work fix for iteration-varying kernels.
-    work_profile: list[float] | None = None
-
-    def work_at(self, iteration: int) -> float:
-        if not self.work_profile:
-            return 1.0
-        return self.work_profile[iteration % len(self.work_profile)]
-
-
-@dataclass
-class IterationRecord:
-    iteration: int
-    label: str
-    cycles: int
-
-
-@dataclass
-class ExecutionReport:
-    """What happened across the whole workload."""
-
-    total_cycles: int
-    final_version: KernelVersion
-    records: list[IterationRecord]
-    iterations_to_converge: int | None
-    was_split: bool = False
-
-    @property
-    def final_label(self) -> str:
-        return self.final_version.label
+__all__ = [
+    "ExecutionReport",
+    "IterationRecord",
+    "OrionRuntime",
+    "Workload",
+]
 
 
 class OrionRuntime:
@@ -76,104 +45,30 @@ class OrionRuntime:
         binary: MultiVersionBinary,
         cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
         slowdown_tolerance: float = 0.02,
+        backend: str = "timing",
+        engine: ExecutionEngine | None = None,
     ) -> None:
         self.arch = arch
         self.binary = binary
         self.cache_config = cache_config
         self.slowdown_tolerance = slowdown_tolerance
+        self.engine = engine or ExecutionEngine(
+            arch, backend=backend, cache_config=cache_config
+        )
 
     # ------------------------------------------------------------------
     def execute(self, workload: Workload) -> ExecutionReport:
         """Run the whole workload, tuning as it goes."""
-        launches, was_split = self._iteration_launches(workload)
-        tuner = DynamicTuner(self.binary, self.slowdown_tolerance)
-        cache: dict[tuple[str, int, int], int] = {}
-        records: list[IterationRecord] = []
-        total = 0
-        converge_at: int | None = (
-            0 if tuner.converged else None
-        )
-
-        for i, launch in enumerate(launches):
-            work = workload.work_at(i)
-            if work != 1.0 and not was_split:
-                launch = LaunchConfig(
-                    grid_blocks=max(1, round(launch.grid_blocks * work)),
-                    block_size=launch.block_size,
-                    params=dict(launch.params),
-                )
-            version = tuner.next_version()
-            key = (version.label, launch.grid_blocks, launch.block_size)
-            cycles = cache.get(key)
-            if cycles is None:
-                cycles = self._time_version(version, launch, workload)
-                cache[key] = cycles
-            tuner.report(float(cycles), work=work)
-            if converge_at is None and tuner.converged:
-                converge_at = i + 1
-            records.append(
-                IterationRecord(iteration=i + 1, label=version.label, cycles=cycles)
+        return self.engine.run(
+            TuningSession(
+                self.binary,
+                workload,
+                slowdown_tolerance=self.slowdown_tolerance,
             )
-            total += cycles
-
-        final = tuner.final_version or tuner.next_version()
-        return ExecutionReport(
-            total_cycles=total,
-            final_version=final,
-            records=records,
-            iterations_to_converge=converge_at,
-            was_split=was_split,
         )
 
     def measure_version(
         self, version: KernelVersion, workload: Workload
     ) -> int:
         """Cycles for the full workload pinned to one version (no tuning)."""
-        launches, _ = self._iteration_launches(workload)
-        per_launch: dict[int, int] = {}
-        total = 0
-        for launch in launches:
-            cycles = per_launch.get(launch.grid_blocks)
-            if cycles is None:
-                cycles = self._time_version(version, launch, workload)
-                per_launch[launch.grid_blocks] = cycles
-            total += cycles
-        return total
-
-    # ------------------------------------------------------------------
-    def _iteration_launches(
-        self, workload: Workload
-    ) -> tuple[list[LaunchConfig], bool]:
-        if workload.iterations > 1:
-            return [workload.launch] * workload.iterations, False
-        if self.binary.can_tune and splittable(workload.launch):
-            pieces = pieces_for_tuning(
-                workload.launch, self.binary.version_count()
-            )
-            if pieces > 1:
-                return (
-                    [piece.launch for piece in split_launch(workload.launch, pieces)],
-                    True,
-                )
-        return [workload.launch], False
-
-    def _time_version(
-        self,
-        version: KernelVersion,
-        launch: LaunchConfig,
-        workload: Workload,
-    ) -> int:
-        timing = simulate_kernel(
-            self.arch,
-            version.module,
-            self.binary.kernel_name,
-            launch,
-            regs_per_thread=version.regs_per_thread,
-            smem_per_block=version.smem_per_block,
-            cache_config=self.cache_config,
-            traits=workload.traits,
-            ilp=workload.ilp,
-            max_events_per_warp=workload.max_events_per_warp,
-            global_memory=workload.global_memory,
-        )
-        return timing.total_cycles
+        return self.engine.measure_pinned(self.binary, version, workload)

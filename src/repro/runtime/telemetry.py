@@ -1,0 +1,142 @@
+"""Structured runtime telemetry: typed events, pluggable sinks.
+
+Every observable step of the execution engine — a session starting, a
+tuning trial, a measurement-cache hit, a backend invocation — is one
+:class:`TelemetryEvent` pushed through a :class:`TelemetryHub` to any
+number of sinks.  Tests attach an :class:`InMemorySink` and assert on
+the event stream; operators set ``ORION_TRACE_FILE`` (or the CLI's
+``--trace``) to stream the same events as JSON lines to disk.
+
+Events carry a process-local monotonic sequence number instead of a
+wall-clock timestamp, so traces of a deterministic run are themselves
+deterministic and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Protocol
+
+
+class EventKind(str, Enum):
+    """The telemetry vocabulary of the execution engine."""
+
+    ENGINE_START = "engine_start"
+    ENGINE_FINISH = "engine_finish"
+    SESSION_START = "session_start"
+    ITERATION = "iteration"
+    TRIAL = "trial"
+    CONVERGED = "converged"
+    SESSION_FINALIZED = "session_finalized"
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    BACKEND_INVOKE = "backend_invoke"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One typed, ordered engine event."""
+
+    seq: int
+    kind: EventKind
+    session: str | None
+    data: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        record = {"seq": self.seq, "kind": self.kind.value}
+        if self.session is not None:
+            record["session"] = self.session
+        record["data"] = self.data
+        return json.dumps(record, sort_keys=True)
+
+
+class TelemetrySink(Protocol):
+    """Anything that can receive engine events."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class InMemorySink:
+    """Collects events in a list (the test sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def of(self, kind: EventKind) -> list[TelemetryEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return len(self.of(kind))
+
+
+class JsonlSink:
+    """Appends one JSON line per event to a file (the trace sink).
+
+    The file is opened lazily on the first event and every line is
+    flushed, so a trace of a crashed run is still complete up to the
+    crash.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TelemetryHub:
+    """Fans events out to sinks; owns the sequence counter.
+
+    Thread-safe: concurrent sessions interleave their events into one
+    totally ordered stream (the sequence number is the order).
+    """
+
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self._sinks: list[TelemetrySink] = list(sinks)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.counts: dict[EventKind, int] = {}
+
+    def add_sink(self, sink: TelemetrySink) -> None:
+        self._sinks.append(sink)
+
+    def emit(
+        self, kind: EventKind, session: str | None = None, **data
+    ) -> TelemetryEvent:
+        with self._lock:
+            self._seq += 1
+            event = TelemetryEvent(
+                seq=self._seq, kind=kind, session=session, data=data
+            )
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            for sink in self._sinks:
+                sink.emit(event)
+        return event
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()

@@ -8,6 +8,16 @@ from repro.sim.analytical import (
     profile_kernel,
     rank_occupancy_levels,
 )
+from repro.sim.backend import (
+    BACKENDS,
+    AnalyticalBackend,
+    ExecutionBackend,
+    FunctionalBackend,
+    MeasurementRequest,
+    MeasurementResult,
+    TimingBackend,
+    get_backend,
+)
 from repro.sim.energy import EnergyReport, gpu_power, kernel_energy
 from repro.sim.gpu import KernelTiming, LaunchError, simulate_kernel
 from repro.sim.interp import InterpError, Interpreter, LaunchConfig, run_kernel
@@ -23,10 +33,18 @@ from repro.sim.trace import (
 )
 
 __all__ = [
+    "AnalyticalBackend",
     "AnalyticalEstimate",
+    "BACKENDS",
     "EnergyReport",
+    "ExecutionBackend",
+    "FunctionalBackend",
     "KernelProfile",
+    "MeasurementRequest",
+    "MeasurementResult",
+    "TimingBackend",
     "estimate_cycles",
+    "get_backend",
     "profile_kernel",
     "rank_occupancy_levels",
     "InterpError",

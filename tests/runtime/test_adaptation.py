@@ -139,6 +139,53 @@ class TestFailsafe:
         assert tuner.final_version.label == "v32"
 
 
+class TestExhaustionSelection:
+    """Locking after trying every candidate: dedupe + deterministic ties."""
+
+    def test_flat_tie_breaks_on_label(self):
+        """Same occupancy, same runtime: lowest label wins, always."""
+        binary = MultiVersionBinary(
+            kernel_name="k",
+            arch_name="GTX680",
+            block_size=256,
+            direction="increasing",
+            can_tune=True,
+            versions=[
+                _dummy_version("m16", 16),
+                _dummy_version("k16", 16),
+                _dummy_version("v32", 32),
+            ],
+            failsafe=[],
+        )
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"m16": 100.0, "k16": 100.0, "v32": 100.0})
+        assert tuner.final_version.label == "k16"
+
+    def test_candidates_counted_once(self):
+        """Exhaustion must not double-weight the candidate pool."""
+        binary = make_binary([16, 32, 48])
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"v16": 100.0, "v32": 100.0, "v48": 100.0})
+        assert tuner.final_version.label == "v16"
+        # Every version was trialled exactly once before locking.
+        assert [r.label for r in tuner.history] == ["v16", "v32", "v48"]
+
+    def test_failsafe_exhaustion_considers_both_pools(self):
+        """A flat profile in the fail-safe direction still locks the
+        lowest occupancy seen anywhere (candidate or fail-safe)."""
+        binary = make_binary([32], failsafe=[16, 48])
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"v32": 100.0, "fs16": 100.0, "fs48": 100.0})
+        assert tuner.final_version.label == "fs16"
+
+    def test_band_excludes_slow_low_occupancy(self):
+        """Lowest occupancy only wins inside the tolerance band."""
+        binary = make_binary([16, 32, 48])
+        tuner = DynamicTuner(binary)
+        drive(tuner, {"v16": 110.0, "v32": 108.0, "v48": 100.0})
+        assert tuner.final_version.label == "v48"
+
+
 class TestEdgeCases:
     def test_not_tunable_locks_immediately(self):
         binary = make_binary([32], can_tune=False)

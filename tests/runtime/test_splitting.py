@@ -53,12 +53,49 @@ class TestSplitLaunch:
             cursor += piece.launch.grid_blocks
 
 
+    def test_remainder_goes_to_leading_pieces(self):
+        launch = LaunchConfig(grid_blocks=11, block_size=32)
+        sizes = [p.launch.grid_blocks for p in split_launch(launch, 4)]
+        assert sizes == [3, 3, 3, 2]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_single_piece_is_identity(self):
+        launch = LaunchConfig(grid_blocks=7, block_size=96, params={4: 2})
+        (piece,) = split_launch(launch, 1)
+        assert piece.first_block == 0
+        assert piece.launch.grid_blocks == 7
+        assert piece.launch.block_size == 96
+        assert piece.launch.params == {4: 2}
+
+    def test_single_block_grid(self):
+        (piece,) = split_launch(LaunchConfig(grid_blocks=1), 5)
+        assert piece.launch.grid_blocks == 1
+        assert piece.first_block == 0
+
+    def test_params_are_copies(self):
+        launch = LaunchConfig(grid_blocks=4, block_size=64, params={0: 7})
+        pieces = split_launch(launch, 2)
+        pieces[0].launch.params[0] = 99
+        assert launch.params == {0: 7}
+        assert pieces[1].launch.params == {0: 7}
+
+    def test_negative_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            split_launch(LaunchConfig(grid_blocks=4), -1)
+
+
 class TestSplitPolicy:
     def test_small_grid_not_splittable(self):
         assert not splittable(LaunchConfig(grid_blocks=3))
 
     def test_large_grid_splittable(self):
         assert splittable(LaunchConfig(grid_blocks=64))
+
+    def test_splittable_boundary(self):
+        """Exactly two min-size pieces is the smallest splittable grid."""
+        assert splittable(LaunchConfig(grid_blocks=4))
+        assert not splittable(LaunchConfig(grid_blocks=4), min_blocks_per_piece=3)
+        assert splittable(LaunchConfig(grid_blocks=6), min_blocks_per_piece=3)
 
     def test_pieces_covers_candidates(self):
         launch = LaunchConfig(grid_blocks=100)
@@ -67,3 +104,15 @@ class TestSplitPolicy:
     def test_pieces_limited_by_grid(self):
         launch = LaunchConfig(grid_blocks=6)
         assert pieces_for_tuning(launch, candidate_versions=10) == 3
+
+    def test_pieces_never_below_one(self):
+        """A grid smaller than one min-size piece still launches once."""
+        launch = LaunchConfig(grid_blocks=1)
+        assert pieces_for_tuning(launch, candidate_versions=4) == 1
+
+    def test_pieces_honours_min_blocks(self):
+        launch = LaunchConfig(grid_blocks=100)
+        assert (
+            pieces_for_tuning(launch, candidate_versions=30, min_blocks_per_piece=10)
+            == 10
+        )

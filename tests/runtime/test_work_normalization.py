@@ -38,6 +38,23 @@ class TestTunerNormalization:
         assert tuner.converged
         assert tuner.final_version.label == "v48"
 
+    def test_shrinking_work_downward_exposes_true_slowdown(self):
+        """Raw runtimes fall only because the frontier halves; per-work
+        cost doubles at the next version — normalisation must catch it."""
+        binary = make_binary([48, 32, 16], direction="decreasing")
+        tuner = DynamicTuner(binary)
+        tuner.next_version(); tuner.report(100.0, work=1.0)
+        tuner.next_version(); tuner.report(75.0, work=0.5)
+        assert tuner.converged
+        assert tuner.final_version.label == "v48"
+
+    def test_history_stores_normalised_runtimes(self):
+        binary = make_binary([16, 32])
+        tuner = DynamicTuner(binary)
+        tuner.next_version()
+        tuner.report(100.0, work=2.0)
+        assert tuner.history[0].runtime == 50.0
+
     def test_invalid_work_rejected(self):
         binary = make_binary([16, 32])
         tuner = DynamicTuner(binary)

@@ -1,0 +1,182 @@
+"""Execution backend tests: the engine's measurement substrate."""
+
+import pytest
+
+from repro.arch import GTX680
+from repro.arch.occupancy import calculate_occupancy
+from repro.compiler import CompileOptions, compile_binary
+from repro.sim import LaunchConfig, simulate_kernel
+from repro.sim.analytical import estimate_cycles, profile_kernel
+from repro.sim.backend import (
+    BACKENDS,
+    AnalyticalBackend,
+    ExecutionBackend,
+    FunctionalBackend,
+    MeasurementRequest,
+    MeasurementResult,
+    TimingBackend,
+    get_backend,
+)
+from tests.helpers import straight_line_kernel
+from tests.runtime.test_launcher import pressure_module
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_binary(pressure_module(), "k", CompileOptions(arch=GTX680))
+
+
+@pytest.fixture(scope="module")
+def launch():
+    return LaunchConfig(grid_blocks=16, block_size=256)
+
+
+def request_for(version, launch, **kwargs):
+    return MeasurementRequest(
+        arch=GTX680,
+        version=version,
+        launch=launch,
+        max_events_per_warp=1500,
+        **kwargs,
+    )
+
+
+class TestTimingBackend:
+    def test_matches_direct_simulation(self, binary, launch):
+        version = binary.original
+        result = TimingBackend().measure(request_for(version, launch))
+        timing = simulate_kernel(
+            GTX680,
+            version.module,
+            version.kernel_name,
+            launch,
+            regs_per_thread=version.regs_per_thread,
+            smem_per_block=version.smem_per_block,
+            max_events_per_warp=1500,
+        )
+        assert result.cycles == timing.total_cycles
+        assert result.backend == "timing"
+        assert result.energy is not None and result.energy > 0
+        assert result.stats["resident_warps"] == timing.resident_warps
+
+    def test_deterministic(self, binary, launch):
+        req = request_for(binary.original, launch)
+        backend = TimingBackend()
+        assert backend.measure(req) == backend.measure(req)
+
+    def test_forced_warps_changes_cycles(self, binary, launch):
+        version = binary.original
+        low = TimingBackend().measure(
+            request_for(version, launch, forced_warps=8)
+        )
+        high = TimingBackend().measure(
+            request_for(version, launch, forced_warps=48)
+        )
+        assert low.cycles != high.cycles
+
+
+class TestAnalyticalBackend:
+    def test_matches_direct_estimate(self, binary, launch):
+        version = binary.original
+        result = AnalyticalBackend().measure(request_for(version, launch))
+        occ = calculate_occupancy(
+            GTX680,
+            launch.block_size,
+            version.regs_per_thread,
+            version.smem_per_block,
+        )
+        warps_per_block = launch.block_size // GTX680.warp_size
+        total = launch.grid_blocks * warps_per_block
+        resident = max(warps_per_block, min(occ.active_warps, total))
+        profile = profile_kernel(version.module, version.kernel_name)
+        estimate = estimate_cycles(profile, GTX680, resident, total)
+        assert result.cycles == max(1, round(estimate.estimated_cycles))
+        assert result.stats["mwp"] == estimate.mwp
+        assert result.stats["cwp"] == estimate.cwp
+
+    def test_cheaper_occupancy_shape(self, binary, launch):
+        """Fewer resident warps must not look faster at this profile."""
+        version = binary.original
+        low = AnalyticalBackend().measure(
+            request_for(version, launch, forced_warps=8)
+        )
+        high = AnalyticalBackend().measure(
+            request_for(version, launch, forced_warps=48)
+        )
+        assert low.cycles >= high.cycles
+
+
+class TestFunctionalBackend:
+    def test_checksum_identical_across_versions(self, binary, launch):
+        """All versions of one kernel are semantically equivalent."""
+        backend = FunctionalBackend()
+        results = [
+            backend.measure(request_for(v, launch))
+            for v in [binary.original, *binary.versions, *binary.failsafe]
+        ]
+        checksums = {r.stats["checksum"] for r in results}
+        assert len(checksums) == 1
+        words = {r.stats["global_words"] for r in results}
+        assert words == {results[0].stats["global_words"]}
+
+    def test_cycles_is_thread_count(self):
+        module = straight_line_kernel()
+        binary = compile_binary(module, "k", CompileOptions(arch=GTX680))
+        launch = LaunchConfig(grid_blocks=4, block_size=64)
+        result = FunctionalBackend().measure(
+            request_for(binary.original, launch)
+        )
+        assert result.cycles == 4 * 64
+        assert result.energy is None
+
+    def test_checksum_changes_with_input(self, binary):
+        backend = FunctionalBackend()
+        a = backend.measure(
+            request_for(binary.original, LaunchConfig(grid_blocks=2, block_size=64))
+        )
+        b = backend.measure(
+            request_for(binary.original, LaunchConfig(grid_blocks=4, block_size=64))
+        )
+        assert a.stats["checksum"] != b.stats["checksum"]
+
+
+class TestRegistryAndProtocol:
+    def test_all_backends_satisfy_protocol(self):
+        for name, cls in BACKENDS.items():
+            backend = cls()
+            assert isinstance(backend, ExecutionBackend)
+            assert backend.name == name
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("timing"), TimingBackend)
+        assert isinstance(get_backend("analytical"), AnalyticalBackend)
+        assert isinstance(get_backend("functional"), FunctionalBackend)
+
+    def test_get_backend_passthrough(self):
+        backend = TimingBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_non_backend_rejected(self):
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+
+class TestMeasurementResult:
+    def test_payload_round_trip(self):
+        result = MeasurementResult(
+            backend="timing",
+            cycles=1234,
+            energy=5.5,
+            stats={"waves": 2, "occupancy": 0.75},
+        )
+        back = MeasurementResult.from_payload(result.to_payload())
+        assert back.backend == result.backend
+        assert back.cycles == result.cycles
+        assert back.energy == result.energy
+        assert back.stats == result.stats
+        assert back.cached  # from_payload marks the copy as cache-born
+        assert not result.cached

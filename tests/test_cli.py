@@ -137,3 +137,52 @@ class TestSweep:
         assert code == 0
         out = capsys.readouterr().out
         assert "normalized runtime" in out
+
+    def test_sweep_analytical_backend_with_trace(self, asm_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "sweep.jsonl"
+        code = main(
+            ["sweep", str(asm_file), "--arch", "c2075", "--grid", "16",
+             "--backend", "analytical", "--trace", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytical backend" in out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["kind"] == "backend_invoke" for r in records)
+
+    def test_unknown_backend_rejected(self, asm_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(asm_file), "--backend", "cuda"])
+
+
+class TestBench:
+    def test_bench_single_kernel_with_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "bench.jsonl"
+        code = main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--jobs", "2", "--trace", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Benchmark suite on Tesla C2075" in out
+        assert "gaussian" in out
+        assert "Engine telemetry" in out
+        assert "measurement cache:" in out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert {"engine_start", "session_start", "trial",
+                "session_finalized", "engine_finish"} <= kinds
+        assert all(
+            r["session"] == "gaussian"
+            for r in records
+            if r["kind"] == "trial"
+        )
+
+    def test_bench_unknown_benchmark_errors(self, capsys):
+        code = main(["bench", "--only", "nosuchkernel"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
