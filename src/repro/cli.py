@@ -10,6 +10,9 @@ CLI exposes the same workflow over ORAS files:
   binary and printing the candidate table;
 * ``inspect``  — describe a multi-version binary;
 * ``run``      — execute a kernel on the functional interpreter;
+* ``fuzz``     — differential fuzzing: seeded random kernels through
+  the whole pipeline, checked by the allocation-soundness verifier and
+  the functional interpreter (see :mod:`repro.fuzz`);
 * ``sweep``    — time every occupancy level through a backend;
 * ``bench``    — drive the whole benchmark suite through the execution
   engine, scheduling the per-kernel tuning sessions concurrently.
@@ -28,6 +31,7 @@ from pathlib import Path
 from repro.arch.specs import GTX680, TESLA_C2075, GpuArchitecture
 from repro.compiler.multiversion import MultiVersionBinary
 from repro.compiler.pipeline import CompileOptions, compile_binary
+from repro.fuzz.generator import SHAPES
 from repro.harness.reporting import format_series, format_table
 from repro.isa.assembly import format_module, parse_module
 from repro.isa.encoding import decode_module, encode_module
@@ -110,8 +114,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
         ),
         jobs=args.jobs,
         use_cache=not args.no_cache,
+        verify=args.verify,
     )
     Path(args.output).write_bytes(binary.to_bytes())
+    if args.verify:
+        print("verify: every realized version is allocation-sound")
     print(f"kernel {kernel!r} on {arch.name}: direction={binary.direction}")
     print(_version_table(binary))
     if args.timings:
@@ -170,6 +177,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     if len(memory) > args.show:
         print(f"  ... {len(memory) - args.show} more")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        shape=args.shape,
+        arch=ARCHS[args.arch],
+        progress=print if not args.quiet else None,
+    )
+    print(
+        f"fuzzed {report.cases} case(s) (shape={report.shape}, "
+        f"seeds {args.seed}..{args.seed + args.cases - 1}): "
+        f"{report.versions_checked} version(s) checked, "
+        f"{len(report.failures)} failure(s)"
+    )
+    for failure in report.failures:
+        print(failure)
+    return 0 if report.ok else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -280,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: $ORION_COMPILE_JOBS or 1)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed compile cache")
+    p.add_argument("--verify", action="store_true",
+                   help="gate every realized version through the "
+                        "allocation-soundness verifier")
     p.add_argument("--timings", action="store_true",
                    help="print the phase-timer / cache-hit report")
     _add_arch(p)
@@ -298,6 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offset=value kernel parameter (repeatable)")
     p.add_argument("--show", type=int, default=16)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the compiler with seeded random kernels",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses seed+i (default: 0)")
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of cases to run (default: 100)")
+    p.add_argument("--shape", choices=SHAPES, default="mixed",
+                   help="program shape to generate (default: mixed)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress periodic progress lines")
+    _add_arch(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("sweep", help="time every occupancy level")
     p.add_argument("input")

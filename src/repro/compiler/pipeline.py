@@ -68,6 +68,7 @@ def compile_binary(
     jobs: int | None = None,
     use_cache: bool = True,
     cache: CompileCache | None = None,
+    verify: bool = False,
 ) -> MultiVersionBinary:
     """Full Orion compilation: candidate generation + fat binary.
 
@@ -77,6 +78,10 @@ def compile_binary(
     parallelises candidate realisation — see
     :func:`repro.compiler.tuning.compile_time_tuning`; it never changes
     the output bytes, which is why it is not part of the cache key.
+    ``verify`` gates the result (cache hits included) through
+    :func:`verify_binary` — the allocation-soundness checks on every
+    realized version, at every target occupancy.  Like ``jobs`` it never
+    changes the output bytes, so it is not part of the cache key either.
     """
     if cache is None and use_cache:
         cache = default_cache()
@@ -89,12 +94,16 @@ def compile_binary(
         if payload is not None:
             with TIMERS.phase("cache_decode"):
                 try:
-                    return MultiVersionBinary.from_bytes(payload)
+                    binary = MultiVersionBinary.from_bytes(payload)
                 except Exception:
                     # A truncated/corrupted entry (torn disk write, manual
                     # edit) is a miss, not an error; recompiling below
                     # overwrites it with a good payload.
                     pass
+                else:
+                    if verify:
+                        verify_binary(binary)
+                    return binary
     with TIMERS.phase("front_end"):
         module = front_end(data)
     with TIMERS.phase("tuning"):
@@ -114,7 +123,51 @@ def compile_binary(
         )
         if cache is not None and key is not None:
             cache.store(key, binary.to_bytes())
+    if verify:
+        verify_binary(binary)
     return binary
+
+
+def verify_binary(binary: MultiVersionBinary) -> None:
+    """The pipeline's allocation-soundness gate.
+
+    Re-verifies every realized :class:`KernelVersion` — candidates and
+    fail-safe versions alike — at its own register budget, so a clobber
+    introduced at any target occupancy is caught before the binary is
+    handed to the runtime.  Versions arriving from the compile cache
+    carry no :class:`InterprocResult`; the verifier then falls back to
+    deriving frame bases from the code, which keeps the gate equally
+    applicable to freshly-compiled and deserialized binaries.
+
+    Raises :class:`repro.ir.verify.VerificationError` (a ``ValueError``)
+    naming the offending version on the first unsound one.
+    """
+    from repro.ir.verify import VerificationError, VerifyIssue, verify_module
+
+    with TIMERS.phase("verify"):
+        checked: set[int] = set()
+        for version in (*binary.versions, *binary.failsafe):
+            # Padded (downward-tuned) versions share the original's
+            # module; one pass per distinct allocation is enough.
+            if id(version.outcome.module) in checked:
+                continue
+            checked.add(id(version.outcome.module))
+            issues = verify_module(
+                version.outcome.module,
+                physical=True,
+                reg_budget=version.regs_per_thread,
+                interproc=version.outcome.interproc,
+            )
+            if issues:
+                raise VerificationError([
+                    VerifyIssue(
+                        f"{version.label}/{issue.function}",
+                        issue.block,
+                        issue.index,
+                        issue.message,
+                    )
+                    for issue in issues
+                ])
 
 
 def nvcc_baseline(

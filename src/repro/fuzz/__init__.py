@@ -1,0 +1,31 @@
+"""Differential fuzzing of the Orion compilation pipeline.
+
+Seeded random ORAS modules (:mod:`repro.fuzz.generator`) are pushed
+through the full compiler and checked by a three-part oracle
+(:mod:`repro.fuzz.oracle`):
+
+1. every realized version — candidates and fail-safes, at every target
+   occupancy — passes the allocation-soundness verifier;
+2. the functional interpreter produces *identical* global memory for
+   every version and for the original module (allocation only moves
+   values between slots, it never reorders arithmetic, so equality is
+   exact, not approximate);
+3. compilation is deterministic: two cold runs through fresh compile
+   caches produce byte-identical fat binaries, and a warm cache hit
+   decodes back to the same bytes.
+
+Every case is fully determined by its seed, so a failing case is
+reproduced with ``repro fuzz --seed <case-seed> --cases 1``.
+"""
+
+from repro.fuzz.generator import SHAPES, generate_module
+from repro.fuzz.oracle import FuzzFailure, FuzzReport, check_case, run_fuzz
+
+__all__ = [
+    "SHAPES",
+    "generate_module",
+    "FuzzFailure",
+    "FuzzReport",
+    "check_case",
+    "run_fuzz",
+]

@@ -1,0 +1,356 @@
+"""Seeded random ORAS kernel generator for differential fuzzing.
+
+Programs are built as assembly text (the same idiom the allocation
+property tests use) and parsed into validated modules.  Each *shape*
+stresses a different compiler subsystem:
+
+* ``straight`` — long straight-line ALU chains (pure colouring);
+* ``branchy``  — if/else diamonds with values merged at joins
+  (SSA φ placement, critical-edge handling);
+* ``loopy``    — counted loops with loop-carried accumulators
+  (back edges, live ranges spanning the loop body);
+* ``wide``     — 64/96/128-bit values (aligned slot allocation, wide
+  spill slots);
+* ``calls``    — device functions, including nested calls and values
+  live across call sites (compressible stack, save/restore protocol);
+* ``mixed``    — one random primary shape plus a random subset of the
+  other features.
+
+Generated programs are race-free by construction: every thread reads
+the low, never-written region of global memory and writes only its own
+word at ``WRITE_OFFSET + 4*tid`` (and one more a page later), so the
+interpreter's thread interleaving cannot affect the output and any
+divergence between versions is a real compiler bug.
+
+All randomness flows from one ``random.Random(seed)``; the same seed
+always yields the same module.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.function import Module
+from repro.isa.assembly import parse_module
+
+SHAPES = ("straight", "branchy", "loopy", "wide", "calls", "mixed")
+
+#: Kernel parameter (byte offset into the param space) the oracle must
+#: provide: an extra byte offset added to each thread's base address.
+PARAM_BASE_OFFSET = 0
+#: The value the oracle passes for it.
+PARAM_BASE_VALUE = 32
+
+#: Generated kernels store results at ``WRITE_OFFSET + 4*tid`` upward —
+#: far above every address they read (reads stay below ~512).
+WRITE_OFFSET = 4096
+
+_FLOAT_CONSTS = ("0.25", "0.5", "0.75", "1.25", "1.5", "2.0", "3.5")
+_INT_OPS = ("IADD", "ISUB", "IMUL", "IMIN", "IMAX", "AND", "OR", "XOR")
+_FLOAT_OPS = ("FADD", "FSUB", "FMUL", "FMIN", "FMAX")
+_POOL_CAP = 6
+
+
+class _Builder:
+    """Accumulates one function's blocks of assembly text."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.entry: list[str] = []
+        self.tail = self.entry  # current emission target
+        self.blocks: list[tuple[str, list[str]]] = []
+        self._reg = 0
+        self._label = 0
+        self.floats: list[str] = []  # live narrow float registers
+        self.ints: list[str] = []  # live int registers
+        self.wides: list[str] = []  # live wide registers ("%vN.wK")
+
+    def fresh(self) -> str:
+        name = f"%v{self._reg}"
+        self._reg += 1
+        return name
+
+    def label(self, prefix: str) -> str:
+        name = f"{prefix}{self._label}"
+        self._label += 1
+        return name
+
+    def emit(self, line: str) -> None:
+        self.tail.append(line)
+
+    def open(self, label: str) -> None:
+        lines: list[str] = []
+        self.blocks.append((label, lines))
+        self.tail = lines
+
+    # -- value pools ---------------------------------------------------
+    def push_float(self, reg: str) -> None:
+        self._push(self.floats, reg)
+
+    def push_int(self, reg: str) -> None:
+        self._push(self.ints, reg)
+
+    def _push(self, pool: list[str], reg: str) -> None:
+        # Past the cap, replace a random element: the pool stays a live
+        # set of bounded size while old values go dead.
+        if len(pool) >= _POOL_CAP:
+            pool[self.rng.randrange(len(pool))] = reg
+        else:
+            pool.append(reg)
+
+    def any_float(self) -> str:
+        return self.rng.choice(self.floats)
+
+    def any_int(self) -> str:
+        return self.rng.choice(self.ints)
+
+    def render(self, header: str) -> list[str]:
+        lines = [header, "BB0:"]
+        lines.extend(f"    {line}" for line in self.entry)
+        for label, body in self.blocks:
+            lines.append(f"{label}:")
+            lines.extend(f"    {line}" for line in body)
+        lines.append(".end")
+        return lines
+
+
+def generate_module(seed: int, shape: str = "mixed") -> Module:
+    """Deterministically generate one validated ORAS module."""
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; choose from {SHAPES}")
+    rng = random.Random(seed)
+    concrete = ("straight", "branchy", "loopy", "wide", "calls")
+    if shape == "mixed":
+        features = {rng.choice(concrete)}
+        for extra in concrete:
+            if extra not in features and rng.random() < 0.35:
+                features.add(extra)
+    else:
+        features = {shape}
+
+    g = _Builder(rng)
+    helpers: list[str] = []
+
+    # -- prologue: thread base address and initial values --------------
+    tid = g.fresh()
+    g.emit(f"S2R {tid}, %tid")
+    g.push_int(tid)
+    base = g.fresh()
+    g.emit(f"SHL {base}, {tid}, 2")
+    if rng.random() < 0.5:
+        p = g.fresh()
+        g.emit(f"LD.param {p}, [{PARAM_BASE_OFFSET}]")
+        shifted = g.fresh()
+        g.emit(f"IADD {shifted}, {base}, {p}")
+        base = shifted
+    for i in range(rng.randint(2, 5)):
+        r = g.fresh()
+        g.emit(f"LD.global {r}, [{base}+{4 * i}]")
+        g.push_float(r)
+    for _ in range(rng.randint(0, 2)):
+        r = g.fresh()
+        g.emit(f"MOV {r}, {rng.randint(0, 7)}")
+        g.push_int(r)
+    if "wide" in features:
+        widths = [2, 4] if rng.random() < 0.4 else [rng.choice((2, 4))]
+        for width in widths:
+            w = g.fresh()
+            off = rng.choice((64, 80, 96))
+            g.emit(f"LD.global {w}.w{width}, [{base}+{off}]")
+            g.wides.append(f"{w}.w{width}")
+    if "straight" in features and rng.random() < 0.3:
+        g.emit("BAR")  # entry block: every thread reaches it uniformly
+
+    # -- body structures ----------------------------------------------
+    _alu_burst(g, rng.randint(2, 6))
+    structures: list[str] = []
+    if "branchy" in features:
+        structures += ["diamond"] * rng.randint(1, 2)
+    if "loopy" in features:
+        structures += ["loop"] * rng.randint(1, 2)
+    if "straight" in features:
+        structures += ["burst"]
+    rng.shuffle(structures)
+    callees: list[tuple[str, int]] = []
+    if "calls" in features:
+        callees = _make_helpers(rng, helpers)
+    for kind in structures:
+        if kind == "diamond":
+            _diamond(g)
+        elif kind == "loop":
+            _loop(g)
+        else:
+            _alu_burst(g, rng.randint(3, 8))
+        if callees and rng.random() < 0.6:
+            _call(g, rng.choice(callees))
+    if callees:
+        # At least one call site, whatever the structure dice said.
+        _call(g, rng.choice(callees))
+        if rng.random() < 0.5:
+            _call(g, rng.choice(callees))
+    _alu_burst(g, rng.randint(1, 4))
+
+    # -- epilogue: fold every live value into the output ---------------
+    for wide in g.wides:
+        narrow = g.fresh()
+        g.emit(f"FADD {narrow}, {wide}, 0.0")
+        g.push_float(narrow)
+    if g.ints and rng.random() < 0.6:
+        as_float = g.fresh()
+        g.emit(f"I2F {as_float}, {g.any_int()}")
+        g.push_float(as_float)
+    acc = g.floats[0]
+    for value in g.floats[1:]:
+        nxt = g.fresh()
+        g.emit(f"FADD {nxt}, {acc}, {value}")
+        acc = nxt
+    out_base = g.fresh()
+    g.emit(f"IADD {out_base}, {base}, {WRITE_OFFSET}")
+    g.emit(f"ST.global [{out_base}], {acc}")
+    if len(g.floats) > 1 and rng.random() < 0.5:
+        g.emit(f"ST.global [{out_base}+{WRITE_OFFSET}], {g.any_float()}")
+    g.emit("EXIT")
+
+    text = [f".module fuzz_{seed}"]
+    text.extend(g.render(".kernel k shared=0"))
+    text.extend(helpers)
+    module = parse_module("\n".join(text))
+    module.validate()
+    return module
+
+
+# ----------------------------------------------------------------------
+def _alu_burst(g: _Builder, count: int) -> None:
+    rng = g.rng
+    for _ in range(count):
+        if g.ints and rng.random() < 0.3:
+            roll = rng.random()
+            if roll < 0.2:
+                r = g.fresh()
+                g.emit(f"SHL {r}, {g.any_int()}, {rng.randint(0, 4)}")
+            elif roll < 0.4:
+                r = g.fresh()
+                g.emit(f"SHR {r}, {g.any_int()}, {rng.randint(0, 4)}")
+            elif roll < 0.55:
+                r = g.fresh()
+                g.emit(f"F2I {r}, {g.any_float()}")
+            else:
+                op = rng.choice(_INT_OPS)
+                b = g.any_int() if rng.random() < 0.7 else str(rng.randint(0, 7))
+                r = g.fresh()
+                g.emit(f"{op} {r}, {g.any_int()}, {b}")
+            g.push_int(r)
+        else:
+            r = g.fresh()
+            if rng.random() < 0.3:
+                c = g.any_float() if rng.random() < 0.5 else rng.choice(_FLOAT_CONSTS)
+                g.emit(f"FFMA {r}, {g.any_float()}, {rng.choice(_FLOAT_CONSTS)}, {c}")
+            else:
+                op = rng.choice(_FLOAT_OPS)
+                b = g.any_float() if rng.random() < 0.7 else rng.choice(_FLOAT_CONSTS)
+                g.emit(f"{op} {r}, {g.any_float()}, {b}")
+            g.push_float(r)
+
+
+def _diamond(g: _Builder) -> None:
+    rng = g.rng
+    cond = g.fresh()
+    g.emit(f"ISET.lt {cond}, {g.any_int()}, {rng.randint(1, 6)}")
+    then_l, else_l, join_l = g.label("T"), g.label("F"), g.label("J")
+    g.emit(f"CBR {cond}, {then_l}, {else_l}")
+    out = g.fresh()
+    for label in (then_l, else_l):
+        g.open(label)
+        if rng.random() < 0.5:
+            g.emit(f"MOV {out}, {rng.choice(_FLOAT_CONSTS)}")
+        else:
+            g.emit(
+                f"{rng.choice(_FLOAT_OPS)} {out}, {g.any_float()}, "
+                f"{rng.choice(_FLOAT_CONSTS)}"
+            )
+        g.emit(f"BRA {join_l}")
+    g.open(join_l)
+    g.push_float(out)
+
+
+def _loop(g: _Builder) -> None:
+    rng = g.rng
+    counter, acc = g.fresh(), g.fresh()
+    trips = rng.randint(1, 4)
+    g.emit(f"MOV {counter}, 0")
+    g.emit(f"MOV {acc}, 0.0")
+    head, body, done = g.label("HEAD"), g.label("BODY"), g.label("DONE")
+    g.emit(f"BRA {head}")
+    g.open(head)
+    cond = g.fresh()
+    g.emit(f"ISET.lt {cond}, {counter}, {trips}")
+    g.emit(f"CBR {cond}, {body}, {done}")
+    g.open(body)
+    current = acc
+    for _ in range(rng.randint(1, 3)):
+        nxt = g.fresh()
+        g.emit(
+            f"FFMA {nxt}, {g.any_float()}, {rng.choice(_FLOAT_CONSTS)}, {current}"
+        )
+        current = nxt
+    if current != acc:
+        g.emit(f"MOV {acc}, {current}")
+    g.emit(f"IADD {counter}, {counter}, 1")
+    g.emit(f"BRA {head}")
+    g.open(done)
+    g.push_float(acc)
+
+
+def _call(g: _Builder, callee: tuple[str, int]) -> None:
+    name, n_args = callee
+    args = ", ".join(g.any_float() for _ in range(n_args))
+    out = g.fresh()
+    g.emit(f"CALL {out}, {name}({args})")
+    g.push_float(out)
+
+
+def _make_helpers(
+    rng: random.Random, helpers: list[str]
+) -> list[tuple[str, int]]:
+    """Emit 1–2 device functions; the second may call the first.
+
+    Bodies keep a derived value live across the nested call so the
+    compressible-stack save/restore protocol is exercised inside device
+    functions, not just at kernel call sites.
+    """
+    callees: list[tuple[str, int]] = []
+    n_args = rng.randint(1, 3)
+    leaf = f"h{rng.randint(0, 9)}"
+    lines = [f".func {leaf} args={n_args} returns=1", "BB0:"]
+    reg = n_args
+    acc = "%v0"
+    for i in range(1, n_args):
+        lines.append(f"    FADD %v{reg}, {acc}, %v{i}")
+        acc = f"%v{reg}"
+        reg += 1
+    lines.append(
+        f"    {rng.choice(_FLOAT_OPS)} %v{reg}, {acc}, "
+        f"{rng.choice(_FLOAT_CONSTS)}"
+    )
+    lines.append(f"    RET %v{reg}")
+    lines.append(".end")
+    helpers.extend(lines)
+    callees.append((leaf, n_args))
+
+    if rng.random() < 0.6:
+        wrapper = f"w{rng.randint(0, 9)}"
+        inner_args = ", ".join("%v0" for _ in range(n_args))
+        lines = [
+            f".func {wrapper} args=1 returns=1",
+            "BB0:",
+            # %v1 is live across the nested call: forces a stack save.
+            f"    FADD %v1, %v0, {rng.choice(_FLOAT_CONSTS)}",
+            f"    CALL %v2, {leaf}({inner_args})",
+            "    FMUL %v3, %v2, 0.5",
+            "    FADD %v4, %v3, %v1",
+            "    RET %v4",
+            ".end",
+        ]
+        helpers.extend(lines)
+        callees.append((wrapper, 1))
+    return callees

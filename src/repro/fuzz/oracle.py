@@ -1,0 +1,179 @@
+"""The differential-fuzzing oracle: verify, interpret, compare.
+
+One *case* is one generated module pushed through the full pipeline:
+
+* the original module is interpreted once to get the reference output;
+* the module is compiled twice cold (two fresh
+  :class:`~repro.perf.cache.CompileCache` instances) and once warm
+  (a cache hit on the first cache); all three fat binaries must be
+  byte-identical — the compile path and the serialization round-trip
+  are deterministic;
+* every realized version — candidates and fail-safes — must pass the
+  allocation-soundness verifier at its own register budget and must
+  produce exactly the reference global memory under the interpreter.
+
+Exact equality (not approximate) is sound because allocation only moves
+values between slots; it never reorders or rewrites arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.specs import GTX680, GpuArchitecture
+from repro.compiler.pipeline import CompileOptions, compile_binary
+from repro.fuzz.generator import (
+    PARAM_BASE_OFFSET,
+    PARAM_BASE_VALUE,
+    generate_module,
+)
+from repro.ir.verify import verify_module
+from repro.perf.cache import CompileCache
+from repro.sim.interp import LaunchConfig, run_kernel
+
+#: Small fixed launch: the interpreter dominates case runtime.
+_LAUNCH = LaunchConfig(
+    grid_blocks=1,
+    block_size=8,
+    params={PARAM_BASE_OFFSET: PARAM_BASE_VALUE},
+)
+
+
+def _initial_memory() -> dict[int, float]:
+    return {i * 4: float(i % 7 + 1) for i in range(192)}
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One oracle violation, reproducible from its seed alone."""
+
+    seed: int
+    shape: str
+    kind: str  # "verifier" | "differential" | "determinism" | "crash"
+    detail: str
+
+    @property
+    def repro(self) -> str:
+        return f"repro fuzz --seed {self.seed} --cases 1 --shape {self.shape}"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] seed={self.seed} shape={self.shape}: "
+            f"{self.detail}\n    reproduce: {self.repro}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of a fuzzing run."""
+
+    cases: int
+    shape: str
+    failures: list[FuzzFailure] = field(default_factory=list)
+    versions_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check_case(
+    seed: int, shape: str = "mixed", arch: GpuArchitecture = GTX680
+) -> tuple[list[FuzzFailure], int]:
+    """Run the oracle on one generated case.
+
+    Returns ``(failures, versions_checked)``.  A crash anywhere in the
+    pipeline is itself a failure (kind ``"crash"``), never an exception
+    out of the harness.
+    """
+    failures: list[FuzzFailure] = []
+
+    def fail(kind: str, detail: str) -> None:
+        failures.append(FuzzFailure(seed, shape, kind, detail))
+
+    try:
+        module = generate_module(seed, shape)
+        expected = run_kernel(module, _LAUNCH, global_memory=_initial_memory())
+        options = CompileOptions(arch=arch, block_size=128, max_versions=4)
+
+        cold = CompileCache()
+        binary = compile_binary(
+            module, "k", options, use_cache=True, cache=cold
+        )
+        payload = binary.to_bytes()
+        again = compile_binary(
+            module, "k", options, use_cache=True, cache=CompileCache()
+        )
+        if again.to_bytes() != payload:
+            fail("determinism", "two cold compiles produced different bytes")
+        warm = compile_binary(module, "k", options, use_cache=True, cache=cold)
+        if warm.to_bytes() != payload:
+            fail("determinism", "cache hit decoded to different bytes")
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        fail("crash", f"{type(exc).__name__}: {exc}")
+        return failures, 0
+
+    checked = 0
+    for version in (*binary.versions, *binary.failsafe):
+        checked += 1
+        try:
+            issues = verify_module(
+                version.outcome.module,
+                physical=True,
+                reg_budget=version.regs_per_thread,
+                interproc=version.outcome.interproc,
+            )
+            if issues:
+                fail(
+                    "verifier",
+                    f"version {version.label}: " + "; ".join(map(str, issues)),
+                )
+                continue
+            actual = run_kernel(
+                version.outcome.module, _LAUNCH, global_memory=_initial_memory()
+            )
+            if actual != expected:
+                fail("differential", _describe_divergence(version.label, expected, actual))
+        except Exception as exc:  # noqa: BLE001
+            fail("crash", f"version {version.label}: {type(exc).__name__}: {exc}")
+    return failures, checked
+
+
+def _describe_divergence(
+    label: str, expected: dict[int, float], actual: dict[int, float]
+) -> str:
+    for address in sorted(expected.keys() | actual.keys()):
+        want = expected.get(address)
+        got = actual.get(address)
+        if want != got:
+            return (
+                f"version {label} diverges from the original at global "
+                f"address {address:#x}: expected {want!r}, got {got!r}"
+            )
+    return f"version {label} diverges from the original"
+
+
+def run_fuzz(
+    seed: int = 0,
+    cases: int = 100,
+    shape: str = "mixed",
+    arch: GpuArchitecture = GTX680,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run ``cases`` consecutive seeds starting at ``seed``.
+
+    Case ``i`` uses seed ``seed + i``, so any failure reproduces in
+    isolation with ``--seed <case-seed> --cases 1``.
+    """
+    report = FuzzReport(cases=cases, shape=shape)
+    for i in range(cases):
+        failures, checked = check_case(seed + i, shape, arch)
+        report.failures.extend(failures)
+        report.versions_checked += checked
+        if progress is not None and (i + 1) % 25 == 0:
+            progress(
+                f"  {i + 1}/{cases} cases, {report.versions_checked} "
+                f"versions checked, {len(report.failures)} failure(s)"
+            )
+    return report

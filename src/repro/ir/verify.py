@@ -20,17 +20,39 @@ additional checks on physically-allocated modules:
 * wide values sit at aligned base registers;
 * no register index exceeds the declared budget;
 * calls follow the frame ABI (no operands);
-* no virtual registers remain.
+* no virtual registers remain;
+* allocation soundness: liveness is recomputed over physical storage —
+  register slots plus statically-addressed local/shared ranges — and any
+  write whose footprint overlaps a *different* value that is still live
+  is flagged as a clobber;
+* compressible-stack invariants: no value may be live across a call
+  while overlapping the callee's register window, and (when the
+  allocator's :class:`~repro.regalloc.stack.InterprocResult` is
+  supplied) every planned save move must be mirrored by a restore after
+  the call, in reverse order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.ir.cfg import CFG
 from repro.ir.function import Function, Module
 from repro.isa.instructions import Instruction, MemSpace, Opcode
 from repro.isa.registers import PhysReg, Reg, VirtualReg, is_aligned
+
+if TYPE_CHECKING:
+    from repro.regalloc.stack import InterprocResult
+
+#: A storage value tracked by the physical-liveness analysis: either a
+#: register value (a :class:`PhysReg` — base slot plus width), or a
+#: statically-addressed memory range ``("mem", space, offset, nbytes)``.
+StorageValue = "PhysReg | tuple[str, str, int, int]"
+
+#: Memory spaces whose statically-addressed ranges are thread-private
+#: storage the allocator manages (spill slots live here).
+_TRACKED_SPACES = (MemSpace.LOCAL, MemSpace.SHARED)
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,7 @@ class _Verifier:
     module: Module
     physical: bool
     reg_budget: int | None
+    interproc: "InterprocResult | None" = None
     issues: list[VerifyIssue] = field(default_factory=list)
 
     def report(self, fn: Function, block: str, index: int, message: str) -> None:
@@ -77,6 +100,8 @@ class _Verifier:
         except ValueError as exc:
             self.issues.append(VerifyIssue("<module>", "<module>", -1, str(exc)))
             return self.issues
+        if self.physical:
+            self._frame_bases, self._frame_windows = self._call_frame_facts()
         for fn in self.module.functions.values():
             self._check_function(fn)
         return self.issues
@@ -86,6 +111,9 @@ class _Verifier:
             for index, inst in enumerate(block.instructions):
                 self._check_instruction(fn, block.label, index, inst)
         self._check_definedness(fn)
+        if self.physical:
+            self._check_slot_liveness(fn)
+            self._check_stack_protocol(fn)
 
     # ------------------------------------------------------------------
     def _check_instruction(
@@ -146,9 +174,18 @@ class _Verifier:
         if self.physical:
             return
         cfg = CFG(fn)
+        # An argument register is defined at entry at whatever width the
+        # body reads it: a 64/96/128-bit argument arrives as %vi.wN, and
+        # VirtualReg equality includes the width, so seeding only the
+        # 32-bit form would flag every wide argument as undefined.
         entry_defined: set[Reg] = {
             VirtualReg(i, 1) for i in range(fn.num_args)
         }
+        entry_defined.update(
+            reg
+            for reg in fn.all_regs()
+            if isinstance(reg, VirtualReg) and reg.index < fn.num_args
+        )
         defined_out: dict[str, set[Reg]] = {}
         # Forward dataflow: definitely-defined at block entry.
         all_regs = fn.all_regs()
@@ -188,22 +225,353 @@ class _Verifier:
                             )
                 defined.update(inst.regs_written())
 
+    # ------------------------------------------------------------------
+    # Allocation soundness: liveness over physical storage
+    # ------------------------------------------------------------------
+    def _call_frame_facts(self) -> tuple[dict[str, int], dict[str, set[int]]]:
+        """Per-function frame base and written-slot window.
+
+        The frame ABI gives every device function a contiguous register
+        window starting at its *base*; absent the allocator's own
+        bookkeeping the base is recovered as the lowest slot the function
+        references (exact whenever it matters: a value-returning callee
+        always writes its base slot).  The *window* is every slot the
+        function — or anything it can transitively call — writes.
+        """
+        bases: dict[str, int] = {}
+        writes: dict[str, set[int]] = {}
+        callees: dict[str, set[str]] = {}
+        for name, fn in self.module.functions.items():
+            lowest: int | None = None
+            written: set[int] = set()
+            names: set[str] = set()
+            for inst in fn.instructions():
+                for reg in (*inst.regs_read(), *inst.regs_written()):
+                    if isinstance(reg, PhysReg) and (
+                        lowest is None or reg.index < lowest
+                    ):
+                        lowest = reg.index
+                for reg in inst.regs_written():
+                    if isinstance(reg, PhysReg):
+                        written.update(reg.slots)
+                if inst.is_call and inst.callee:
+                    names.add(inst.callee)
+            bases[name] = 0 if fn.is_kernel else (lowest or 0)
+            writes[name] = written
+            callees[name] = names
+        if self.interproc is not None:
+            bases.update(self.interproc.bases)
+
+        windows: dict[str, set[int]] = {}
+
+        def window(name: str, trail: frozenset[str]) -> set[int]:
+            if name in windows:
+                return windows[name]
+            if name in trail or name not in writes:
+                return set()
+            out = set(writes[name])
+            for callee in callees[name]:
+                out |= window(callee, trail | {name})
+            windows[name] = out
+            return out
+
+        for name in self.module.functions:
+            window(name, frozenset())
+        return bases, windows
+
+    def _check_slot_liveness(self, fn: Function) -> None:
+        """Flag writes that clobber a value still live in their slots.
+
+        Liveness is recomputed at storage granularity: a value is a
+        (base slot, width) register range or a statically-addressed
+        local/shared byte range, and it stays live from each read back to
+        the exact-identity write that defines it.  A write whose
+        footprint overlaps a *different* live value destroys data some
+        path still reads — the defining miscompile of a register
+        allocator — so every hit is an error.
+        """
+        cfg = CFG(fn)
+        live_in: dict[str, set] = {label: set() for label in cfg.rpo}
+        changed = True
+        while changed:
+            changed = False
+            for label in reversed(cfg.rpo):
+                live_out: set = set()
+                for succ in cfg.succs[label]:
+                    live_out |= live_in[succ]
+                new_in = self._walk_block(
+                    fn, fn.blocks[label], live_out, report=False
+                )
+                if new_in != live_in[label]:
+                    live_in[label] = new_in
+                    changed = True
+        for label in cfg.rpo:
+            live_out = set()
+            for succ in cfg.succs[label]:
+                live_out |= live_in[succ]
+            self._walk_block(fn, fn.blocks[label], live_out, report=True)
+
+    def _walk_block(
+        self, fn: Function, block, live_out: set, report: bool
+    ) -> set:
+        """One backward pass over a block; returns the live-in set."""
+        live = set(live_out)
+        insts = block.instructions
+        for index in range(len(insts) - 1, -1, -1):
+            inst = insts[index]
+            if inst.is_call and not inst.srcs and inst.dst is None:
+                self._step_frame_call(
+                    fn, block.label, index, inst, insts, live, report
+                )
+                continue
+            dst = inst.dst
+            if isinstance(dst, PhysReg):
+                if report:
+                    dslots = set(dst.slots)
+                    for value in live:
+                        if (
+                            isinstance(value, PhysReg)
+                            and value != dst
+                            and dslots.intersection(value.slots)
+                        ):
+                            self.report(
+                                fn, block.label, index,
+                                f"write to {dst} clobbers {value}, which is "
+                                "still live in the overlapping slot(s)",
+                            )
+                live.discard(dst)
+            mem = self._static_memory_value(inst)
+            if mem is not None and inst.opcode is Opcode.ST:
+                if report:
+                    for value in live:
+                        if (
+                            isinstance(value, tuple)
+                            and value != mem
+                            and self._mem_overlaps(value, mem)
+                        ):
+                            self.report(
+                                fn, block.label, index,
+                                f"store to {self._describe(mem)} clobbers "
+                                f"live value {self._describe(value)}",
+                            )
+                live.discard(mem)
+            for reg in inst.regs_read():
+                if isinstance(reg, PhysReg):
+                    live.add(reg)
+            if mem is not None and inst.opcode is Opcode.LD:
+                live.add(mem)
+        return live
+
+    def _step_frame_call(
+        self,
+        fn: Function,
+        label: str,
+        index: int,
+        inst: Instruction,
+        insts: list[Instruction],
+        live: set,
+        report: bool,
+    ) -> None:
+        """Model a frame-ABI call: kill its result, use its argument
+        slots, and require live values to stay clear of the callee's
+        register window (the compressible-stack disjointness invariant).
+        """
+        callee_fn = self.module.functions.get(inst.callee or "")
+        if callee_fn is None:
+            return
+        base = self._frame_bases.get(callee_fn.name, 0)
+        window = self._frame_windows.get(callee_fn.name, set())
+        # The result fetch — a MOV from the callee's base slot placed
+        # immediately after the call — reads a value the call defines.
+        nxt = insts[index + 1] if index + 1 < len(insts) else None
+        if (
+            nxt is not None
+            and nxt.opcode is Opcode.MOV
+            and nxt.srcs
+            and isinstance(nxt.srcs[0], PhysReg)
+            and nxt.srcs[0].index == base
+        ):
+            live.discard(nxt.srcs[0])
+        if report:
+            for value in live:
+                if isinstance(value, PhysReg) and window.intersection(
+                    value.slots
+                ):
+                    self.report(
+                        fn, label, index,
+                        f"{value} is live across the call to "
+                        f"{callee_fn.name!r} but overlaps the callee's "
+                        f"register window (base slot {base}); it must be "
+                        "saved below the compressed stack height",
+                    )
+        for i in range(callee_fn.num_args):
+            live.add(PhysReg(base + i, 1))
+
+    @staticmethod
+    def _static_memory_value(inst: Instruction):
+        """The (space, offset, nbytes) value a base-less LD/ST touches.
+
+        Accesses through a base register (promoted shared frames, user
+        shared tiles) are dynamically addressed and cannot be tracked
+        statically; spill traffic is always base-less.
+        """
+        if inst.opcode is Opcode.LD:
+            if inst.srcs or inst.space not in _TRACKED_SPACES:
+                return None
+            width = inst.dst.width if isinstance(inst.dst, (PhysReg, VirtualReg)) else 1
+        elif inst.opcode is Opcode.ST:
+            if len(inst.srcs) != 1 or inst.space not in _TRACKED_SPACES:
+                return None
+            value = inst.srcs[0]
+            width = value.width if isinstance(value, (PhysReg, VirtualReg)) else 1
+        else:
+            return None
+        assert inst.space is not None
+        return ("mem", inst.space.value, inst.offset, 4 * width)
+
+    @staticmethod
+    def _mem_overlaps(a: tuple, b: tuple) -> bool:
+        return a[1] == b[1] and a[2] < b[2] + b[3] and b[2] < a[2] + a[3]
+
+    @staticmethod
+    def _describe(value) -> str:
+        if isinstance(value, PhysReg):
+            return str(value)
+        _, space, offset, nbytes = value
+        return f"{space}[{offset}..{offset + nbytes - 1}]"
+
+    # ------------------------------------------------------------------
+    # Compressible-stack protocol: save/restore balance
+    # ------------------------------------------------------------------
+    def _check_stack_protocol(self, fn: Function) -> None:
+        """Check each planned call site's saves are mirrored by restores.
+
+        Only possible when the allocator hands over its
+        :class:`InterprocResult`: the plan says exactly which MOVs are
+        compressible-stack saves, removing any ambiguity with ordinary
+        caller code.  Rewriting emits, per site: saves, argument copies,
+        CALL, optional result fetch, then restores mirroring the saves in
+        reverse order — each piece is checked in place.
+        """
+        if self.interproc is None:
+            return
+        plans = self.interproc.plans.get(fn.name)
+        if not plans:
+            return
+        caller_base = self.interproc.bases.get(fn.name, 0)
+        by_block: dict[str, list] = {}
+        for plan in sorted(plans, key=lambda p: (p.block, p.index)):
+            by_block.setdefault(plan.block, []).append(plan)
+        for label, block_plans in by_block.items():
+            block = fn.blocks.get(label)
+            if block is None:
+                continue
+            insts = block.instructions
+            calls = [i for i, inst in enumerate(insts) if inst.is_call]
+            if len(calls) != len(block_plans):
+                self.report(
+                    fn, label, -1,
+                    f"{len(block_plans)} planned call site(s) but "
+                    f"{len(calls)} call(s) after rewriting",
+                )
+                continue
+            for plan, call_idx in zip(block_plans, calls):
+                if insts[call_idx].callee != plan.callee:
+                    self.report(
+                        fn, label, call_idx,
+                        f"call to {insts[call_idx].callee!r} where the "
+                        f"site plan expects {plan.callee!r}",
+                    )
+                    continue
+                self._check_call_site(
+                    fn, label, insts, call_idx, plan, caller_base
+                )
+
+    def _check_call_site(
+        self,
+        fn: Function,
+        label: str,
+        insts: list[Instruction],
+        call_idx: int,
+        plan,
+        caller_base: int,
+    ) -> None:
+        callee_base = self.interproc.bases.get(plan.callee, 0)
+        # Saves sit before the argument copies (MOVs into the callee
+        # window, i.e. dst slot >= callee base).
+        pos = call_idx - 1
+        while (
+            pos >= 0
+            and insts[pos].opcode is Opcode.MOV
+            and isinstance(insts[pos].dst, PhysReg)
+            and insts[pos].dst.index >= callee_base
+        ):
+            pos -= 1
+        for var, from_rel, to_rel in reversed(plan.saves):
+            want_dst = PhysReg(caller_base + to_rel, var.width)
+            want_src = PhysReg(caller_base + from_rel, var.width)
+            if not self._is_mov(insts[pos] if pos >= 0 else None, want_dst, want_src):
+                self.report(
+                    fn, label, call_idx,
+                    f"call to {plan.callee!r}: missing save "
+                    f"{want_src} -> {want_dst} before the call",
+                )
+                return
+            pos -= 1
+        # Restores mirror the saves in reverse order, after the optional
+        # result fetch (a MOV whose source is the callee's base slot).
+        pos = call_idx + 1
+        if (
+            pos < len(insts)
+            and insts[pos].opcode is Opcode.MOV
+            and insts[pos].srcs
+            and isinstance(insts[pos].srcs[0], PhysReg)
+            and insts[pos].srcs[0].index == callee_base
+        ):
+            pos += 1
+        for var, from_rel, to_rel in reversed(plan.saves):
+            want_dst = PhysReg(caller_base + from_rel, var.width)
+            want_src = PhysReg(caller_base + to_rel, var.width)
+            if not self._is_mov(insts[pos] if pos < len(insts) else None, want_dst, want_src):
+                self.report(
+                    fn, label, call_idx,
+                    f"call to {plan.callee!r}: save of {want_dst} is not "
+                    f"mirrored by a restore {want_src} -> {want_dst} "
+                    "after the call (unbalanced save/restore)",
+                )
+                return
+            pos += 1
+
+    @staticmethod
+    def _is_mov(inst: Instruction | None, dst: PhysReg, src: PhysReg) -> bool:
+        return (
+            inst is not None
+            and inst.opcode is Opcode.MOV
+            and inst.dst == dst
+            and len(inst.srcs) == 1
+            and inst.srcs[0] == src
+        )
+
 
 def verify_module(
     module: Module,
     physical: bool = False,
     reg_budget: int | None = None,
+    interproc: "InterprocResult | None" = None,
 ) -> list[VerifyIssue]:
     """Collect verification issues (empty list = clean)."""
-    return _Verifier(module, physical, reg_budget).run()
+    return _Verifier(module, physical, reg_budget, interproc).run()
 
 
 def assert_verified(
     module: Module,
     physical: bool = False,
     reg_budget: int | None = None,
+    interproc: "InterprocResult | None" = None,
 ) -> None:
     """Raise :class:`VerificationError` unless the module is clean."""
-    issues = verify_module(module, physical=physical, reg_budget=reg_budget)
+    issues = verify_module(
+        module, physical=physical, reg_budget=reg_budget, interproc=interproc
+    )
     if issues:
         raise VerificationError(issues)

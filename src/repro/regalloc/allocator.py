@@ -86,6 +86,12 @@ def allocate_module(
     # depends on the string hash seed, and allocation details (shared
     # promotion offsets, shrink order) follow iteration order.
     reachable = sorted(callgraph.reachable(kernel_name))
+    # Dead-function elimination: functions the kernel can never reach
+    # are not allocated, and carrying them with virtual registers would
+    # fail the output verifier — the fat binary ships reachable code
+    # only.
+    for name in [n for n in work.functions if n not in set(reachable)]:
+        del work.functions[name]
 
     for name in reachable:
         fn = work.functions[name]
@@ -193,7 +199,7 @@ def allocate_module(
 
     assert plan is not None
     rewrite_module(work, kernel_name, plan)
-    _verify_output(work, reg_budget)
+    _verify_output(work, reg_budget, plan)
     local_bytes = max(
         (spill_states[name].frame_bytes for name in reachable), default=0
     )
@@ -226,11 +232,21 @@ def _min_budget(module: Module, name: str) -> int:
     return max(2, module.functions[name].num_args + 1)
 
 
-def _verify_output(module: Module, reg_budget: int) -> None:
-    """Machine-verify the allocated module (a compiler self-check)."""
+def _verify_output(
+    module: Module, reg_budget: int, plan: InterprocResult | None = None
+) -> None:
+    """Machine-verify the allocated module (a compiler self-check).
+
+    Handing over the interprocedural plan lets the verifier check the
+    compressible-stack protocol (save/restore balance, exact frame
+    bases) with the allocator's own slot maps instead of re-deriving
+    them from the code.
+    """
     from repro.ir.verify import assert_verified
 
-    assert_verified(module, physical=True, reg_budget=reg_budget)
+    assert_verified(
+        module, physical=True, reg_budget=reg_budget, interproc=plan
+    )
 
 
 def _allocate_function(

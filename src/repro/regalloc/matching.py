@@ -55,6 +55,15 @@ def min_cost_assignment(cost: list[list[float]]) -> list[int]:
                 if minv[j] < delta:
                     delta = minv[j]
                     j1 = j
+            if j1 == -1:
+                # Every unassignable column costs infinity: row i cannot
+                # be matched at all (all its edges are forbidden).
+                # Without this guard j0 becomes -1 and match[-1]/way[-1]
+                # silently corrupt the matching from the last column.
+                raise ValueError(
+                    f"infeasible assignment: row {i - 1} has no "
+                    "finite-cost column left"
+                )
             for j in range(m + 1):
                 if used[j]:
                     u[match[j]] += delta

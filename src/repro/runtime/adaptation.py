@@ -57,6 +57,7 @@ class DynamicTuner:
         self._failsafe = list(binary.failsafe)
         self._cursor = 0
         self._in_failsafe = False
+        self._failsafe_baseline: float | None = None
         self._pending: KernelVersion | None = None
         if not binary.can_tune:
             # Statically selected: one version, locked from the start.
@@ -104,7 +105,17 @@ class DynamicTuner:
         pool = self._failsafe if self._in_failsafe else self._candidates
 
         if len(self.history) >= 2:
-            previous = self.history[-2].runtime
+            if self._in_failsafe and self._cursor == 0:
+                # First fail-safe trial: the bar to clear is the
+                # *original* version's runtime, recorded at misprediction
+                # time — not the degraded trial that triggered the switch
+                # (that one is exactly what the fail-safe must beat by
+                # construction, so comparing against it would accept
+                # fail-safe versions slower than the original).
+                assert self._failsafe_baseline is not None
+                previous = self._failsafe_baseline
+            else:
+                previous = self.history[-2].runtime
             # Fig. 9 stops the upward search on >2% slowdown and the
             # downward search on "worse runtime"; on real hardware the
             # latter implicitly means worse beyond measurement noise, so
@@ -153,5 +164,8 @@ class DynamicTuner:
         ):
             self._in_failsafe = True
             self._cursor = 0
+            # Iteration 1 always ran the original; its normalized
+            # runtime is the baseline the fail-safe trials must beat.
+            self._failsafe_baseline = self.history[0].runtime
             return
         self.final_version = version

@@ -1,0 +1,38 @@
+"""Differential testing of the whole benchmark suite.
+
+Every realized version of every benchmark — each tuning candidate and
+each fail-safe version — must compute exactly what the original
+(``versions[0]``) computes under the functional interpreter, which in
+turn must match the unallocated source module.  Allocation moves values
+between slots; it never changes arithmetic, so equality is exact.
+"""
+
+import pytest
+
+from repro.arch.specs import GTX680
+from repro.bench.kernels import BENCHMARKS
+from repro.harness.experiments import compiled
+from repro.sim.interp import LaunchConfig, run_kernel
+
+LAUNCH = LaunchConfig(grid_blocks=1, block_size=32)
+
+
+def _memory():
+    return {i * 4: float(i % 7 + 1) for i in range(4096)}
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_every_version_matches_the_original(name):
+    spec = BENCHMARKS[name]
+    binary = compiled(spec, GTX680)
+    reference = run_kernel(
+        spec.build(), LAUNCH, global_memory=_memory()
+    )
+    assert reference, "source module stored nothing"
+    for version in (*binary.versions, *binary.failsafe):
+        actual = run_kernel(
+            version.outcome.module, LAUNCH, global_memory=_memory()
+        )
+        assert actual == reference, (
+            f"{name}/{version.label} diverges from the source module"
+        )

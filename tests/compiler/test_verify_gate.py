@@ -1,0 +1,75 @@
+"""The pipeline's allocation-soundness verify gate."""
+
+import pytest
+
+from repro.arch.specs import GTX680
+from repro.compiler.pipeline import CompileOptions, compile_binary, verify_binary
+from repro.ir.verify import VerificationError
+from repro.isa.instructions import Imm, Instruction, Opcode
+from repro.isa.registers import PhysReg
+from repro.perf.cache import CompileCache
+from tests.helpers import call_kernel, straight_line_kernel
+
+OPTIONS = CompileOptions(arch=GTX680, block_size=128, max_versions=3)
+
+
+class TestVerifyGate:
+    def test_fresh_compile_passes(self):
+        binary = compile_binary(
+            call_kernel(), "k", OPTIONS, use_cache=False, verify=True
+        )
+        assert binary.versions
+
+    def test_cache_hit_is_verified_too(self):
+        cache = CompileCache()
+        cold = compile_binary(
+            straight_line_kernel(), "k", OPTIONS, cache=cache, verify=True
+        )
+        warm = compile_binary(
+            straight_line_kernel(), "k", OPTIONS, cache=cache, verify=True
+        )
+        assert warm.to_bytes() == cold.to_bytes()
+        assert cache.stats.memory_hits == 1
+
+    def test_verify_does_not_change_output(self):
+        plain = compile_binary(
+            call_kernel(), "k", OPTIONS, use_cache=False
+        )
+        gated = compile_binary(
+            call_kernel(), "k", OPTIONS, use_cache=False, verify=True
+        )
+        assert gated.to_bytes() == plain.to_bytes()
+
+    def test_clobbered_version_rejected_with_version_label(self):
+        binary = compile_binary(
+            straight_line_kernel(), "k", OPTIONS, use_cache=False
+        )
+        # Corrupt one version: overwrite the slots feeding the first
+        # store while its value is still live.
+        victim = binary.versions[0]
+        fn = victim.outcome.module.kernel()
+        for block in fn.ordered_blocks():
+            for index, inst in enumerate(block.instructions):
+                if inst.opcode is Opcode.ST:
+                    reg = next(
+                        r for r in inst.regs_read()
+                        if isinstance(r, PhysReg)
+                    )
+                    base = reg.index - reg.index % 2
+                    block.instructions.insert(
+                        index,
+                        Instruction(
+                            Opcode.MOV,
+                            dst=PhysReg(base, 2),
+                            srcs=[Imm(0.0)],
+                        ),
+                    )
+                    break
+            else:
+                continue
+            break
+        with pytest.raises(VerificationError) as excinfo:
+            verify_binary(binary)
+        message = str(excinfo.value)
+        assert victim.label in message
+        assert "clobbers" in message

@@ -132,3 +132,30 @@ def test_matches_scipy(n, m, seed):
 def test_assignment_weight_helper():
     weights = [[2.0, 0.0], [0.0, 3.0]]
     assert assignment_weight(weights, [0, 1]) == 5.0
+
+
+class TestForbiddenEdges:
+    """Infinite-cost edges model forbidden pairings (e.g. a pinned
+    cluster that must not move); a row with no finite column left must
+    fail loudly, not corrupt the matching via ``match[-1]``."""
+
+    def test_all_infinite_row_raises(self):
+        inf = float("inf")
+        with pytest.raises(ValueError, match="infeasible"):
+            min_cost_assignment([[inf, inf], [1.0, inf]])
+
+    def test_infeasibility_found_mid_augmentation_raises(self):
+        # Both rows only afford column 0: the second augmenting path
+        # runs out of finite columns after displacing the first row.
+        inf = float("inf")
+        with pytest.raises(ValueError, match="infeasible"):
+            min_cost_assignment([[1.0, inf], [1.0, inf]])
+
+    def test_feasible_despite_forbidden_edges(self):
+        inf = float("inf")
+        assert min_cost_assignment([[inf, 1.0], [1.0, inf]]) == [1, 0]
+
+    def test_max_weight_with_forbidden_edges_raises(self):
+        ninf = -float("inf")
+        with pytest.raises(ValueError, match="infeasible"):
+            max_weight_assignment([[ninf, ninf], [1.0, 2.0]])

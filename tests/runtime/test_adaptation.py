@@ -214,3 +214,30 @@ class TestEdgeCases:
             assert tuner.next_version().label == label
             tuner.report(123.0)
         assert tuner.final_version.label == label
+
+
+class TestFailsafeBaseline:
+    """The first fail-safe trial competes against the *original*
+    version's runtime, not the degraded trial that triggered the
+    misprediction switch (regression: a fail-safe slower than the
+    original but faster than the degraded candidate used to win)."""
+
+    def test_failsafe_slower_than_original_rejected(self):
+        binary = make_binary([32, 48], failsafe=[16, 8])
+        tuner = DynamicTuner(binary)
+        drive(
+            tuner,
+            {"v32": 100.0, "v48": 150.0, "fs16": 140.0, "fs8": 145.0},
+        )
+        # fs16 (140) beats the degraded v48 (150) but loses to the
+        # original (100): the tuner must keep the original.
+        assert tuner.final_version.label == "v32"
+
+    def test_failsafe_faster_than_original_kept(self):
+        binary = make_binary([32, 48], failsafe=[16, 8])
+        tuner = DynamicTuner(binary)
+        drive(
+            tuner,
+            {"v32": 100.0, "v48": 150.0, "fs16": 90.0, "fs8": 95.0},
+        )
+        assert tuner.final_version.label == "fs16"

@@ -186,3 +186,61 @@ class TestBench:
         code = main(["bench", "--only", "nosuchkernel"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCompileVerify:
+    def test_verify_flag_gates_and_reports(self, call_asm_file, tmp_path, capsys):
+        out = tmp_path / "fat.bin"
+        code = main(
+            ["compile", str(call_asm_file), "-o", str(out),
+             "--verify", "--no-cache"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "allocation-sound" in stdout
+        assert out.exists()
+
+    def test_verify_failure_is_a_cli_error(self, call_asm_file, tmp_path,
+                                           capsys, monkeypatch):
+        from repro.ir.verify import VerificationError, VerifyIssue
+        import repro.compiler.pipeline as pipeline
+
+        def reject(binary):
+            raise VerificationError(
+                [VerifyIssue("v1/k", "BB0", 0, "synthetic clobber")]
+            )
+
+        monkeypatch.setattr(pipeline, "verify_binary", reject)
+        out = tmp_path / "fat.bin"
+        code = main(
+            ["compile", str(call_asm_file), "-o", str(out),
+             "--verify", "--no-cache"]
+        )
+        assert code == 1
+        assert "synthetic clobber" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_small_clean_run(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--cases", "2", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 2 case(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_failures_set_exit_code_and_print_repro(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.fuzz import FuzzFailure, FuzzReport
+
+        def fake_run_fuzz(**kwargs):
+            return FuzzReport(
+                cases=1, shape="mixed",
+                failures=[FuzzFailure(3, "mixed", "verifier", "bad slot")],
+                versions_checked=4,
+            )
+
+        monkeypatch.setattr("repro.fuzz.run_fuzz", fake_run_fuzz)
+        code = main(["fuzz", "--seed", "3", "--cases", "1", "--quiet"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "repro fuzz --seed 3 --cases 1 --shape mixed" in out
