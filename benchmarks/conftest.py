@@ -30,3 +30,38 @@ def save_artifact(results_dir):
         print(f"\n{text}\n[saved to {path}]")
 
     return _save
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_report_artifact(results_dir):
+    """Leave a machine-readable bench report next to the text artifacts.
+
+    At session teardown, every session the harness executed (whatever
+    subset of figures/tables ran) is serialized into one
+    ``orion-bench-report`` document, so a benchmarks run is consumable
+    by the same ``repro metrics`` tooling as ``repro bench --report``.
+    """
+    yield
+
+    from repro.harness import experiments
+    from repro.obs.report import build_bench_report, write_report
+    from repro.perf.cache import default_cache
+
+    executed = sorted(experiments._EXECUTE_CACHE.items())
+    if not executed:
+        return
+    arches = sorted({arch for (_, arch) in experiments._EXECUTE_CACHE})
+    rows = [
+        (name if len(arches) == 1 else f"{name}@{arch}", report)
+        for (name, arch), report in executed
+    ]
+    document = build_bench_report(
+        ",".join(arches),
+        "timing",
+        rows,
+        experiments._MEASUREMENT_CACHE.stats,
+        compile_stats=default_cache().stats,
+        generator="benchmarks suite",
+    )
+    path = write_report(document, results_dir / "bench_report.json")
+    print(f"\n[bench report saved to {path}]")

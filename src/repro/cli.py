@@ -15,11 +15,17 @@ CLI exposes the same workflow over ORAS files:
   the functional interpreter (see :mod:`repro.fuzz`);
 * ``sweep``    — time every occupancy level through a backend;
 * ``bench``    — drive the whole benchmark suite through the execution
-  engine, scheduling the per-kernel tuning sessions concurrently.
+  engine, scheduling the per-kernel tuning sessions concurrently;
+  ``--report`` writes the versioned machine-readable bench report;
+* ``trace``    — analyse a JSONL telemetry trace: ``summary``,
+  ``filter``, ``diff`` and ``export --format chrome`` (Perfetto);
+* ``metrics``  — print the Prometheus-style text exposition of a bench
+  report's embedded metrics snapshot.
 
-``sweep`` and ``bench`` accept ``--backend`` (timing simulator,
-analytical MWP/CWP model, or functional interpreter) and ``--trace``
-(JSONL telemetry via the engine's trace sink).
+``sweep``, ``bench`` and ``fuzz`` accept ``--trace`` (JSONL telemetry)
+and ``--metrics`` (print the process metrics registry after the run);
+``sweep`` and ``bench`` also accept ``--backend`` (timing simulator,
+analytical MWP/CWP model, or functional interpreter).
 """
 
 from __future__ import annotations
@@ -51,12 +57,27 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default="timing",
         help="execution backend (default: timing)",
     )
+    _add_observability(parser)
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
         metavar="FILE",
-        help="write a JSONL telemetry trace of the engine to FILE "
+        help="write a JSONL telemetry trace of the run to FILE "
              "(also honoured via $ORION_TRACE_FILE)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus-style metrics exposition after the run",
+    )
+
+
+def _print_live_metrics() -> None:
+    from repro.obs.metrics import get_registry, render_prometheus
+
+    print(render_prometheus(get_registry().snapshot()), end="")
 
 
 def _load_module(path: Path):
@@ -181,14 +202,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import run_fuzz
+    from repro.runtime.telemetry import JsonlSink, TelemetryHub
 
-    report = run_fuzz(
-        seed=args.seed,
-        cases=args.cases,
-        shape=args.shape,
-        arch=ARCHS[args.arch],
-        progress=print if not args.quiet else None,
-    )
+    hub = TelemetryHub(JsonlSink(args.trace)) if args.trace else None
+    try:
+        report = run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            shape=args.shape,
+            arch=ARCHS[args.arch],
+            progress=print if not args.quiet else None,
+            hub=hub,
+            trace=args.trace,
+        )
+    finally:
+        if hub is not None:
+            hub.close()
     print(
         f"fuzzed {report.cases} case(s) (shape={report.shape}, "
         f"seeds {args.seed}..{args.seed + args.cases - 1}): "
@@ -197,6 +226,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     )
     for failure in report.failures:
         print(failure)
+    if args.trace:
+        print(f"telemetry trace -> {args.trace}")
+    if args.metrics:
+        _print_live_metrics()
     return 0 if report.ok else 1
 
 
@@ -240,6 +273,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.trace:
         print(f"telemetry trace -> {args.trace}")
+    if args.metrics:
+        _print_live_metrics()
     return 0
 
 
@@ -272,8 +307,92 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     print(format_telemetry_summary(engine.telemetry, engine.cache.stats))
+    if args.report:
+        from repro.obs.report import build_bench_report, write_report
+        from repro.perf.cache import default_cache
+
+        written = write_report(
+            build_bench_report(
+                arch.name,
+                engine.backend.name,
+                rows,
+                engine.cache.stats,
+                compile_stats=default_cache().stats,
+                telemetry=engine.telemetry,
+            ),
+            args.report,
+        )
+        print(f"bench report -> {written}")
     if args.trace:
         print(f"telemetry trace -> {args.trace}")
+    if args.metrics:
+        _print_live_metrics()
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import tracefile
+
+    events = tracefile.read_trace(Path(args.trace_file))
+    if args.trace_command == "summary":
+        print(tracefile.summarize_trace(events))
+        return 0
+    if args.trace_command == "filter":
+        kept = tracefile.filter_trace(
+            events, session=args.session, kinds=args.kind or None
+        )
+        import json as _json
+
+        lines = "".join(
+            _json.dumps(event, sort_keys=True) + "\n" for event in kept
+        )
+        if args.output:
+            Path(args.output).write_text(lines, encoding="utf-8")
+            print(f"{len(kept)}/{len(events)} event(s) -> {args.output}")
+        else:
+            print(lines, end="")
+        return 0
+    if args.trace_command == "diff":
+        other = tracefile.read_trace(Path(args.other))
+        diffs = tracefile.diff_traces(
+            events, other, ignore_wall=not args.wall, limit=args.limit
+        )
+        if not diffs:
+            print("traces are identical"
+                  + ("" if args.wall else " (wall-clock ignored)"))
+            return 0
+        for line in diffs:
+            print(line)
+        return 1
+    if args.trace_command == "export":
+        import json as _json
+
+        document = tracefile.to_chrome(events)
+        text = _json.dumps(document, sort_keys=True)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(
+                f"{len(document['traceEvents'])} trace event(s) -> "
+                f"{args.output} (open in Perfetto / chrome://tracing)"
+            )
+        else:
+            print(text)
+        return 0
+    raise ValueError(f"unknown trace command {args.trace_command!r}")
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import render_prometheus
+    from repro.obs.report import load_report, validate_bench_report
+
+    report = load_report(Path(args.report))
+    errors = validate_bench_report(report)
+    if errors and not args.no_validate:
+        for error in errors:
+            print(f"invalid report: {error}", file=sys.stderr)
+        return 1
+    print(render_prometheus(report["metrics"]), end="")
     return 0
 
 
@@ -343,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress periodic progress lines")
     _add_arch(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("sweep", help="time every occupancy level")
@@ -371,9 +491,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="concurrent tuning sessions (default: $ORION_ENGINE_JOBS or 1)",
     )
+    p.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the versioned machine-readable bench report to FILE",
+    )
     _add_arch(p)
     _add_engine_options(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("trace", help="analyse a JSONL telemetry trace")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    ps = tsub.add_parser(
+        "summary",
+        help="per-kind counts, span duration stats, cache hit rates",
+    )
+    ps.add_argument("trace_file")
+    ps.set_defaults(func=cmd_trace)
+
+    pf = tsub.add_parser(
+        "filter", help="select events by session and/or kind"
+    )
+    pf.add_argument("trace_file")
+    pf.add_argument("--session", help="keep only this session's events")
+    pf.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help="keep only this event kind (repeatable)",
+    )
+    pf.add_argument("-o", "--output", help="write JSONL here (default: stdout)")
+    pf.set_defaults(func=cmd_trace)
+
+    pd = tsub.add_parser(
+        "diff", help="seq-aligned comparison of two traces"
+    )
+    pd.add_argument("trace_file", help="trace A")
+    pd.add_argument("other", help="trace B")
+    pd.add_argument(
+        "--wall",
+        action="store_true",
+        help="also compare wall-clock durations (differ between any "
+             "two real runs; ignored by default)",
+    )
+    pd.add_argument(
+        "--limit", type=int, default=10,
+        help="stop after this many differences (default: 10)",
+    )
+    pd.set_defaults(func=cmd_trace)
+
+    pe = tsub.add_parser(
+        "export", help="convert a trace for an external viewer"
+    )
+    pe.add_argument("trace_file")
+    pe.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format: Chrome trace_event JSON for "
+             "Perfetto / chrome://tracing (default)",
+    )
+    pe.add_argument("-o", "--output", help="write here (default: stdout)")
+    pe.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="print the Prometheus-style exposition of a bench report's "
+             "metrics snapshot",
+    )
+    p.add_argument("report", help="a bench-report JSON file (bench --report)")
+    p.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the report schema check",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 
@@ -382,6 +575,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro trace summary | head`); not an error
+        return 0
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -14,7 +14,9 @@ end converts the transformed assembly code back to binary code."
 returns the multi-version binary for the runtime.  The driver consults
 the content-addressed compile cache (:mod:`repro.perf.cache`) first —
 a hit deserializes the stored fat binary instead of re-running the
-middle end — and charges every stage to :data:`repro.perf.TIMERS`.
+middle end — and wraps every stage in a :func:`repro.obs.spans.span`,
+which charges :data:`repro.perf.TIMERS` and emits paired
+``span_start``/``span_end`` telemetry when a hub is ambient.
 
 :func:`nvcc_baseline` models the paper's comparison point: a quality
 single-thread allocation (graph colouring under the 63-register cap)
@@ -33,8 +35,8 @@ from repro.compiler.realize import KernelVersion
 from repro.compiler.tuning import compile_time_tuning
 from repro.ir.function import Module
 from repro.isa.encoding import decode_module, encode_module
+from repro.obs.spans import span
 from repro.perf.cache import CompileCache, compile_cache_key, default_cache
-from repro.perf.timers import TIMERS
 from repro.regalloc.allocator import allocate_module
 
 
@@ -89,10 +91,10 @@ def compile_binary(
     if cache is not None:
         module_bytes = data if isinstance(data, bytes) else encode_module(data)
         key = compile_cache_key(module_bytes, kernel_name, options)
-        with TIMERS.phase("cache_lookup"):
+        with span("cache_lookup", kernel=kernel_name):
             payload = cache.lookup(key)
         if payload is not None:
-            with TIMERS.phase("cache_decode"):
+            with span("cache_decode", kernel=kernel_name):
                 try:
                     binary = MultiVersionBinary.from_bytes(payload)
                 except Exception:
@@ -104,9 +106,9 @@ def compile_binary(
                     if verify:
                         verify_binary(binary)
                     return binary
-    with TIMERS.phase("front_end"):
+    with span("front_end", kernel=kernel_name):
         module = front_end(data)
-    with TIMERS.phase("tuning"):
+    with span("tuning", kernel=kernel_name):
         plan = compile_time_tuning(
             module,
             kernel_name,
@@ -117,7 +119,7 @@ def compile_binary(
             max_versions=options.max_versions,
             jobs=jobs,
         )
-    with TIMERS.phase("pack"):
+    with span("pack", kernel=kernel_name):
         binary = MultiVersionBinary.from_plan(
             plan, options.arch.name, options.block_size
         )
@@ -144,7 +146,7 @@ def verify_binary(binary: MultiVersionBinary) -> None:
     """
     from repro.ir.verify import VerificationError, VerifyIssue, verify_module
 
-    with TIMERS.phase("verify"):
+    with span("verify", kernel=binary.kernel_name):
         checked: set[int] = set()
         for version in (*binary.versions, *binary.failsafe):
             # Padded (downward-tuned) versions share the original's
@@ -158,6 +160,7 @@ def verify_binary(binary: MultiVersionBinary) -> None:
                 reg_budget=version.regs_per_thread,
                 interproc=version.outcome.interproc,
             )
+            _count_verify("fail" if issues else "pass")
             if issues:
                 raise VerificationError([
                     VerifyIssue(
@@ -168,6 +171,15 @@ def verify_binary(binary: MultiVersionBinary) -> None:
                     )
                     for issue in issues
                 ])
+
+
+def _count_verify(result: str) -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_verifier_checks_total",
+        "Allocation-soundness verifier passes over distinct allocations.",
+    ).inc(result=result)
 
 
 def nvcc_baseline(

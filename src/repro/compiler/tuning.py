@@ -37,7 +37,26 @@ from repro.compiler.realize import (
 from repro.compiler.static_select import static_selection
 from repro.ir.function import Module
 from repro.isa.encoding import encode_module
+from repro.obs.spans import span
 from repro.regalloc.allocator import allocate_module, minimal_budget
+
+
+def _count_realization(kernel_name: str, version) -> None:
+    """One candidate realization attempt, by outcome.
+
+    The parallel path counts in the parent after gathering futures —
+    counters incremented inside worker processes would be lost with the
+    process.
+    """
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_candidate_realizations_total",
+        "Candidate kernel-version realization attempts per kernel.",
+    ).inc(
+        kernel=kernel_name,
+        result="ok" if version is not None else "infeasible",
+    )
 
 
 @dataclass
@@ -304,22 +323,27 @@ def _realize_targets(
     """
     if jobs > 1 and len(targets) > 1:
         try:
-            return _realize_parallel(
-                module,
-                kernel_name,
-                arch,
-                block_size,
-                targets,
-                cache_config,
-                jobs,
-            )
+            with span(
+                "realize_batch", kernel=kernel_name, targets=len(targets)
+            ):
+                return _realize_parallel(
+                    module,
+                    kernel_name,
+                    arch,
+                    block_size,
+                    targets,
+                    cache_config,
+                    jobs,
+                )
         except Exception:
             pass  # fall through to the sequential path
     versions = []
     for warps in targets:
-        version = _realize_one(
-            module, kernel_name, arch, block_size, warps, cache_config
-        )
+        with span("realize", kernel=kernel_name, warps=warps):
+            version = _realize_one(
+                module, kernel_name, arch, block_size, warps, cache_config
+            )
+        _count_realization(kernel_name, version)
         if version is not None:
             versions.append(version)
     return versions
@@ -357,6 +381,8 @@ def _realize_parallel(
             for warps in targets
         ]
         results = [future.result() for future in futures]
+    for version in results:
+        _count_realization(kernel_name, version)
     return [version for version in results if version is not None]
 
 

@@ -29,6 +29,7 @@ from repro.fuzz.generator import (
     generate_module,
 )
 from repro.ir.verify import verify_module
+from repro.obs.spans import span, use_hub
 from repro.perf.cache import CompileCache
 from repro.sim.interp import LaunchConfig, run_kernel
 
@@ -52,10 +53,16 @@ class FuzzFailure:
     shape: str
     kind: str  # "verifier" | "differential" | "determinism" | "crash"
     detail: str
+    #: trace file of the failing run, when the run carried one — lets
+    #: the reproduction line point at the span-level evidence
+    trace: str | None = None
 
     @property
     def repro(self) -> str:
-        return f"repro fuzz --seed {self.seed} --cases 1 --shape {self.shape}"
+        line = f"repro fuzz --seed {self.seed} --cases 1 --shape {self.shape}"
+        if self.trace:
+            line += f"  # trace: {self.trace}"
+        return line
 
     def __str__(self) -> str:
         return (
@@ -79,19 +86,34 @@ class FuzzReport:
 
 
 def check_case(
-    seed: int, shape: str = "mixed", arch: GpuArchitecture = GTX680
+    seed: int,
+    shape: str = "mixed",
+    arch: GpuArchitecture = GTX680,
+    trace: str | None = None,
 ) -> tuple[list[FuzzFailure], int]:
     """Run the oracle on one generated case.
 
     Returns ``(failures, versions_checked)``.  A crash anywhere in the
     pipeline is itself a failure (kind ``"crash"``), never an exception
-    out of the harness.
+    out of the harness.  ``trace`` names the trace file the run writes
+    to, so failures carry a pointer to their span-level evidence.
     """
     failures: list[FuzzFailure] = []
 
     def fail(kind: str, detail: str) -> None:
-        failures.append(FuzzFailure(seed, shape, kind, detail))
+        failures.append(FuzzFailure(seed, shape, kind, detail, trace=trace))
 
+    with span("fuzz_case", seed=seed, shape=shape):
+        return _check_case_body(seed, shape, arch, failures, fail)
+
+
+def _check_case_body(
+    seed: int,
+    shape: str,
+    arch: GpuArchitecture,
+    failures: list[FuzzFailure],
+    fail: Callable[[str, str], None],
+) -> tuple[list[FuzzFailure], int]:
     try:
         module = generate_module(seed, shape)
         expected = run_kernel(module, _LAUNCH, global_memory=_initial_memory())
@@ -160,20 +182,50 @@ def run_fuzz(
     shape: str = "mixed",
     arch: GpuArchitecture = GTX680,
     progress: Callable[[str], None] | None = None,
+    hub=None,
+    trace: str | None = None,
 ) -> FuzzReport:
     """Run ``cases`` consecutive seeds starting at ``seed``.
 
     Case ``i`` uses seed ``seed + i``, so any failure reproduces in
-    isolation with ``--seed <case-seed> --cases 1``.
+    isolation with ``--seed <case-seed> --cases 1``.  ``hub`` (a
+    :class:`~repro.runtime.telemetry.TelemetryHub`) makes the run emit
+    per-case spans; ``trace`` is the file that hub writes, threaded
+    onto every failure's reproduction line.
     """
+    from contextlib import nullcontext
+
     report = FuzzReport(cases=cases, shape=shape)
-    for i in range(cases):
-        failures, checked = check_case(seed + i, shape, arch)
-        report.failures.extend(failures)
-        report.versions_checked += checked
-        if progress is not None and (i + 1) % 25 == 0:
-            progress(
-                f"  {i + 1}/{cases} cases, {report.versions_checked} "
-                f"versions checked, {len(report.failures)} failure(s)"
-            )
+    ambient = use_hub(hub) if hub is not None else nullcontext()
+    with ambient:
+        for i in range(cases):
+            failures, checked = check_case(seed + i, shape, arch, trace=trace)
+            report.failures.extend(failures)
+            report.versions_checked += checked
+            _count_fuzz_case(bool(failures))
+            if hub is not None:
+                from repro.runtime.telemetry import EventKind
+
+                hub.emit(
+                    EventKind.FUZZ_CASE,
+                    seed=seed + i,
+                    shape=shape,
+                    versions_checked=checked,
+                    failures=len(failures),
+                )
+            if progress is not None and (i + 1) % 25 == 0:
+                progress(
+                    f"  {i + 1}/{cases} cases, {report.versions_checked} "
+                    f"versions checked, {len(report.failures)} failure(s)"
+                )
+    if hub is not None:
+        hub.flush()
     return report
+
+
+def _count_fuzz_case(failed: bool) -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_fuzz_cases_total", "Differential-fuzzing cases by outcome."
+    ).inc(result="fail" if failed else "ok")

@@ -1,0 +1,73 @@
+"""Unified observability: metrics registry, spans, traces, reports.
+
+One subsystem shared by the compiler, the runtime engine, and the
+harness:
+
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges
+  and histograms charged at the hot seams (caches, realizations,
+  allocator, verifier, backends, tuner), rendered as a Prometheus-style
+  text exposition;
+* :mod:`repro.obs.spans` — hierarchical ``with span(...)`` timing that
+  emits paired ``SPAN_START``/``SPAN_END`` telemetry events and charges
+  the phase timers exactly once per outermost occurrence;
+* :mod:`repro.obs.tracefile` — JSONL trace tooling (summary, filter,
+  diff, Chrome/Perfetto export) behind ``repro trace``;
+* :mod:`repro.obs.report` — the versioned machine-readable bench
+  report behind ``repro bench --report``.
+
+See ``docs/observability.md`` for the span vocabulary, the metric
+catalog, and the trace-file schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    reset_registry,
+)
+from repro.obs.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    build_bench_report,
+    load_report,
+    validate_bench_report,
+    write_report,
+)
+from repro.obs.spans import current_hub, current_span, span, use_hub
+from repro.obs.tracefile import (
+    TRACE_SCHEMA_VERSION,
+    diff_traces,
+    filter_trace,
+    read_trace,
+    summarize_trace,
+    to_chrome,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "build_bench_report",
+    "current_hub",
+    "current_span",
+    "diff_traces",
+    "filter_trace",
+    "get_registry",
+    "load_report",
+    "read_trace",
+    "render_prometheus",
+    "reset_registry",
+    "span",
+    "summarize_trace",
+    "to_chrome",
+    "use_hub",
+    "validate_bench_report",
+    "write_report",
+]

@@ -1,0 +1,330 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The observability layer's aggregate store.  Hot seams across the whole
+system — compile-cache and measurement-cache lookups, candidate
+realizations, allocator spills, verifier checks, backend invocations,
+tuner convergence — charge named metrics here; the CLI renders the
+final snapshot as a Prometheus-style text exposition (``repro
+metrics``) and the bench report embeds it as JSON.
+
+Design constraints, in order:
+
+* **thread-safe** — the execution engine charges metrics from scheduler
+  worker threads;
+* **deterministic snapshots** — families sort by metric name, samples
+  by their sorted label items, so two identical runs serialize
+  identically;
+* **JSON-safe snapshots** — a snapshot survives the bench report's
+  round trip to disk and back into :func:`render_prometheus`.
+
+Histograms use *fixed* bucket boundaries chosen at first registration;
+re-registering with different boundaries is an error, so a metric's
+meaning cannot drift between call sites.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: label items sorted for deterministic identity + ordering
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram boundaries, tuned for iteration-count shaped data.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0)
+
+    def snapshot_samples(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._samples.items())
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+
+class Gauge:
+    """A value that goes up and down, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._samples[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0)
+
+    def snapshot_samples(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._samples.items())
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+
+class _HistogramSample:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Observations bucketed under fixed boundaries, per label set.
+
+    Boundaries are upper-inclusive (Prometheus ``le`` semantics) and an
+    implicit ``+Inf`` bucket always exists.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name}: buckets must be ascending")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._samples: dict[LabelKey, _HistogramSample] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = self._samples[key] = _HistogramSample(
+                    len(self.buckets) + 1
+                )
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    sample.bucket_counts[i] += 1
+                    break
+            else:
+                sample.bucket_counts[-1] += 1
+            sample.sum += value
+            sample.count += 1
+
+    def snapshot_samples(self) -> list[dict]:
+        bounds = [_fmt_bound(b) for b in self.buckets] + ["+Inf"]
+        with self._lock:
+            items = sorted(self._samples.items(), key=lambda kv: kv[0])
+            return [
+                {
+                    "labels": dict(key),
+                    # cumulative counts, one per ``le`` boundary
+                    "buckets": [
+                        [bound, count]
+                        for bound, count in zip(
+                            bounds, _cumulative(sample.bucket_counts)
+                        )
+                    ],
+                    "sum": sample.sum,
+                    "count": sample.count,
+                }
+                for key, sample in items
+            ]
+
+
+def _cumulative(counts: list[int]) -> list[int]:
+    total = 0
+    out = []
+    for c in counts:
+        total += c
+        out.append(total)
+    return out
+
+
+def _fmt_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A named collection of metrics with deterministic snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration (get-or-create, type-checked) --------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Histogram(name, help, buckets)
+            elif not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            elif tuple(float(b) for b in buckets) != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} re-registered with different buckets"
+                )
+            return metric
+
+    def _register(self, cls, name: str, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- snapshot ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-safe, deterministically ordered point-in-time copy."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        families = []
+        for name, metric in metrics:
+            family = {
+                "name": name,
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": metric.snapshot_samples(),
+            }
+            if isinstance(metric, Histogram):
+                family["buckets"] = [_fmt_bound(b) for b in metric.buckets]
+            families.append(family)
+        return {"metrics": families}
+
+    def reset(self) -> None:
+        """Drop every metric (tests; fresh runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition of a registry snapshot.
+
+    Accepts the output of :meth:`MetricsRegistry.snapshot` — including
+    one deserialized from a bench report — so ``repro metrics`` can
+    render a past run's final state.
+    """
+    lines: list[str] = []
+    for family in snapshot.get("metrics", []):
+        name, kind = family["name"], family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, count in sample["buckets"]:
+                    lines.append(
+                        _sample_line(
+                            f"{name}_bucket",
+                            {**labels, "le": bound},
+                            count,
+                        )
+                    )
+                lines.append(_sample_line(f"{name}_sum", labels, sample["sum"]))
+                lines.append(
+                    _sample_line(f"{name}_count", labels, sample["count"])
+                )
+            else:
+                lines.append(_sample_line(name, labels, sample["value"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sample_line(name: str, labels: dict, value) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+        )
+        name = f"{name}{{{rendered}}}"
+    return f"{name} {_fmt_value(value)}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+#: Process-wide registry every instrumented seam charges.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the process-wide registry in place (tests; fresh runs)."""
+    REGISTRY.reset()

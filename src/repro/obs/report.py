@@ -1,0 +1,188 @@
+"""Machine-readable bench reports (the artifact CI compares across PRs).
+
+``repro bench --report out.json`` (and the benchmark harness itself)
+serialize one run of the suite into a versioned JSON document: which
+kernels ran, what the tuner picked, how long everything took in
+simulated cycles, how the caches performed, and the final metrics
+registry snapshot.  The schema is deliberately small and validated by
+:func:`validate_bench_report`, so a CI job can fail fast on a malformed
+or metric-less report instead of silently comparing garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+SCHEMA = "orion-bench-report"
+SCHEMA_VERSION = 1
+
+_KERNEL_FIELDS = {
+    "name": str,
+    "final_version": str,
+    "occupancy": (int, float),
+    "regs_per_thread": int,
+    "total_cycles": int,
+    "iterations": int,
+    "was_split": bool,
+}
+
+
+def git_revision() -> str | None:
+    """The current git SHA, best-effort (``None`` outside a checkout)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _cache_payload(stats) -> dict:
+    return {
+        "hits": stats.hits,
+        "memory_hits": stats.memory_hits,
+        "disk_hits": stats.disk_hits,
+        "misses": stats.misses,
+        "stores": stats.stores,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+def build_bench_report(
+    arch_name: str,
+    backend_name: str,
+    rows,
+    measurement_stats,
+    compile_stats=None,
+    telemetry=None,
+    metrics_snapshot=None,
+    generator: str = "repro bench",
+) -> dict:
+    """Assemble one run's report.
+
+    ``rows`` is the ``bench_suite`` result — ``(name, ExecutionReport)``
+    pairs; ``measurement_stats``/``compile_stats`` are
+    :class:`~repro.perf.cache.CacheStats`; ``telemetry`` a
+    :class:`~repro.runtime.telemetry.TelemetryHub` whose per-kind counts
+    are embedded; ``metrics_snapshot`` defaults to the process-wide
+    registry's snapshot.
+    """
+    if metrics_snapshot is None:
+        from repro.obs.metrics import get_registry
+
+        metrics_snapshot = get_registry().snapshot()
+    kernels = []
+    for name, report in rows:
+        final = report.final_version
+        kernels.append(
+            {
+                "name": name,
+                "final_version": report.final_label,
+                "occupancy": final.occupancy,
+                "regs_per_thread": final.regs_per_thread,
+                "smem_per_block": final.smem_per_block,
+                "total_cycles": report.total_cycles,
+                "iterations": len(report.records),
+                "iterations_to_converge": report.iterations_to_converge,
+                "was_split": report.was_split,
+            }
+        )
+    payload = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "generator": generator,
+        "git_sha": git_revision(),
+        "arch": arch_name,
+        "backend": backend_name,
+        "kernels": kernels,
+        "cache": {"measurement": _cache_payload(measurement_stats)},
+        "metrics": metrics_snapshot,
+    }
+    if compile_stats is not None:
+        payload["cache"]["compile"] = _cache_payload(compile_stats)
+    if telemetry is not None:
+        payload["telemetry"] = {
+            "event_counts": {
+                kind.value: count
+                for kind, count in sorted(
+                    telemetry.counts.items(), key=lambda kv: kv[0].value
+                )
+            }
+        }
+    return payload
+
+
+def validate_bench_report(report: dict) -> list[str]:
+    """Schema check; returns problem descriptions (empty = valid).
+
+    Deliberately strict about the pieces CI consumes: the schema
+    identifier/version, per-kernel timing fields, cache hit-rate
+    numbers, and the presence of cache metrics in the registry
+    snapshot.
+    """
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {report.get('schema_version')!r}, "
+            f"want {SCHEMA_VERSION}"
+        )
+    kernels = report.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        errors.append("kernels: missing or empty")
+    else:
+        for i, kernel in enumerate(kernels):
+            if not isinstance(kernel, dict):
+                errors.append(f"kernels[{i}]: not an object")
+                continue
+            for field, types in _KERNEL_FIELDS.items():
+                if not isinstance(kernel.get(field), types):
+                    errors.append(
+                        f"kernels[{i}].{field}: missing or wrong type"
+                    )
+    cache = report.get("cache")
+    if not isinstance(cache, dict) or "measurement" not in cache:
+        errors.append("cache.measurement: missing")
+    else:
+        for tier, stats in cache.items():
+            if not isinstance(stats, dict) or not isinstance(
+                stats.get("hit_rate"), (int, float)
+            ):
+                errors.append(f"cache.{tier}.hit_rate: missing or not numeric")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or not isinstance(
+        metrics.get("metrics"), list
+    ):
+        errors.append("metrics: missing registry snapshot")
+    else:
+        names = {f.get("name") for f in metrics["metrics"]}
+        if "orion_cache_lookups_total" not in names:
+            errors.append(
+                "metrics: cache hit-rate metric "
+                "orion_cache_lookups_total is absent"
+            )
+    return errors
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the report as stable, diffable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))

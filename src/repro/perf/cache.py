@@ -77,12 +77,37 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class CompileCache:
-    """Two-tier (memory + optional disk) content-addressed byte store."""
+def _count_cache(cache: str, result: str) -> None:
+    """Charge one lookup outcome to the process-wide metrics registry.
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    Imported lazily: :mod:`repro.obs` sits above this module in the
+    import graph (its span machinery reaches back into the runtime),
+    so a module-level import here would be a cycle.
+    """
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_cache_lookups_total",
+        "Content-addressed cache lookups by cache and outcome.",
+    ).inc(cache=cache, result=result)
+
+
+class CompileCache:
+    """Two-tier (memory + optional disk) content-addressed byte store.
+
+    ``metrics_label`` names this cache in the metrics registry — the
+    compile cache reports as ``cache="compile"``; the measurement cache
+    reuses this store under ``cache="measure"``.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        metrics_label: str = "compile",
+    ) -> None:
         self._memory: dict[str, bytes] = {}
         self.directory = Path(directory) if directory else None
+        self.metrics_label = metrics_label
         self.stats = CacheStats()
 
     # -- lookup --------------------------------------------------------
@@ -90,19 +115,28 @@ class CompileCache:
         payload = self._memory.get(key)
         if payload is not None:
             self.stats.memory_hits += 1
+            _count_cache(self.metrics_label, "memory_hit")
             return payload
         payload = self._disk_read(key)
         if payload is not None:
             self._memory[key] = payload
             self.stats.disk_hits += 1
+            _count_cache(self.metrics_label, "disk_hit")
             return payload
         self.stats.misses += 1
+        _count_cache(self.metrics_label, "miss")
         return None
 
     def store(self, key: str, payload: bytes) -> None:
         self._memory[key] = payload
         self._disk_write(key, payload)
         self.stats.stores += 1
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "orion_cache_stores_total",
+            "Content-addressed cache stores by cache.",
+        ).inc(cache=self.metrics_label)
 
     def clear(self) -> None:
         """Drop the memory tier and reset counters (disk is untouched)."""

@@ -80,7 +80,7 @@ class MeasurementCache:
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         if directory is None:
             directory = os.environ.get("ORION_MEASURE_CACHE_DIR") or None
-        self._store = CompileCache(directory)
+        self._store = CompileCache(directory, metrics_label="measure")
 
     @property
     def stats(self) -> CacheStats:

@@ -1,17 +1,23 @@
-"""Wall-clock phase timers for the compilation pipeline.
+"""Wall-clock phase accumulators for the compilation pipeline.
 
 A :class:`PhaseTimers` instance accumulates (calls, seconds) per named
 phase.  The process-wide :data:`TIMERS` instance is what the pipeline
 charges; the harness and CLI read it back through
 :func:`repro.harness.reporting.format_phase_report`.
+
+Timing *regions* are owned by the span API
+(:func:`repro.obs.spans.span`), which charges :data:`TIMERS` exactly
+once per outermost same-named span — the old ``phase()`` context
+manager double-counted nested/re-entrant regions and has been deleted
+in favour of that single path.  This module keeps only the passive
+store: thread-safe, because spans charge it from the execution engine's
+scheduler threads too.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
+import threading
 from dataclasses import dataclass
-from typing import Iterator
 
 
 @dataclass
@@ -23,41 +29,35 @@ class PhaseStats:
 
 
 class PhaseTimers:
-    """Named wall-clock accumulators (perf_counter based)."""
+    """Named wall-clock accumulators (perf_counter based, thread-safe)."""
 
     def __init__(self) -> None:
         self.phases: dict[str, PhaseStats] = {}
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Charge the enclosed block to ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            stats = self.phases.setdefault(name, PhaseStats())
-            stats.calls += 1
-            stats.seconds += time.perf_counter() - start
+        self._lock = threading.Lock()
 
     def add(self, name: str, seconds: float) -> None:
         """Charge an externally-measured duration to ``name``."""
-        stats = self.phases.setdefault(name, PhaseStats())
-        stats.calls += 1
-        stats.seconds += seconds
+        with self._lock:
+            stats = self.phases.setdefault(name, PhaseStats())
+            stats.calls += 1
+            stats.seconds += seconds
 
     def total_seconds(self) -> float:
-        return sum(stats.seconds for stats in self.phases.values())
+        with self._lock:
+            return sum(stats.seconds for stats in self.phases.values())
 
     def snapshot(self) -> dict[str, PhaseStats]:
         """A point-in-time copy, safe to render while timing continues."""
-        return {
-            name: PhaseStats(stats.calls, stats.seconds)
-            for name, stats in self.phases.items()
-        }
+        with self._lock:
+            return {
+                name: PhaseStats(stats.calls, stats.seconds)
+                for name, stats in self.phases.items()
+            }
 
     def reset(self) -> None:
-        self.phases.clear()
+        with self._lock:
+            self.phases.clear()
 
 
-#: Process-wide timers the compilation pipeline charges.
+#: Process-wide timers the compilation pipeline charges (via spans).
 TIMERS = PhaseTimers()

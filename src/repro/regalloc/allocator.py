@@ -209,6 +209,7 @@ def allocate_module(
     total_local = sum(spill_states[name].frame_bytes for name in reachable)
     _offset_local_frames(work, reachable, spill_states)
 
+    _count_allocation(spilled_total, plan.static_move_count())
     return AllocationOutcome(
         module=work,
         kernel_name=kernel_name,
@@ -221,6 +222,28 @@ def allocate_module(
         interproc=plan,
         colorings=colorings,
     )
+
+
+def _count_allocation(spilled: int, stack_moves: int) -> None:
+    """Charge one finished allocation to the metrics registry.
+
+    Lazy import: the allocator sits well below :mod:`repro.obs` in the
+    import graph.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter(
+        "orion_allocations_total", "Completed module allocations."
+    ).inc()
+    registry.counter(
+        "orion_allocator_spilled_variables_total",
+        "Variables spilled to compressible-stack space across allocations.",
+    ).inc(spilled)
+    registry.counter(
+        "orion_allocator_stack_moves_total",
+        "Static stack-move instructions emitted across allocations.",
+    ).inc(stack_moves)
 
 
 def _slots_used(coloring: dict[Reg, int]) -> int:

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.compiler.multiversion import MultiVersionBinary, version_content_hash
 from repro.compiler.realize import KernelVersion
+from repro.obs.spans import span, use_hub
 from repro.perf.measure_cache import MeasurementCache, measurement_cache_key
 from repro.runtime.session import (
     ExecutionReport,
@@ -102,6 +103,21 @@ class ExecutionEngine:
         sweeps); it is part of the cache key.
         """
         workload = workload or Workload(launch=launch)
+        with use_hub(self.telemetry), span(
+            "measure", session=session, label=version.label
+        ):
+            return self._measure(
+                version, launch, workload, session, forced_warps
+            )
+
+    def _measure(
+        self,
+        version: KernelVersion,
+        launch: LaunchConfig,
+        workload: Workload,
+        session: str | None,
+        forced_warps: int | None,
+    ) -> MeasurementResult:
         key = measurement_cache_key(
             version_content_hash(version),
             self.backend.name,
@@ -182,6 +198,14 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def run(self, session: TuningSession) -> ExecutionReport:
         """Drive one session to completion (every iteration measured)."""
+        with use_hub(self.telemetry), span(
+            "session",
+            session=session.name,
+            kernel=session.binary.kernel_name,
+        ):
+            return self._run(session)
+
+    def _run(self, session: TuningSession) -> ExecutionReport:
         workload = session.workload
         launches, was_split = session.iteration_launches()
         self.telemetry.emit(
@@ -251,25 +275,31 @@ class ExecutionEngine:
         """
         jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
         width = min(jobs, len(sessions)) if sessions else 1
-        self.telemetry.emit(
-            EventKind.ENGINE_START,
-            None,
-            sessions=len(sessions),
-            jobs=width,
-            backend=self.backend.name,
-            arch=self.arch.name,
-        )
-        if width <= 1:
-            reports = [self.run(session) for session in sessions]
-        else:
-            with ThreadPoolExecutor(max_workers=width) as pool:
-                reports = list(pool.map(self.run, sessions))
-        stats = self.cache.stats
-        self.telemetry.emit(
-            EventKind.ENGINE_FINISH,
-            None,
-            sessions=len(sessions),
-            cache_hits=stats.hits,
-            cache_misses=stats.misses,
-        )
+        with use_hub(self.telemetry), span(
+            "engine", sessions=len(sessions), jobs=width
+        ):
+            self.telemetry.emit(
+                EventKind.ENGINE_START,
+                None,
+                sessions=len(sessions),
+                jobs=width,
+                backend=self.backend.name,
+                arch=self.arch.name,
+            )
+            if width <= 1:
+                reports = [self.run(session) for session in sessions]
+            else:
+                with ThreadPoolExecutor(max_workers=width) as pool:
+                    reports = list(pool.map(self.run, sessions))
+            stats = self.cache.stats
+            self.telemetry.emit(
+                EventKind.ENGINE_FINISH,
+                None,
+                sessions=len(sessions),
+                cache_hits=stats.hits,
+                cache_misses=stats.misses,
+            )
+        # The engine-finish flush is a promise to trace consumers: when
+        # ``run_many`` returns, the JSONL file on disk is complete.
+        self.telemetry.flush()
         return reports

@@ -139,4 +139,20 @@ class TuningSession:
             iterations_to_converge=self.converge_at,
             was_split=was_split,
         )
+        self._count_finalize()
         return self.report
+
+    def _count_finalize(self) -> None:
+        """Charge convergence behaviour to the metrics registry."""
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        converged = self.converge_at is not None
+        registry.counter(
+            "orion_sessions_total", "Finalized tuning sessions."
+        ).inc(converged="yes" if converged else "no")
+        if converged:
+            registry.histogram(
+                "orion_tuner_iterations_to_convergence",
+                "Iterations a session's tuner needed to converge.",
+            ).observe(self.converge_at)

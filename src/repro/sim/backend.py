@@ -107,6 +107,27 @@ class ExecutionBackend(Protocol):
 
 
 # ----------------------------------------------------------------------
+def _record_invocation(name: str, result: MeasurementResult) -> None:
+    """Charge one backend invocation (and its cycles) to the registry.
+
+    A helper rather than a wrapping backend class so ``get_backend``
+    keeps returning the concrete types callers isinstance-check.  Lazy
+    import: :mod:`repro.obs` sits above the simulator in the import
+    graph.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter(
+        "orion_backend_invocations_total",
+        "Backend measurements actually executed (cache misses).",
+    ).inc(backend=name)
+    registry.counter(
+        "orion_backend_cycles_total",
+        "Simulated cycles accumulated per backend.",
+    ).inc(result.cycles, backend=name)
+
+
 def _resident_warps(request: MeasurementRequest) -> tuple[int, int, int]:
     """(resident, warps_per_block, total_warps) as the GPU model sees it."""
     arch = request.arch
@@ -156,7 +177,7 @@ class TimingBackend:
             forced_warps=request.forced_warps,
         )
         cycles = timing.total_cycles
-        return MeasurementResult(
+        result = MeasurementResult(
             backend=self.name,
             cycles=cycles,
             energy=gpu_power(request.arch, timing.occupancy) * cycles,
@@ -167,6 +188,8 @@ class TimingBackend:
                 "occupancy": timing.occupancy_fraction,
             },
         )
+        _record_invocation(self.name, result)
+        return result
 
 
 class AnalyticalBackend:
@@ -191,7 +214,7 @@ class AnalyticalBackend:
             version.smem_per_block,
             request.cache_config,
         )
-        return MeasurementResult(
+        result = MeasurementResult(
             backend=self.name,
             cycles=cycles,
             energy=gpu_power(request.arch, occ) * cycles,
@@ -202,6 +225,8 @@ class AnalyticalBackend:
                 "cycles_per_warp": estimate.cycles_per_warp,
             },
         )
+        _record_invocation(self.name, result)
+        return result
 
 
 class FunctionalBackend:
@@ -232,7 +257,7 @@ class FunctionalBackend:
             if isinstance(value, float):
                 value = math.floor(value * 4096)
             checksum ^= hash((address, value))
-        return MeasurementResult(
+        result = MeasurementResult(
             backend=self.name,
             cycles=max(1, request.launch.total_threads),
             energy=None,
@@ -241,6 +266,8 @@ class FunctionalBackend:
                 "checksum": f"{checksum & 0xFFFFFFFFFFFFFFFF:016x}",
             },
         )
+        _record_invocation(self.name, result)
+        return result
 
 
 # ----------------------------------------------------------------------

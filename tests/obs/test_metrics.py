@@ -1,0 +1,154 @@
+"""Metrics registry tests: counters, gauges, histograms, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    reset_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("orion_test_total")
+        c.inc()
+        c.inc(2, cache="compile")
+        c.inc(3, cache="compile")
+        assert c.value() == 1
+        assert c.value(cache="compile") == 5
+        assert c.value(cache="measure") == 0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("orion_test_total")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_cannot_decrease(self):
+        c = Counter("orion_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_concurrent_increments_are_lossless(self):
+        c = Counter("orion_test_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc(result="ok")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(result="ok") == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("orion_test_width")
+        g.set(4)
+        g.add(-1)
+        assert g.value() == 3
+        g.set(8, pool="engine")
+        assert g.value(pool="engine") == 8
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        h = Histogram("orion_test_iters", buckets=(1, 2, 4))
+        for v in (1, 1, 3, 100):
+            h.observe(v)
+        (sample,) = h.snapshot_samples()
+        assert sample["buckets"] == [["1", 2], ["2", 2], ["4", 3], ["+Inf", 4]]
+        assert sample["sum"] == 105
+        assert sample["count"] == 4
+
+    def test_boundary_is_upper_inclusive(self):
+        h = Histogram("orion_test_iters", buckets=(2,))
+        h.observe(2)
+        (sample,) = h.snapshot_samples()
+        assert sample["buckets"][0] == ["2", 1]
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("orion_test_iters", buckets=(3, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total") is r.counter("a_total")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_kind_mismatch_is_an_error(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("a_total")
+
+    def test_histogram_bucket_mismatch_is_an_error(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError, match="different buckets"):
+            r.histogram("h", buckets=(1, 2, 3))
+
+    def test_snapshot_is_deterministically_ordered(self):
+        r = MetricsRegistry()
+        r.counter("b_total").inc(z="1")
+        r.counter("b_total").inc(a="1")
+        r.counter("a_total").inc()
+        r.gauge("c_width").set(2)
+        snap = r.snapshot()
+        assert [f["name"] for f in snap["metrics"]] == [
+            "a_total", "b_total", "c_width",
+        ]
+        b = snap["metrics"][1]
+        assert [s["labels"] for s in b["samples"]] == [{"a": "1"}, {"z": "1"}]
+
+    def test_snapshot_is_json_safe_and_renders_after_round_trip(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "help text").inc(5, cache="compile")
+        r.histogram("h_iters", buckets=(1, 2)).observe(2)
+        revived = json.loads(json.dumps(r.snapshot()))
+        text = render_prometheus(revived)
+        assert text == render_prometheus(r.snapshot())
+        assert 'a_total{cache="compile"} 5' in text
+        assert 'h_iters_bucket{le="+Inf"} 1' in text
+        assert "h_iters_sum 2" in text
+
+    def test_process_registry_resets_in_place(self):
+        registry = get_registry()
+        registry.counter("orion_reset_probe_total").inc()
+        reset_registry()
+        assert get_registry() is registry
+        assert registry.get("orion_reset_probe_total") is None
+
+
+class TestRenderPrometheus:
+    def test_help_type_and_label_escaping(self):
+        r = MetricsRegistry()
+        r.counter("a_total", "what it counts").inc(1, path='a"b\nc\\d')
+        text = render_prometheus(r.snapshot())
+        assert "# HELP a_total what it counts" in text
+        assert "# TYPE a_total counter" in text
+        assert 'path="a\\"b\\nc\\\\d"' in text
+
+    def test_default_buckets_shape(self):
+        # The shared default is iteration-count shaped and ascending.
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] == 1
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"metrics": []}) == ""

@@ -1,0 +1,143 @@
+"""Bench-report tests: build, validate, round-trip."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.metrics import get_registry, reset_registry
+from repro.obs.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    build_bench_report,
+    load_report,
+    validate_bench_report,
+    write_report,
+)
+from repro.perf.cache import CacheStats
+from repro.runtime.telemetry import EventKind, TelemetryHub
+
+
+def fake_rows():
+    final = SimpleNamespace(
+        occupancy=0.75, regs_per_thread=32, smem_per_block=2048
+    )
+    report = SimpleNamespace(
+        final_version=final,
+        final_label="conservative warps=48",
+        total_cycles=123456,
+        records=[object()] * 10,
+        iterations_to_converge=3,
+        was_split=False,
+    )
+    return [("gaussian", report)]
+
+
+@pytest.fixture()
+def charged_registry():
+    reset_registry()
+    get_registry().counter(
+        "orion_cache_lookups_total", "lookups"
+    ).inc(cache="measure", result="miss")
+    yield get_registry()
+    reset_registry()
+
+
+def build(charge=True, **kwargs):
+    stats = CacheStats(memory_hits=8, misses=2, stores=2)
+    return build_bench_report(
+        "GTX680", "timing", fake_rows(), stats, **kwargs
+    )
+
+
+class TestBuild:
+    def test_shape_and_schema(self, charged_registry):
+        report = build()
+        assert report["schema"] == SCHEMA
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["arch"] == "GTX680"
+        assert report["backend"] == "timing"
+        (kernel,) = report["kernels"]
+        assert kernel["name"] == "gaussian"
+        assert kernel["final_version"] == "conservative warps=48"
+        assert kernel["total_cycles"] == 123456
+        assert kernel["iterations"] == 10
+        assert kernel["iterations_to_converge"] == 3
+        assert report["cache"]["measurement"]["hit_rate"] == 0.8
+
+    def test_git_sha_recorded_in_a_checkout(self, charged_registry):
+        sha = build()["git_sha"]
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_embeds_telemetry_counts(self, charged_registry):
+        hub = TelemetryHub()
+        hub.emit(EventKind.CACHE_HIT)
+        hub.emit(EventKind.CACHE_HIT)
+        report = build(telemetry=hub)
+        assert report["telemetry"]["event_counts"] == {"cache_hit": 2}
+
+    def test_compile_stats_are_optional(self, charged_registry):
+        assert "compile" not in build()["cache"]
+        with_compile = build(compile_stats=CacheStats(memory_hits=1))
+        assert with_compile["cache"]["compile"]["hits"] == 1
+
+    def test_defaults_to_process_registry_snapshot(self, charged_registry):
+        names = {f["name"] for f in build()["metrics"]["metrics"]}
+        assert "orion_cache_lookups_total" in names
+
+
+class TestValidate:
+    def test_valid_report_has_no_errors(self, charged_registry):
+        assert validate_bench_report(build()) == []
+
+    def test_survives_disk_round_trip(self, tmp_path, charged_registry):
+        path = write_report(build(), tmp_path / "report.json")
+        assert validate_bench_report(load_report(path)) == []
+
+    def test_wrong_schema_version(self, charged_registry):
+        report = build()
+        report["schema_version"] = 99
+        assert any("schema_version" in e for e in validate_bench_report(report))
+
+    def test_empty_kernels(self, charged_registry):
+        report = build()
+        report["kernels"] = []
+        assert any("kernels" in e for e in validate_bench_report(report))
+
+    def test_kernel_missing_timing_field(self, charged_registry):
+        report = build()
+        del report["kernels"][0]["total_cycles"]
+        assert any("total_cycles" in e for e in validate_bench_report(report))
+
+    def test_missing_cache_hit_rate(self, charged_registry):
+        report = build()
+        del report["cache"]["measurement"]["hit_rate"]
+        assert any("hit_rate" in e for e in validate_bench_report(report))
+
+    def test_missing_metrics_snapshot(self, charged_registry):
+        report = build()
+        report["metrics"] = {}
+        assert any("metrics" in e for e in validate_bench_report(report))
+
+    def test_absent_cache_metric_family_is_flagged(self):
+        reset_registry()
+        try:
+            report = build()  # registry empty: no cache lookups recorded
+        finally:
+            reset_registry()
+        assert any(
+            "orion_cache_lookups_total" in e
+            for e in validate_bench_report(report)
+        )
+
+    def test_non_object_report(self):
+        assert validate_bench_report(["not", "a", "dict"]) == [
+            "report is not a JSON object"
+        ]
+
+
+class TestWrite:
+    def test_output_is_stable_json(self, tmp_path, charged_registry):
+        a = write_report(build(), tmp_path / "a.json").read_text()
+        b = write_report(build(), tmp_path / "b.json").read_text()
+        assert a == b
+        assert a.endswith("\n")

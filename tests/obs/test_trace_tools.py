@@ -1,0 +1,165 @@
+"""Trace tooling tests: read, summarize, filter, diff, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import span, use_hub
+from repro.obs.tracefile import (
+    diff_traces,
+    filter_trace,
+    read_trace,
+    summarize_trace,
+    to_chrome,
+)
+from repro.runtime.telemetry import EventKind, JsonlSink, TelemetryHub
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    """A small real trace: spans + plain events from two sessions."""
+    path = tmp_path / "trace.jsonl"
+    hub = TelemetryHub(JsonlSink(path), record_wall=False)
+    with use_hub(hub):
+        with span("session", session="bfs"):
+            hub.emit(EventKind.CACHE_MISS, "bfs", label="original")
+            hub.emit(EventKind.BACKEND_INVOKE, "bfs", backend="timing")
+            with span("measure", session="bfs", label="original"):
+                pass
+            hub.emit(EventKind.CACHE_HIT, "bfs", label="original")
+        with span("session", session="nn"):
+            hub.emit(EventKind.CACHE_HIT, "nn", label="original")
+        hub.emit(EventKind.ENGINE_FINISH, None, sessions=2)
+    hub.close()
+    return path
+
+
+class TestReadTrace:
+    def test_parses_events_in_seq_order(self, trace_path):
+        events = read_trace(trace_path)
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        assert events[0]["kind"] == "span_start"
+
+    def test_rejects_non_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "kind": "trial", "data": {}}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_rejects_events_without_seq_or_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"data": {}}\n')
+        with pytest.raises(ValueError, match="missing seq/kind"):
+            read_trace(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"seq": 1, "kind": "trial", "data": {}}\n\n')
+        assert len(read_trace(path)) == 1
+
+
+class TestSummarize:
+    def test_counts_spans_and_cache_rates(self, trace_path):
+        text = summarize_trace(read_trace(trace_path))
+        assert "2 session(s): bfs, nn" in text
+        assert "cache_hit" in text and "span_end" in text
+        assert "session" in text and "measure" in text
+        assert "hit rate 66.7%" in text  # 2 hits, 1 miss
+
+    def test_empty_trace(self):
+        assert "0 event(s)" in summarize_trace([])
+
+
+class TestFilter:
+    def test_by_session(self, trace_path):
+        events = read_trace(trace_path)
+        kept = filter_trace(events, session="nn")
+        assert kept and all(e.get("session") == "nn" for e in kept)
+
+    def test_by_kind(self, trace_path):
+        events = read_trace(trace_path)
+        kept = filter_trace(events, kinds=["cache_hit", "cache_miss"])
+        assert {e["kind"] for e in kept} == {"cache_hit", "cache_miss"}
+
+    def test_combined(self, trace_path):
+        events = read_trace(trace_path)
+        kept = filter_trace(events, session="bfs", kinds=["cache_hit"])
+        assert len(kept) == 1
+
+
+class TestDiff:
+    def test_identical_traces_have_no_diffs(self, trace_path):
+        events = read_trace(trace_path)
+        assert diff_traces(events, list(events)) == []
+
+    def test_wall_clock_is_ignored_by_default(self, trace_path):
+        events = read_trace(trace_path)
+        other = [dict(e) for e in events]
+        other[0]["wall"] = 1.5
+        assert diff_traces(events, other) == []
+        assert diff_traces(events, other, ignore_wall=False)
+
+    def test_divergent_event_is_reported_with_seq(self, trace_path):
+        events = read_trace(trace_path)
+        other = [dict(e) for e in events]
+        other[2] = {**other[2], "kind": "cache_hit"}
+        diffs = diff_traces(events, other)
+        assert len(diffs) == 1
+        assert diffs[0].startswith("seq 3:")
+
+    def test_length_mismatch_is_reported(self, trace_path):
+        events = read_trace(trace_path)
+        diffs = diff_traces(events, events[:-1])
+        assert any("lengths differ" in d for d in diffs)
+
+    def test_limit_stops_the_flood(self, trace_path):
+        events = read_trace(trace_path)
+        other = [{**e, "kind": "trial"} for e in events]
+        diffs = diff_traces(events, other, limit=2)
+        assert any("stopped after 2" in d for d in diffs)
+
+
+class TestChromeExport:
+    def test_emits_balanced_duration_events(self, trace_path):
+        doc = to_chrome(read_trace(trace_path))
+        events = doc["traceEvents"]
+        b = [e for e in events if e["ph"] == "B"]
+        e_ = [e for e in events if e["ph"] == "E"]
+        assert len(b) == len(e_) == 3
+        assert all(ev["cat"] == "span" for ev in b + e_)
+
+    def test_sessions_become_named_threads(self, trace_path):
+        doc = to_chrome(read_trace(trace_path))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"bfs", "nn", "<engine>"} <= names
+        # All events of one session share that session's tid.
+        tid = next(e["tid"] for e in meta if e["args"]["name"] == "bfs")
+        bfs = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] != "M" and e["tid"] == tid
+        ]
+        assert bfs and all(e["pid"] == 1 for e in bfs)
+
+    def test_timestamps_are_sequence_numbers(self, trace_path):
+        events = read_trace(trace_path)
+        doc = to_chrome(events)
+        timed = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["ts"] for e in timed] == [e["seq"] for e in events]
+
+    def test_document_is_valid_trace_event_json(self, trace_path):
+        doc = to_chrome(read_trace(trace_path))
+        revived = json.loads(json.dumps(doc))
+        assert revived["displayTimeUnit"] == "ms"
+        assert revived["otherData"]["trace_schema_version"] == 1
+        for event in revived["traceEvents"]:
+            assert {"ph", "pid", "tid"} <= event.keys()
+
+    def test_instant_events_carry_data_as_args(self, trace_path):
+        doc = to_chrome(read_trace(trace_path))
+        finish = next(
+            e for e in doc["traceEvents"] if e["name"] == "engine_finish"
+        )
+        assert finish["ph"] == "i"
+        assert finish["args"]["sessions"] == 2

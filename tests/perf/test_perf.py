@@ -110,16 +110,15 @@ class TestDiskTier:
 
 
 class TestTimers:
-    def test_phase_accumulates(self):
+    def test_add_accumulates(self):
         timers = PhaseTimers()
-        with timers.phase("alpha"):
-            pass
-        with timers.phase("alpha"):
-            pass
+        timers.add("alpha", 0.25)
+        timers.add("alpha", 0.25)
         timers.add("beta", 1.5)
         assert timers.phases["alpha"].calls == 2
+        assert timers.phases["alpha"].seconds == pytest.approx(0.5)
         assert timers.phases["beta"].seconds == pytest.approx(1.5)
-        assert timers.total_seconds() >= 1.5
+        assert timers.total_seconds() == pytest.approx(2.0)
 
     def test_snapshot_is_a_copy(self):
         timers = PhaseTimers()

@@ -232,8 +232,13 @@ class TestTraceFile:
         engine.run_many([session_for(binary, workload)], jobs=1)
         engine.telemetry.close()
         records = [json.loads(line) for line in trace.read_text().splitlines()]
-        assert records[0]["kind"] == "engine_start"
-        assert records[-1]["kind"] == "engine_finish"
+        # The engine span brackets the whole run.
+        assert records[0]["kind"] == "span_start"
+        assert records[0]["data"]["name"] == "engine"
+        assert records[-1]["kind"] == "span_end"
+        assert records[-1]["data"]["name"] == "engine"
+        assert records[1]["kind"] == "engine_start"
+        assert records[-2]["kind"] == "engine_finish"
         seqs = [r["seq"] for r in records]
         assert seqs == sorted(seqs)
         kinds = {r["kind"] for r in records}

@@ -100,13 +100,30 @@ class TestJsonlSink:
         sink.close()
         assert not (tmp_path / "never.jsonl").exists()
 
-    def test_append_across_reopens(self, tmp_path):
+    def test_truncates_stale_file_then_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale line from an earlier run\n")
+        sink = JsonlSink(path)
+        # The first open of a run truncates: a stale trace must never be
+        # silently appended to.
+        sink.emit(TelemetryEvent(seq=1, kind=EventKind.TRIAL, session=None))
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1
+        # ... but the *same* sink re-opening after a close appends, so
+        # one logical run stays one file.
+        sink.emit(TelemetryEvent(seq=2, kind=EventKind.TRIAL, session=None))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]
+
+    def test_fresh_sink_replaces_previous_runs_trace(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         for seq in (1, 2):
             sink = JsonlSink(path)
             sink.emit(TelemetryEvent(seq=seq, kind=EventKind.TRIAL, session=None))
             sink.close()
-        assert len(path.read_text().splitlines()) == 2
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["seq"] == 2
 
 
 class TestEventJson:

@@ -244,3 +244,142 @@ class TestFuzz:
         assert code == 1
         out = capsys.readouterr().out
         assert "repro fuzz --seed 3 --cases 1 --shape mixed" in out
+
+    def test_trace_and_metrics_parity(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "fuzz.jsonl"
+        code = main(
+            ["fuzz", "--seed", "0", "--cases", "1", "--quiet",
+             "--trace", str(trace), "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"telemetry trace -> {trace}" in out
+        assert "orion_fuzz_cases_total" in out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert {"span_start", "span_end", "fuzz_case"} <= kinds
+        case_spans = [
+            r for r in records
+            if r["kind"] == "span_start" and r["data"]["name"] == "fuzz_case"
+        ]
+        assert case_spans and case_spans[0]["data"]["seed"] == 0
+
+    def test_failures_point_at_the_trace(self, tmp_path, capsys, monkeypatch):
+        import repro.fuzz.oracle as oracle
+
+        def broken(seed, shape, arch, trace=None):
+            return [oracle.FuzzFailure(seed, shape, "crash", "kaboom",
+                                       trace=trace)], 0
+
+        monkeypatch.setattr(oracle, "check_case", broken)
+        trace = tmp_path / "fail.jsonl"
+        code = main(
+            ["fuzz", "--seed", "7", "--cases", "1", "--quiet",
+             "--trace", str(trace)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"# trace: {trace}" in out
+
+
+class TestBenchReport:
+    def test_report_is_written_and_valid(self, tmp_path, capsys):
+        from repro.obs.report import load_report, validate_bench_report
+
+        report = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--report", str(report)]
+        )
+        assert code == 0
+        assert f"bench report -> {report}" in capsys.readouterr().out
+        loaded = load_report(report)
+        assert validate_bench_report(loaded) == []
+        assert loaded["backend"] == "timing"
+        assert loaded["kernels"][0]["name"] == "gaussian"
+        assert "compile" in loaded["cache"]
+        assert loaded["telemetry"]["event_counts"]["session_finalized"] == 1
+
+
+class TestTraceTools:
+    @pytest.fixture()
+    def bench_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bench.jsonl"
+        assert main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_summary(self, bench_trace, capsys):
+        assert main(["trace", "summary", str(bench_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Events by kind" in out
+        assert "Spans" in out
+        assert "hit rate" in out
+
+    def test_filter_writes_jsonl(self, bench_trace, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "filtered.jsonl"
+        code = main(
+            ["trace", "filter", str(bench_trace), "--session", "gaussian",
+             "--kind", "converged", "-o", str(out_file)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in out_file.read_text().splitlines()
+        ]
+        assert records
+        assert all(r["kind"] == "converged" for r in records)
+
+    def test_diff_identical_and_divergent(self, bench_trace, tmp_path, capsys):
+        assert main(
+            ["trace", "diff", str(bench_trace), str(bench_trace)]
+        ) == 0
+        assert "identical" in capsys.readouterr().out
+        truncated = tmp_path / "short.jsonl"
+        lines = bench_trace.read_text().splitlines()
+        truncated.write_text("\n".join(lines[:-1]) + "\n")
+        assert main(
+            ["trace", "diff", str(bench_trace), str(truncated)]
+        ) == 1
+        assert "lengths differ" in capsys.readouterr().out
+
+    def test_export_chrome(self, bench_trace, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chrome.json"
+        code = main(
+            ["trace", "export", str(bench_trace), "--format", "chrome",
+             "-o", str(out_file)]
+        )
+        assert code == 0
+        document = json.loads(out_file.read_text())
+        assert document["traceEvents"]
+        begins = [e for e in document["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in document["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) > 0
+
+
+class TestMetricsCommand:
+    def test_renders_a_report_snapshot(self, tmp_path, capsys):
+        report = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--report", str(report)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE orion_cache_lookups_total counter" in out
+        assert 'orion_cache_lookups_total{cache="measure"' in out
+
+    def test_invalid_report_is_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["metrics", str(bad)]) == 1
+        assert "invalid report" in capsys.readouterr().err
