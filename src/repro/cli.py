@@ -20,7 +20,15 @@ CLI exposes the same workflow over ORAS files:
 * ``trace``    — analyse a JSONL telemetry trace: ``summary``,
   ``filter``, ``diff`` and ``export --format chrome`` (Perfetto);
 * ``metrics``  — print the Prometheus-style text exposition of a bench
-  report's embedded metrics snapshot.
+  report's embedded metrics snapshot;
+* ``serve``    — run the tuning daemon: a localhost socket service in
+  front of a persistent tuning store (see :mod:`repro.service` and
+  ``docs/service.md``);
+* ``submit``   — tune a multi-version binary through the daemon (warm
+  store hits skip measurement entirely), degrading to in-process
+  tuning when the daemon is unreachable;
+* ``store``    — inspect the persistent tuning store: ``stats``,
+  ``gc`` (compact the log), ``export`` (dump live records as JSON).
 
 ``sweep``, ``bench`` and ``fuzz`` accept ``--trace`` (JSONL telemetry)
 and ``--metrics`` (print the process metrics registry after the run);
@@ -204,6 +212,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import run_fuzz
     from repro.runtime.telemetry import JsonlSink, TelemetryHub
 
+    store = None
+    if args.store:
+        from repro.service.store import TuningStore
+
+        store = TuningStore(args.store)
     hub = TelemetryHub(JsonlSink(args.trace)) if args.trace else None
     try:
         report = run_fuzz(
@@ -214,6 +227,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             progress=print if not args.quiet else None,
             hub=hub,
             trace=args.trace,
+            store=store,
         )
     finally:
         if hub is not None:
@@ -311,17 +325,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         from repro.obs.report import build_bench_report, write_report
         from repro.perf.cache import default_cache
 
-        written = write_report(
-            build_bench_report(
-                arch.name,
-                engine.backend.name,
-                rows,
-                engine.cache.stats,
-                compile_stats=default_cache().stats,
-                telemetry=engine.telemetry,
-            ),
-            args.report,
+        payload = build_bench_report(
+            arch.name,
+            engine.backend.name,
+            rows,
+            engine.cache.stats,
+            compile_stats=default_cache().stats,
+            telemetry=engine.telemetry,
         )
+        if payload["git_sha"] is None:
+            print(
+                "warning: not inside a git checkout (or git is "
+                "unavailable); bench report records git_sha=null",
+                file=sys.stderr,
+            )
+        written = write_report(payload, args.report)
         print(f"bench report -> {written}")
     if args.trace:
         print(f"telemetry trace -> {args.trace}")
@@ -397,6 +415,136 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.engine import ExecutionEngine
+    from repro.service.daemon import DaemonConfig, TuningDaemon
+    from repro.service.store import TuningStore
+
+    store = TuningStore(args.store, max_entries=args.max_entries)
+    engine = ExecutionEngine(
+        ARCHS[args.arch],
+        backend=args.backend,
+        trace_file=args.trace,
+        tuning_store=store,
+    )
+    daemon = TuningDaemon(
+        engine,
+        store,
+        DaemonConfig(
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            jobs=args.jobs,
+        ),
+    )
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(
+            f"tuning daemon listening on {daemon.config.host}:{daemon.port} "
+            f"({engine.arch.name}, {engine.backend.name} backend, "
+            f"store {store.path})",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("tuning daemon stopped")
+    finally:
+        engine.telemetry.close()
+    if args.metrics:
+        _print_live_metrics()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.compiler.multiversion import MultiVersionBinary
+    from repro.runtime.session import Workload
+    from repro.service.client import (
+        ServiceRejected,
+        TuningClient,
+        tune_with_fallback,
+    )
+    from repro.sim.interp import LaunchConfig
+
+    binary = MultiVersionBinary.from_bytes(Path(args.input).read_bytes())
+    workload = Workload(
+        launch=LaunchConfig(
+            grid_blocks=args.grid,
+            block_size=args.block_size or binary.block_size,
+        ),
+        iterations=args.iterations,
+        max_events_per_warp=args.max_events,
+    )
+    client = TuningClient(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    if args.no_fallback:
+        try:
+            response = client.tune(binary, workload)
+        except ServiceRejected as exc:
+            raise ValueError(str(exc)) from None
+    else:
+        response = tune_with_fallback(
+            client, binary, workload, ARCHS[args.arch], backend=args.backend
+        )
+    if args.json:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    record = response["record"]
+    print(
+        f"kernel {record['kernel_name']!r} on {record['arch']} "
+        f"({record['backend']} backend): winner {record['winner_label']!r} "
+        f"(occupancy {record['occupancy']:.3f}, "
+        f"{record['total_cycles']} cycles)"
+    )
+    print(f"source: {response['source']}   key: {response['key'][:16]}…")
+    if response.get("degraded_reason"):
+        print(f"degraded to local tuning: {response['degraded_reason']}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.store import TuningStore
+
+    store = TuningStore(args.store, max_entries=args.max_entries)
+    if args.store_command == "stats":
+        print(_json.dumps(store.stats().to_payload(), indent=2, sort_keys=True))
+        return 0
+    if args.store_command == "gc":
+        before = store.stats().log_ops
+        stats = store.gc()
+        print(
+            f"compacted {store.path}: {before} -> {stats.log_ops} log op(s), "
+            f"{stats.entries} live record(s)"
+        )
+        return 0
+    if args.store_command == "export":
+        text = _json.dumps(store.export(), indent=2, sort_keys=True)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"{len(store)} record(s) -> {args.output}")
+        else:
+            print(text)
+        return 0
+    raise ValueError(f"unknown store command {args.store_command!r}")
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -461,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="program shape to generate (default: mixed)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress periodic progress lines")
+    p.add_argument("--store", metavar="FILE",
+                   help="also round-trip each tunable case through a "
+                        "persistent tuning store at FILE, checking "
+                        "fingerprint stability across recompiles")
     _add_arch(p)
     _add_observability(p)
     p.set_defaults(func=cmd_fuzz)
@@ -567,6 +719,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the report schema check",
     )
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the tuning daemon over a persistent tuning store",
+    )
+    p.add_argument("--store", required=True, metavar="FILE",
+                   help="path of the persistent tuning store (JSONL)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: 0 = ephemeral)")
+    p.add_argument("--port-file", metavar="FILE",
+                   help="write the bound port here once listening "
+                        "(clients discover ephemeral ports through it)")
+    p.add_argument("--max-entries", type=int, default=1024,
+                   help="store LRU bound (default: 1024)")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="admission-control queue bound; further tune "
+                        "requests are rejected queue-full (default: 8)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request tuning deadline in seconds "
+                        "(default: 30)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="concurrent tuning workers (default: 2)")
+    _add_arch(p)
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="tune a multi-version binary through the daemon "
+             "(warm store hits skip measurement)",
+    )
+    p.add_argument("input", help="a multi-version binary (repro compile)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="daemon port (or use --port-file)")
+    p.add_argument("--port-file", metavar="FILE",
+                   help="read the daemon port from FILE (repro serve "
+                        "--port-file)")
+    p.add_argument("--grid", type=int, default=64)
+    p.add_argument("--block-size", type=int, default=None,
+                   help="default: the binary's compiled block size")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--max-events", type=int, default=3000)
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client-side socket timeout in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="connection/backpressure retries (default: 2)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="fail instead of degrading to in-process tuning "
+                        "when the daemon is unreachable")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw response as JSON")
+    _add_arch(p)
+    p.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="timing",
+        help="backend for the in-process fallback (default: timing)",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "store", help="inspect or maintain a persistent tuning store"
+    )
+    p.add_argument("store", help="path of the tuning store (JSONL)")
+    p.add_argument("--max-entries", type=int, default=1024,
+                   help="store LRU bound (default: 1024)")
+    ssub = p.add_subparsers(dest="store_command", required=True)
+
+    ps = ssub.add_parser("stats", help="print store statistics as JSON")
+    ps.set_defaults(func=cmd_store)
+
+    ps = ssub.add_parser("gc", help="compact the op log in place")
+    ps.set_defaults(func=cmd_store)
+
+    ps = ssub.add_parser("export", help="dump live records as JSON")
+    ps.add_argument("-o", "--output", help="write here (default: stdout)")
+    ps.set_defaults(func=cmd_store)
 
     return parser
 

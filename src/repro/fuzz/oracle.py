@@ -51,7 +51,7 @@ class FuzzFailure:
 
     seed: int
     shape: str
-    kind: str  # "verifier" | "differential" | "determinism" | "crash"
+    kind: str  # "verifier" | "differential" | "determinism" | "store" | "crash"
     detail: str
     #: trace file of the failing run, when the run carried one — lets
     #: the reproduction line point at the span-level evidence
@@ -90,6 +90,7 @@ def check_case(
     shape: str = "mixed",
     arch: GpuArchitecture = GTX680,
     trace: str | None = None,
+    store=None,
 ) -> tuple[list[FuzzFailure], int]:
     """Run the oracle on one generated case.
 
@@ -97,6 +98,13 @@ def check_case(
     pipeline is itself a failure (kind ``"crash"``), never an exception
     out of the harness.  ``trace`` names the trace file the run writes
     to, so failures carry a pointer to their span-level evidence.
+
+    ``store`` (a :class:`~repro.service.store.TuningStore`) adds the
+    persistence oracle: the kernel fingerprint and tuning key must be
+    identical across the case's two cold compiles (keys are the store's
+    contract — an unstable key silently forfeits every warm start), and
+    a record must round-trip through the real store file byte-exactly
+    (kind ``"store"``).
     """
     failures: list[FuzzFailure] = []
 
@@ -104,7 +112,7 @@ def check_case(
         failures.append(FuzzFailure(seed, shape, kind, detail, trace=trace))
 
     with span("fuzz_case", seed=seed, shape=shape):
-        return _check_case_body(seed, shape, arch, failures, fail)
+        return _check_case_body(seed, shape, arch, failures, fail, store)
 
 
 def _check_case_body(
@@ -113,6 +121,7 @@ def _check_case_body(
     arch: GpuArchitecture,
     failures: list[FuzzFailure],
     fail: Callable[[str, str], None],
+    store=None,
 ) -> tuple[list[FuzzFailure], int]:
     try:
         module = generate_module(seed, shape)
@@ -132,6 +141,8 @@ def _check_case_body(
         warm = compile_binary(module, "k", options, use_cache=True, cache=cold)
         if warm.to_bytes() != payload:
             fail("determinism", "cache hit decoded to different bytes")
+        if store is not None:
+            _check_store_oracle(store, binary, again, arch, seed, fail)
     except Exception as exc:  # noqa: BLE001 — any crash is a finding
         fail("crash", f"{type(exc).__name__}: {exc}")
         return failures, 0
@@ -162,6 +173,44 @@ def _check_case_body(
     return failures, checked
 
 
+def _check_store_oracle(
+    store, binary, again, arch: GpuArchitecture, seed: int, fail
+) -> None:
+    """Fingerprint stability + store round-trip for one case."""
+    from repro.runtime.session import Workload
+    from repro.service.fingerprint import kernel_fingerprint, tuning_key
+    from repro.service.store import TuningRecord
+
+    fingerprint = kernel_fingerprint(binary)
+    if kernel_fingerprint(again) != fingerprint:
+        fail("store", "kernel fingerprint differs between two cold compiles")
+        return
+    workload = Workload(launch=_LAUNCH, iterations=4)
+    key = tuning_key(binary, workload, arch.name, "timing")
+    if tuning_key(again, workload, arch.name, "timing") != key:
+        fail("store", "tuning key differs between two cold compiles")
+        return
+    winner = binary.versions[0]
+    record = TuningRecord(
+        key=key,
+        kernel=fingerprint,
+        kernel_name=binary.kernel_name,
+        arch=arch.name,
+        backend="timing",
+        winner_label=winner.label,
+        winner_warps=winner.achieved_warps,
+        occupancy=winner.occupancy,
+        total_cycles=seed + 1,
+        iterations_to_converge=0,
+    )
+    store.put(record)
+    loaded = store.get(key)
+    if loaded is None:
+        fail("store", "record vanished on immediate lookup after put")
+    elif loaded.to_payload() != record.to_payload():
+        fail("store", "record did not round-trip through the store file")
+
+
 def _describe_divergence(
     label: str, expected: dict[int, float], actual: dict[int, float]
 ) -> str:
@@ -184,6 +233,7 @@ def run_fuzz(
     progress: Callable[[str], None] | None = None,
     hub=None,
     trace: str | None = None,
+    store=None,
 ) -> FuzzReport:
     """Run ``cases`` consecutive seeds starting at ``seed``.
 
@@ -191,7 +241,9 @@ def run_fuzz(
     isolation with ``--seed <case-seed> --cases 1``.  ``hub`` (a
     :class:`~repro.runtime.telemetry.TelemetryHub`) makes the run emit
     per-case spans; ``trace`` is the file that hub writes, threaded
-    onto every failure's reproduction line.
+    onto every failure's reproduction line.  ``store`` adds the
+    persistence oracle (see :func:`check_case`), sharing one store
+    file across every case of the run.
     """
     from contextlib import nullcontext
 
@@ -199,7 +251,9 @@ def run_fuzz(
     ambient = use_hub(hub) if hub is not None else nullcontext()
     with ambient:
         for i in range(cases):
-            failures, checked = check_case(seed + i, shape, arch, trace=trace)
+            failures, checked = check_case(
+                seed + i, shape, arch, trace=trace, store=store
+            )
             report.failures.extend(failures)
             report.versions_checked += checked
             _count_fuzz_case(bool(failures))

@@ -427,6 +427,19 @@ def bench_suite(
         for name in names
     ]
     reports = eng.run_many(sessions, jobs=jobs)
+    # The engine isolates per-session failures (slot is None) so the
+    # rest of the suite completes; surface them here, after the batch.
+    failed = [
+        (name, session)
+        for name, session, report in zip(names, sessions, reports)
+        if report is None
+    ]
+    if failed:
+        first = failed[0][1].error or "unknown failure"
+        raise RuntimeError(
+            f"benchmark session(s) failed: "
+            f"{', '.join(name for name, _ in failed)}\n{first}"
+        )
     return list(zip(names, reports))
 
 

@@ -153,6 +153,19 @@ class DynamicTuner:
         chosen = min(eligible, key=lambda v: (v.achieved_warps, v.label))
         self._finalize(chosen)
 
+    def force_final(self, version: KernelVersion) -> None:
+        """Lock in ``version`` without walking any candidates.
+
+        The warm-start path (:mod:`repro.service`): a persisted winner
+        for this exact (kernel, context, work-shape) key replaces the
+        Fig. 9 search entirely.  Only legal before the first trial —
+        overriding a search in flight would corrupt the history the
+        fail-safe logic reasons about.
+        """
+        if self.iteration or self.history:
+            raise RuntimeError("cannot warm-start a tuner mid-search")
+        self.final_version = version
+
     # ------------------------------------------------------------------
     def _finalize(self, version: KernelVersion) -> None:
         # Misprediction check: if the search never moved off the

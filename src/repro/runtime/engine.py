@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.arch.specs import CacheConfig, GpuArchitecture
@@ -74,6 +75,7 @@ class ExecutionEngine:
         telemetry: TelemetryHub | None = None,
         jobs: int | None = None,
         trace_file: str | os.PathLike | None = None,
+        tuning_store=None,
     ) -> None:
         self.arch = arch
         self.backend = get_backend(backend)
@@ -85,6 +87,17 @@ class ExecutionEngine:
         trace = trace_file or os.environ.get("ORION_TRACE_FILE") or None
         if trace:
             self.telemetry.add_sink(JsonlSink(trace))
+        # ``tuning_store``: a repro.service.store.TuningStore, a path to
+        # one, or None (also settable via ORION_TUNING_STORE).  Resolved
+        # lazily so the runtime has no import-time dependency on the
+        # service layer.
+        if tuning_store is None:
+            tuning_store = os.environ.get("ORION_TUNING_STORE") or None
+        if isinstance(tuning_store, (str, os.PathLike)):
+            from repro.service.store import TuningStore
+
+            tuning_store = TuningStore(tuning_store)
+        self.tuning_store = tuning_store
 
     # ------------------------------------------------------------------
     # Measurement (cache + telemetry around one backend call)
@@ -216,6 +229,7 @@ class ExecutionEngine:
             iterations=len(launches),
             was_split=was_split,
         )
+        store_key = self._warm_start(session)
         tuner = session.tuner
         for i, launch in enumerate(launches):
             work = workload.work_at(i)
@@ -259,11 +273,94 @@ class ExecutionEngine:
             total_cycles=report.total_cycles,
             iterations_to_converge=report.iterations_to_converge,
         )
+        self._publish(session, report, store_key)
         return report
+
+    # ------------------------------------------------------------------
+    # Warm start (the persistent tuning store, repro.service)
+    # ------------------------------------------------------------------
+    def _tuning_key(self, session: TuningSession) -> str:
+        from repro.service.fingerprint import tuning_key
+
+        return tuning_key(
+            session.binary,
+            session.workload,
+            self.arch.name,
+            self.backend.name,
+            self.cache_config.value,
+        )
+
+    def _warm_start(self, session: TuningSession) -> str | None:
+        """Try to pre-converge ``session`` from the tuning store.
+
+        Returns the session's store key when a store is attached and the
+        session is tunable (so a cold result can be published back), or
+        ``None`` when the store path is inactive for this session.
+        """
+        if self.tuning_store is None:
+            return None
+        if session.tuner.converged or not session.binary.can_tune:
+            return None
+        key = self._tuning_key(session)
+        record = self.tuning_store.get(key)
+        if record is None:
+            result = "miss"
+        elif session.warm_start(record.winner_label):
+            result = "hit"
+            self.telemetry.emit(
+                EventKind.WARM_START,
+                session.name,
+                label=record.winner_label,
+                key=key[:12],
+                stored_cycles=record.total_cycles,
+            )
+        else:
+            # The stored label no longer names a version of this binary:
+            # a stale entry.  Drop it so the fresh result replaces it.
+            result = "stale"
+            self.tuning_store.invalidate(key)
+        self._count_warm_start(result)
+        return key
+
+    def _publish(
+        self,
+        session: TuningSession,
+        report: ExecutionReport,
+        store_key: str | None,
+    ) -> None:
+        """Publish a cold session's converged winner back to the store."""
+        if (
+            store_key is None
+            or session.warm_started_from is not None
+            or report.iterations_to_converge is None
+        ):
+            return
+        from repro.service.fingerprint import kernel_fingerprint
+        from repro.service.store import record_from_report
+
+        self.tuning_store.put(
+            record_from_report(
+                store_key,
+                kernel_fingerprint(session.binary),
+                session.binary,
+                report,
+                self.arch.name,
+                self.backend.name,
+            )
+        )
+
+    @staticmethod
+    def _count_warm_start(result: str) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "orion_warm_starts_total",
+            "Tuning-store warm-start attempts by result.",
+        ).inc(result=result)
 
     def run_many(
         self, sessions: list[TuningSession], jobs: int | None = None
-    ) -> list[ExecutionReport]:
+    ) -> list[ExecutionReport | None]:
         """Run sessions concurrently; reports in input order.
 
         Sessions are independent and measurements deterministic, so the
@@ -272,6 +369,11 @@ class ExecutionEngine:
         shared measurement cache makes overlapping sessions (same
         kernel, same launches) collapse to one backend invocation per
         distinct measurement.
+
+        A session that raises does **not** abort the batch: its slot in
+        the returned list is ``None``, its traceback lands in
+        ``session.error`` and a ``SESSION_FAILED`` telemetry event, and
+        every other session still runs to completion.
         """
         jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
         width = min(jobs, len(sessions)) if sessions else 1
@@ -287,15 +389,16 @@ class ExecutionEngine:
                 arch=self.arch.name,
             )
             if width <= 1:
-                reports = [self.run(session) for session in sessions]
+                reports = [self._run_isolated(s) for s in sessions]
             else:
                 with ThreadPoolExecutor(max_workers=width) as pool:
-                    reports = list(pool.map(self.run, sessions))
+                    reports = list(pool.map(self._run_isolated, sessions))
             stats = self.cache.stats
             self.telemetry.emit(
                 EventKind.ENGINE_FINISH,
                 None,
                 sessions=len(sessions),
+                failed=sum(1 for r in reports if r is None),
                 cache_hits=stats.hits,
                 cache_misses=stats.misses,
             )
@@ -303,3 +406,25 @@ class ExecutionEngine:
         # ``run_many`` returns, the JSONL file on disk is complete.
         self.telemetry.flush()
         return reports
+
+    def _run_isolated(self, session: TuningSession) -> ExecutionReport | None:
+        """One scheduled session; a failure is reported, not propagated."""
+        try:
+            return self.run(session)
+        except Exception as exc:  # noqa: BLE001 — isolate bad workloads
+            tb = traceback.format_exc()
+            session.error = tb
+            self.telemetry.emit(
+                EventKind.SESSION_FAILED,
+                session.name,
+                kernel=session.binary.kernel_name,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=tb,
+            )
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "orion_session_failures_total",
+                "Tuning sessions isolated after raising in the engine.",
+            ).inc(error=type(exc).__name__)
+            return None

@@ -1,0 +1,55 @@
+"""Tuning-as-a-service: persist and serve learned occupancy decisions.
+
+Orion's runtime adaptation converges to a stable winner per (kernel,
+architecture, work profile) — and, before this subsystem, threw that
+knowledge away at process exit.  The service layer keeps it:
+
+* :mod:`repro.service.fingerprint` — content-addressed tuning keys: a
+  portable kernel fingerprint (module bytes + occupancy envelopes, not
+  file paths) combined with the architecture, backend, and a
+  *normalized* work profile;
+* :mod:`repro.service.store` — the persistent tuning store: a
+  crash-safe, file-locked JSONL log of tuning outcomes with schema
+  versioning, deterministic LRU bounds, and truncate-and-replay
+  corruption recovery;
+* :mod:`repro.service.protocol` — the length-prefixed JSON wire format
+  shared by daemon and client;
+* :mod:`repro.service.daemon` — the asyncio tuning daemon: localhost
+  socket server with single-flight deduplication, bounded-queue
+  admission control (Retry-After rejections), per-request timeouts,
+  and the existing :class:`~repro.runtime.engine.ExecutionEngine` as
+  its worker pool;
+* :mod:`repro.service.client` — the warm-start client: sync, with
+  retry/backoff and graceful degradation to in-process tuning when the
+  daemon is unreachable.
+
+The CLI exposes the layer as ``repro serve``, ``repro submit``, and
+``repro store {stats,gc,export}``; `docs/service.md` specifies the
+protocol, the warm-start semantics, and the failure modes.
+"""
+
+from repro.service.client import ServiceUnavailable, TuningClient, tune_with_fallback
+from repro.service.daemon import DaemonConfig, TuningDaemon
+from repro.service.fingerprint import (
+    kernel_fingerprint,
+    normalize_work_profile,
+    tuning_key,
+)
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.store import StoreStats, TuningRecord, TuningStore
+
+__all__ = [
+    "DaemonConfig",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceUnavailable",
+    "StoreStats",
+    "TuningClient",
+    "TuningDaemon",
+    "TuningRecord",
+    "TuningStore",
+    "kernel_fingerprint",
+    "normalize_work_profile",
+    "tuning_key",
+    "tune_with_fallback",
+]

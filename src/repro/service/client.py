@@ -1,0 +1,253 @@
+"""The warm-start client (``repro submit`` and library use).
+
+A small synchronous client over the length-prefixed JSON protocol:
+
+* **retry with backoff** — connection failures and ``queue-full``
+  rejections are retried up to ``retries`` times; queue-full honours
+  the daemon's ``retry_after`` hint, connection failures use a fixed
+  deterministic backoff (no jitter — the reproduction keeps every
+  schedule derivable from its inputs);
+* **graceful degradation** — :func:`tune_with_fallback` is the entry
+  point callers actually want: it asks the daemon first and, when the
+  daemon is unreachable or persistently rejecting, falls back to
+  in-process tuning through a local
+  :class:`~repro.runtime.engine.ExecutionEngine` (charging
+  ``orion_client_fallbacks_total`` so silent degradation shows up in
+  metrics).
+
+The client never holds a connection across requests: each request is
+one connect/send/receive/close round trip, which keeps it trivially
+safe to use from multiple threads and immune to daemon restarts.
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+import time
+from pathlib import Path
+
+from repro.compiler.multiversion import MultiVersionBinary
+from repro.runtime.session import Workload
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon could not be reached (or kept rejecting) in time.
+
+    A :class:`ConnectionError` so callers treating the service as plain
+    I/O (the CLI's ``except OSError``) degrade without special-casing.
+    """
+
+
+class ServiceRejected(Exception):
+    """The daemon answered with a non-retryable failure response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def read_port_file(path: str | Path) -> int:
+    """The port a daemon wrote via ``--port-file``."""
+    text = Path(path).read_text(encoding="utf-8").strip()
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(f"port file {path} does not contain a port") from None
+
+
+class TuningClient:
+    """One daemon endpoint, sync, connection-per-request."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        port_file: str | Path | None = None,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        if port is None and port_file is None:
+            raise ValueError("need a port or a port file")
+        self.host = host
+        self._port = port
+        self._port_file = port_file
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            self._port = read_port_file(self._port_file)
+        return self._port
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """One request/response round trip with retry/backoff.
+
+        Retryable: connection failures and ``queue-full`` rejections.
+        Anything else — including other error responses — returns (or
+        raises) immediately.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self._delay(last_error, attempt))
+            try:
+                response = self._round_trip(payload)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                last_error = exc
+                continue
+            if (
+                response.get("ok") is False
+                and response.get("code") == protocol.CODE_QUEUE_FULL
+            ):
+                last_error = ServiceRejected(
+                    response["code"], response.get("error", "queue full")
+                )
+                last_error.retry_after = response.get("retry_after")
+                continue
+            return response
+        raise ServiceUnavailable(
+            f"daemon at {self.host}:{self.port} unavailable after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        )
+
+    def _delay(self, last_error: Exception | None, attempt: int) -> float:
+        hinted = getattr(last_error, "retry_after", None)
+        if hinted is not None:
+            return float(hinted)
+        return self.backoff * attempt
+
+    def _round_trip(self, payload: dict) -> dict:
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            protocol.send_frame(sock, payload)
+            return protocol.recv_frame(sock)
+
+    # ------------------------------------------------------------------
+    # Typed requests
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self._checked(self.request(protocol.request("ping")))
+
+    def stats(self) -> dict:
+        return self._checked(self.request(protocol.request("stats")))
+
+    def query(self, key: str) -> dict:
+        return self._checked(self.request(protocol.request("query", key=key)))
+
+    def invalidate(self, key: str) -> dict:
+        return self._checked(
+            self.request(protocol.request("invalidate", key=key))
+        )
+
+    def shutdown(self) -> dict:
+        return self._checked(self.request(protocol.request("shutdown")))
+
+    def tune(self, binary: MultiVersionBinary, workload: Workload) -> dict:
+        """Tune via the daemon; returns the response (``source`` says
+        whether it was a warm store hit, a fresh tune, or a dedup join).
+        """
+        return self._checked(
+            self.request(
+                protocol.request(
+                    "tune",
+                    binary=base64.b64encode(binary.to_bytes()).decode("ascii"),
+                    workload=workload_payload(workload),
+                )
+            )
+        )
+
+    @staticmethod
+    def _checked(response: dict) -> dict:
+        if response.get("ok") is not True:
+            raise ServiceRejected(
+                response.get("code", "unknown"),
+                response.get("error", "daemon rejected the request"),
+            )
+        return response
+
+
+def workload_payload(workload: Workload) -> dict:
+    """The wire form of a :class:`Workload` (daemon-side inverse:
+    :func:`repro.service.daemon.workload_from_payload`)."""
+    payload: dict = {
+        "grid_blocks": workload.launch.grid_blocks,
+        "block_size": workload.launch.block_size,
+        "iterations": workload.iterations,
+        "ilp": workload.ilp,
+        "max_events_per_warp": workload.max_events_per_warp,
+    }
+    if workload.launch.params:
+        payload["params"] = {
+            str(k): v for k, v in workload.launch.params.items()
+        }
+    if workload.work_profile:
+        payload["work_profile"] = list(workload.work_profile)
+    traits = workload.traits
+    defaults = type(traits)()
+    trait_fields = {
+        name: getattr(traits, name)
+        for name in traits.__dataclass_fields__
+        if getattr(traits, name) != getattr(defaults, name)
+    }
+    if trait_fields:
+        payload["traits"] = trait_fields
+    return payload
+
+
+def tune_with_fallback(
+    client: TuningClient,
+    binary: MultiVersionBinary,
+    workload: Workload,
+    arch,
+    backend: str = "timing",
+) -> dict:
+    """Daemon-first tuning with graceful degradation.
+
+    Returns a tune response shaped like the daemon's (``source`` is
+    ``"local"`` when the fallback path ran).  The fallback builds a
+    throwaway local engine, so it works with no daemon on the machine
+    at all — the service layer is an accelerator, never a dependency.
+    """
+    try:
+        return client.tune(binary, workload)
+    except (ServiceUnavailable, ServiceRejected) as exc:
+        _count_fallback(type(exc).__name__)
+        from repro.runtime.engine import ExecutionEngine
+        from repro.runtime.session import TuningSession
+        from repro.service.fingerprint import kernel_fingerprint, tuning_key
+        from repro.service.store import record_from_report
+
+        engine = ExecutionEngine(arch, backend=backend)
+        report = engine.run(TuningSession(binary, workload))
+        key = tuning_key(
+            binary, workload, arch.name, engine.backend.name,
+            engine.cache_config.value,
+        )
+        record = record_from_report(
+            key, kernel_fingerprint(binary), binary, report,
+            arch.name, engine.backend.name,
+        )
+        return {
+            "ok": True,
+            "source": "local",
+            "key": key,
+            "record": record.to_payload(),
+            "degraded_reason": str(exc),
+        }
+
+
+def _count_fallback(reason: str) -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_client_fallbacks_total",
+        "Tune requests that degraded to in-process tuning.",
+    ).inc(reason=reason)

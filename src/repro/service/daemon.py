@@ -1,0 +1,408 @@
+"""The asyncio tuning daemon (``repro serve``).
+
+A localhost socket server that turns the in-process tuning machinery
+into a shared service: clients submit a multi-version binary plus a
+workload description; the daemon answers from the persistent
+:class:`~repro.service.store.TuningStore` when it already knows the
+winner (a *warm hit* — zero measurement-backend invocations) and
+otherwise drives one :class:`~repro.runtime.session.TuningSession`
+through its :class:`~repro.runtime.engine.ExecutionEngine` worker pool
+and publishes the converged result back to the store.
+
+Load discipline, in order of application:
+
+1. **single-flight dedup** — concurrent tune requests for the same
+   tuning key join one in-flight job instead of re-measuring;
+2. **admission control** — at most ``max_pending`` distinct tune jobs
+   may be queued or running; beyond that the request is rejected
+   immediately with ``code="queue-full"`` and a ``retry_after`` hint
+   (backpressure, not buffering);
+3. **per-request timeout** — a tune that exceeds ``request_timeout``
+   answers ``code="timeout"`` while the underlying job keeps running
+   (a later identical request joins it via single-flight).
+
+Every request is wrapped in a ``daemon_request`` span, charged to
+``orion_daemon_requests_total{type,outcome}`` and the
+``orion_daemon_request_seconds`` histogram, and the live job count is
+mirrored in the ``orion_daemon_queue_depth`` gauge — so a trace plus a
+metrics snapshot fully narrates what the daemon did.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compiler.multiversion import MultiVersionBinary
+from repro.obs.spans import span, use_hub
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.session import TuningSession, Workload
+from repro.service import protocol
+from repro.service.fingerprint import tuning_key
+from repro.service.store import TuningRecord, TuningStore, record_from_report
+from repro.sim.interp import LaunchConfig
+from repro.sim.trace import MemoryTraits
+
+#: request-latency histogram boundaries (seconds) — sub-millisecond
+#: store hits through multi-second cold tunes
+_LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``repro serve`` lets an operator set."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral; the bound port lands in port_file
+    port_file: str | os.PathLike | None = None
+    max_pending: int = 8  # admission bound on queued-or-running tunes
+    request_timeout: float = 30.0  # seconds before a tune answers timeout
+    retry_after: float = 0.05  # backpressure hint on queue-full rejections
+    jobs: int = 2  # worker threads driving the engine
+
+
+def workload_from_payload(payload: dict) -> Workload:
+    """Build a :class:`Workload` from a request's ``workload`` object.
+
+    Raises ``ValueError`` on anything malformed — the daemon maps that
+    to a ``bad-request`` response rather than dying.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("workload must be an object")
+    launch = LaunchConfig(
+        grid_blocks=int(payload.get("grid_blocks", 1)),
+        block_size=int(payload.get("block_size", 32)),
+        params={
+            int(k): v for k, v in (payload.get("params") or {}).items()
+        },
+    )
+    traits_payload = payload.get("traits") or {}
+    if not isinstance(traits_payload, dict):
+        raise ValueError("workload.traits must be an object")
+    work_profile = payload.get("work_profile")
+    if work_profile is not None:
+        work_profile = [float(w) for w in work_profile]
+    return Workload(
+        launch=launch,
+        iterations=int(payload.get("iterations", 1)),
+        traits=MemoryTraits(**traits_payload),
+        ilp=float(payload.get("ilp", 1.0)),
+        max_events_per_warp=int(payload.get("max_events_per_warp", 6000)),
+        work_profile=work_profile,
+    )
+
+
+def decode_binary(encoded: str) -> MultiVersionBinary:
+    try:
+        raw = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (AttributeError, binascii.Error, UnicodeEncodeError):
+        raise ValueError("binary is not valid base64") from None
+    return MultiVersionBinary.from_bytes(raw)
+
+
+class TuningDaemon:
+    """The server: store in front, engine worker pool behind."""
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        store: TuningStore,
+        config: DaemonConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.store = store
+        self.config = config or DaemonConfig()
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.jobs),
+            thread_name_prefix="orion-tune",
+        )
+        #: tuning key → in-flight tune future (single-flight dedup)
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: distinct tune jobs queued or running (admission control)
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            path = Path(self.config.port_file)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(f"{self.port}\n", encoding="utf-8")
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or a shutdown request)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._stop.wait()
+        self._pool.shutdown(wait=True)
+        self.engine.telemetry.flush()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame(reader)
+                except protocol.ProtocolError as exc:
+                    self._count("unknown", "bad-request")
+                    await self._respond(
+                        writer,
+                        protocol.error(protocol.CODE_BAD_REQUEST, str(exc)),
+                    )
+                    break  # framing is lost; the connection is unusable
+                if payload is None:
+                    break  # clean EOF
+                response = await self._dispatch(payload)
+                await self._respond(writer, response)
+                if self._stop.is_set():
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, response: dict
+    ) -> None:
+        try:
+            await protocol.write_frame(writer, response)
+        except (ConnectionError, OSError):
+            pass  # client vanished between request and response
+
+    async def _dispatch(self, payload: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            type_ = protocol.validate_request(payload)
+        except protocol.ProtocolError as exc:
+            self._count("unknown", "bad-request")
+            return protocol.error(protocol.CODE_BAD_REQUEST, str(exc))
+        with use_hub(self.engine.telemetry), span(
+            "daemon_request", type=type_
+        ):
+            try:
+                response, outcome = await self._handle(type_, payload)
+            except Exception as exc:  # noqa: BLE001 — daemon must survive
+                response = protocol.error(
+                    protocol.CODE_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                outcome = "internal-error"
+        self._count(type_, outcome)
+        _registry().histogram(
+            "orion_daemon_request_seconds",
+            "Daemon request latency by request type.",
+            buckets=_LATENCY_BUCKETS,
+        ).observe(loop.time() - start, type=type_)
+        return response
+
+    async def _handle(self, type_: str, payload: dict) -> tuple[dict, str]:
+        if type_ == "ping":
+            return protocol.ok(version=protocol.PROTOCOL_VERSION), "ok"
+        if type_ == "stats":
+            return self._stats_response(), "ok"
+        if type_ == "shutdown":
+            self.stop()
+            return protocol.ok(stopping=True), "ok"
+        if type_ == "query":
+            return self._query(payload)
+        if type_ == "invalidate":
+            key = payload.get("key")
+            if not isinstance(key, str):
+                return (
+                    protocol.error(
+                        protocol.CODE_BAD_REQUEST, "invalidate needs a key"
+                    ),
+                    "bad-request",
+                )
+            removed = self.store.invalidate(key)
+            return protocol.ok(removed=removed), "ok"
+        return await self._tune(payload)
+
+    def _query(self, payload: dict) -> tuple[dict, str]:
+        key = payload.get("key")
+        if not isinstance(key, str):
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST, "query needs a key"
+                ),
+                "bad-request",
+            )
+        record = self.store.peek(key)
+        if record is None:
+            return protocol.ok(found=False, key=key), "miss"
+        return protocol.ok(found=True, record=record.to_payload()), "hit"
+
+    # ------------------------------------------------------------------
+    # The tune path
+    # ------------------------------------------------------------------
+    async def _tune(self, payload: dict) -> tuple[dict, str]:
+        try:
+            binary = decode_binary(payload.get("binary") or "")
+            workload = workload_from_payload(payload.get("workload") or {})
+        except (ValueError, KeyError, TypeError) as exc:
+            return (
+                protocol.error(protocol.CODE_BAD_REQUEST, str(exc)),
+                "bad-request",
+            )
+        key = tuning_key(
+            binary,
+            workload,
+            self.engine.arch.name,
+            self.engine.backend.name,
+            self.engine.cache_config.value,
+        )
+        record = self.store.get(key)
+        if record is not None:
+            return (
+                protocol.ok(
+                    source="store", key=key, record=record.to_payload()
+                ),
+                "store-hit",
+            )
+        future = self._inflight.get(key)
+        joined = future is not None
+        if not joined:
+            if self._pending >= self.config.max_pending:
+                return (
+                    protocol.error(
+                        protocol.CODE_QUEUE_FULL,
+                        f"{self._pending} tune job(s) pending "
+                        f"(bound {self.config.max_pending})",
+                        retry_after=self.config.retry_after,
+                    ),
+                    "queue-full",
+                )
+            future = self._admit(key, binary, workload)
+        try:
+            record = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            return (
+                protocol.error(
+                    protocol.CODE_TIMEOUT,
+                    f"tune exceeded {self.config.request_timeout}s "
+                    "(the job continues; retry to join it)",
+                ),
+                "timeout",
+            )
+        except Exception as exc:  # noqa: BLE001 — worker failure, not ours
+            return (
+                protocol.error(
+                    protocol.CODE_INTERNAL,
+                    f"tuning failed: {type(exc).__name__}: {exc}",
+                ),
+                "tune-failed",
+            )
+        return (
+            protocol.ok(
+                source="deduped" if joined else "tuned",
+                key=key,
+                record=record.to_payload(),
+            ),
+            "deduped" if joined else "tuned",
+        )
+
+    def _admit(
+        self, key: str, binary: MultiVersionBinary, workload: Workload
+    ) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._pool, self._tune_sync, key, binary, workload
+        )
+        self._inflight[key] = future
+        self._pending += 1
+        self._set_queue_depth()
+
+        def _done(_future: asyncio.Future) -> None:
+            self._inflight.pop(key, None)
+            self._pending -= 1
+            self._set_queue_depth()
+
+        future.add_done_callback(_done)
+        return future
+
+    def _tune_sync(
+        self, key: str, binary: MultiVersionBinary, workload: Workload
+    ) -> TuningRecord:
+        """One cold tune on a worker thread: run, publish, return."""
+        from repro.service.fingerprint import kernel_fingerprint
+
+        session = TuningSession(binary, workload)
+        report = self.engine.run(session)
+        record = record_from_report(
+            key,
+            kernel_fingerprint(binary),
+            binary,
+            report,
+            self.engine.arch.name,
+            self.engine.backend.name,
+        )
+        self.store.put(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _stats_response(self) -> dict:
+        stats = self.store.stats()
+        return protocol.ok(
+            store=stats.to_payload(),
+            daemon={
+                "pending": self._pending,
+                "max_pending": self.config.max_pending,
+                "inflight_keys": len(self._inflight),
+                "jobs": self.config.jobs,
+                "request_timeout": self.config.request_timeout,
+                "arch": self.engine.arch.name,
+                "backend": self.engine.backend.name,
+            },
+        )
+
+    def _set_queue_depth(self) -> None:
+        _registry().gauge(
+            "orion_daemon_queue_depth",
+            "Tune jobs currently queued or running in the daemon.",
+        ).set(self._pending)
+
+    def _count(self, type_: str, outcome: str) -> None:
+        _registry().counter(
+            "orion_daemon_requests_total",
+            "Daemon requests by type and outcome.",
+        ).inc(type=type_, outcome=outcome)
+
+
+def _registry():
+    from repro.obs.metrics import get_registry
+
+    return get_registry()

@@ -1,0 +1,122 @@
+"""Content-addressed tuning keys (what the store is keyed by).
+
+A tuning outcome is reusable exactly when a later run would walk the
+same candidates under the same conditions.  Three ingredients pin that
+down:
+
+* the **kernel fingerprint** — a SHA-256 over every candidate and
+  fail-safe version's content hash (module bytes + register/shared-
+  memory envelope, via
+  :func:`~repro.compiler.multiversion.version_content_hash`) plus the
+  tuning metadata (direction, candidate order, block size).  Two
+  binaries compiled from the same source at different paths — or on
+  different machines — fingerprint identically; re-labelled but
+  otherwise identical versions fingerprint identically too.
+* the **execution context** — architecture, backend, and cache
+  configuration.  The winner on a GTX 680 under the timing simulator
+  says nothing about a C2075 under the analytical model.
+* the **normalized work profile** — the shape of the workload, not its
+  exact size.  Launch geometry is kept exactly (it changes residency),
+  iteration counts are bucketed to powers of two (tuning converges in
+  ~3 iterations; 100 vs 128 iterations of the same kernel share a
+  winner), and per-iteration work profiles are scaled to ``max == 1``
+  (the tuner itself compares work-normalised runtimes).
+
+``tuning_key`` digests all three into one hex string.  Keys embed a
+version prefix so a semantic change to any ingredient invalidates
+every old entry at once instead of silently aliasing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.compiler.multiversion import MultiVersionBinary, version_content_hash
+from repro.runtime.session import Workload
+
+_KEY_PREFIX = b"orion-tuning-key-v1\x00"
+_KERNEL_PREFIX = b"orion-kernel-fp-v1\x00"
+
+
+def kernel_fingerprint(binary: MultiVersionBinary) -> str:
+    """Portable SHA-256 identity of one multi-version binary.
+
+    Built from per-version content hashes rather than the serialized
+    container, so the fingerprint is independent of version labels and
+    of any future container framing change.
+    """
+    digest = hashlib.sha256()
+    digest.update(_KERNEL_PREFIX)
+    digest.update(
+        "\x00".join(
+            [
+                binary.direction,
+                str(binary.block_size),
+                str(binary.can_tune),
+                str(len(binary.versions)),
+            ]
+        ).encode()
+    )
+    for version in (*binary.versions, *binary.failsafe):
+        digest.update(version_content_hash(version).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _bucket_pow2(n: int) -> int:
+    """The nearest power of two ≥ n (1 for n <= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def normalize_work_profile(workload: Workload) -> dict:
+    """The canonical, JSON-safe shape of one workload.
+
+    Exact where exactness matters (launch geometry, traits, ILP),
+    bucketed where only the shape matters (iteration count), scaled
+    where the tuner itself normalises (the per-iteration work profile).
+    """
+    profile = None
+    if workload.work_profile:
+        peak = max(workload.work_profile)
+        if peak > 0:
+            profile = [round(w / peak, 4) for w in workload.work_profile]
+        else:
+            profile = list(workload.work_profile)
+    return {
+        "grid_blocks": workload.launch.grid_blocks,
+        "block_size": workload.launch.block_size,
+        "params": sorted(
+            (int(k), v) for k, v in workload.launch.params.items()
+        ),
+        "iterations_bucket": _bucket_pow2(workload.iterations),
+        "traits": repr(workload.traits),
+        "ilp": round(float(workload.ilp), 6),
+        "work_profile": profile,
+    }
+
+
+def tuning_key(
+    binary: MultiVersionBinary,
+    workload: Workload,
+    arch_name: str,
+    backend_name: str,
+    cache_config: str = "small",
+) -> str:
+    """The store key for one (kernel, context, work-shape) triple."""
+    payload = json.dumps(
+        {
+            "kernel": kernel_fingerprint(binary),
+            "arch": arch_name,
+            "backend": backend_name,
+            "cache_config": cache_config,
+            "work": normalize_work_profile(workload),
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256()
+    digest.update(_KEY_PREFIX)
+    digest.update(payload.encode())
+    return digest.hexdigest()

@@ -1,0 +1,167 @@
+"""The daemon wire format: length-prefixed JSON over a local socket.
+
+One *frame* is a 4-byte big-endian length followed by that many bytes
+of UTF-8 JSON.  Length prefixing (rather than newline delimiting)
+keeps the framing independent of payload content — a tune request
+carries a base64 multi-version binary that could be megabytes — and
+lets the server reject oversized frames *before* buffering them.
+
+Requests are objects with a protocol version and a ``type``::
+
+    {"v": 1, "type": "tune", "binary": "<base64>", "workload": {...}}
+    {"v": 1, "type": "query", "key": "<hex>"}
+    {"v": 1, "type": "invalidate", "key": "<hex>"}
+    {"v": 1, "type": "stats"}
+    {"v": 1, "type": "ping"}
+    {"v": 1, "type": "shutdown"}
+
+Responses always carry ``ok``.  Failures add a machine-readable
+``code`` and human-readable ``error``; ``queue-full`` rejections add
+``retry_after`` (seconds), the backpressure signal clients honour
+before retrying::
+
+    {"ok": true, ...}
+    {"ok": false, "code": "queue-full", "error": "...", "retry_after": 0.05}
+
+Both async (daemon-side) and blocking (client-side) frame helpers live
+here so the two ends can never drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+PROTOCOL_VERSION = 1
+
+#: largest accepted frame; a fat binary with dozens of versions is
+#: well under a megabyte, so 16 MiB is generous without letting a
+#: malformed length prefix allocate unbounded memory
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+REQUEST_TYPES = ("tune", "query", "invalidate", "stats", "ping", "shutdown")
+
+#: failure codes responses may carry
+CODE_BAD_REQUEST = "bad-request"
+CODE_QUEUE_FULL = "queue-full"
+CODE_TIMEOUT = "timeout"
+CODE_INTERNAL = "internal"
+CODE_SHUTTING_DOWN = "shutting-down"
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or truncated frame."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one request/response object into a wire frame."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame body is not a JSON object")
+    return payload
+
+
+def _check_length(raw: bytes) -> int:
+    (length,) = _LENGTH.unpack(raw)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the limit")
+    return length
+
+
+# ----------------------------------------------------------------------
+# Async side (daemon)
+# ----------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a length prefix."""
+    try:
+        raw = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid length prefix") from None
+    length = _check_length(raw)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid frame") from None
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking side (client)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    raw = _recv_exactly(sock, _LENGTH.size)
+    length = _check_length(raw)
+    return decode_body(_recv_exactly(sock, length))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Request/response construction helpers
+# ----------------------------------------------------------------------
+def request(type_: str, **fields) -> dict:
+    return {"v": PROTOCOL_VERSION, "type": type_, **fields}
+
+
+def ok(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def error(code: str, message: str, retry_after: float | None = None) -> dict:
+    payload = {"ok": False, "code": code, "error": message}
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return payload
+
+
+def validate_request(payload: dict) -> str:
+    """Check the envelope; returns the request type.
+
+    Raises :class:`ProtocolError` with a client-presentable message on
+    any envelope problem (bad version, unknown type).
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this daemon speaks {PROTOCOL_VERSION})"
+        )
+    type_ = payload.get("type")
+    if type_ not in REQUEST_TYPES:
+        raise ProtocolError(f"unknown request type {type_!r}")
+    return type_

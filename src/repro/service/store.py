@@ -1,0 +1,545 @@
+"""The persistent tuning store: learned winners that survive the process.
+
+An append-only JSONL operation log replayed into a key → record map:
+
+* **crash-safe** — every operation is one fsynced line; a torn final
+  line (crash mid-write) is detected on replay and the file is
+  truncated back to the last whole operation (*truncate-and-replay*);
+* **multi-process** — every read-modify-write runs under an exclusive
+  file lock (``fcntl.flock`` on a sidecar ``.lock`` file, with a
+  create-exclusive spin fallback where ``fcntl`` is unavailable), and
+  each locked section first replays whatever tail other processes
+  appended since this process last looked;
+* **schema-versioned** — the first line is a header naming the schema
+  and version; a future-versioned or unreadable header moves the file
+  aside to ``<path>.corrupt`` and starts fresh rather than guessing;
+* **LRU-bounded** — records carry a logical last-used sequence number
+  (no wall clock, so eviction order is deterministic and testable);
+  when live entries exceed ``max_entries`` the smallest
+  ``(last_used, key)`` is evicted with an explicit ``del`` op;
+* **self-compacting** — when the log grows past a multiple of the live
+  entry count, it is atomically rewritten (temp file + ``os.replace``)
+  to one ``put`` per live record, preserving LRU order.
+
+Store traffic charges ``orion_store_*`` metrics in the process-wide
+registry, so warm-start hit rates show up in ``repro metrics`` next to
+the compile- and measurement-cache numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+SCHEMA = "orion-tuning-store"
+SCHEMA_VERSION = 1
+
+#: compact when the log holds this many ops per live record (min floor
+#: keeps tiny stores from compacting on every other write)
+_COMPACT_RATIO = 4
+_COMPACT_FLOOR = 64
+
+
+class StoreError(Exception):
+    """The store file cannot be used (locking failure, bad rewrite)."""
+
+
+@dataclass
+class TuningRecord:
+    """One learned tuning outcome (the store's value type)."""
+
+    key: str
+    kernel: str  # kernel fingerprint (fingerprint.kernel_fingerprint)
+    kernel_name: str
+    arch: str
+    backend: str
+    winner_label: str
+    winner_warps: int
+    occupancy: float
+    total_cycles: int
+    iterations_to_converge: int | None = None
+    source: str = "tuned"
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TuningRecord":
+        return cls(
+            key=payload["key"],
+            kernel=payload["kernel"],
+            kernel_name=payload["kernel_name"],
+            arch=payload["arch"],
+            backend=payload["backend"],
+            winner_label=payload["winner_label"],
+            winner_warps=payload["winner_warps"],
+            occupancy=payload["occupancy"],
+            total_cycles=payload["total_cycles"],
+            iterations_to_converge=payload.get("iterations_to_converge"),
+            source=payload.get("source", "tuned"),
+        )
+
+
+def record_from_report(
+    key: str,
+    kernel_fp: str,
+    binary,
+    report,
+    arch_name: str,
+    backend_name: str,
+) -> TuningRecord:
+    """Build the store record for one converged ExecutionReport."""
+    final = report.final_version
+    return TuningRecord(
+        key=key,
+        kernel=kernel_fp,
+        kernel_name=binary.kernel_name,
+        arch=arch_name,
+        backend=backend_name,
+        winner_label=final.label,
+        winner_warps=final.achieved_warps,
+        occupancy=final.occupancy,
+        total_cycles=report.total_cycles,
+        iterations_to_converge=report.iterations_to_converge,
+    )
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time store health (``repro store stats``)."""
+
+    path: str
+    schema_version: int
+    entries: int
+    max_entries: int
+    log_ops: int
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    compactions: int = 0
+    truncated_recoveries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_payload(self) -> dict:
+        payload = asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+
+@dataclass
+class _Entry:
+    record: dict
+    last_used: int = 0
+
+
+class _FcntlLock:
+    """Exclusive advisory lock on a sidecar file (POSIX)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle = None
+
+    def acquire(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a+")
+        fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+
+    def release(self) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+
+
+class _SpinLock:
+    """Create-exclusive lockfile spin (portable fallback)."""
+
+    def __init__(self, path: Path, timeout: float = 10.0) -> None:
+        self.path = path
+        self.timeout = timeout
+
+    def acquire(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                handle = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.close(handle)
+                return
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    raise StoreError(
+                        f"could not acquire store lock {self.path}"
+                    ) from None
+                time.sleep(0.005)
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already released
+            pass
+
+
+class TuningStore:
+    """Crash-safe, file-locked, LRU-bounded map of tuning outcomes."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_entries: int = 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self._entries: dict[str, _Entry] = {}
+        self._seq = 0
+        self._offset = 0  # bytes of the log already replayed
+        self._log_ops = 0
+        self._thread_lock = threading.RLock()
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        self._file_lock = (
+            _FcntlLock(lock_path) if fcntl is not None else _SpinLock(lock_path)
+        )
+        # per-instance traffic counters (process-local, not persisted)
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._compactions = 0
+        self._truncations = 0
+        with self._locked():
+            pass  # initial replay (creates the file + header if absent)
+
+    # ------------------------------------------------------------------
+    # Locking + replay
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        with self._thread_lock:
+            self._file_lock.acquire()
+            try:
+                self._sync()
+                yield
+            finally:
+                self._file_lock.release()
+
+    def _sync(self) -> None:
+        """Bring in-memory state up to date with the on-disk log."""
+        if not self.path.exists():
+            self._write_header()
+            return
+        size = self.path.stat().st_size
+        if size < self._offset:
+            # Another process compacted (or rewrote) the log: replay all.
+            self._entries.clear()
+            self._seq = 0
+            self._offset = 0
+            self._log_ops = 0
+        if size == self._offset:
+            return
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            tail = handle.read()
+        good = self._replay(tail, header_expected=self._offset == 0)
+        if good < len(tail):
+            # Torn or corrupt tail: truncate back to the last whole op.
+            with self.path.open("r+b") as handle:
+                handle.truncate(self._offset + good)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._truncations += 1
+        self._offset += good
+
+    def _replay(self, data: bytes, header_expected: bool) -> int:
+        """Apply whole ops from ``data``; return bytes consumed."""
+        consumed = 0
+        expect_header = header_expected
+        for raw in data.split(b"\n"):
+            line_span = len(raw) + 1
+            if consumed + line_span > len(data):
+                break  # no trailing newline: torn final line
+            try:
+                op = json.loads(raw)
+                if not isinstance(op, dict):
+                    raise ValueError("op is not an object")
+                if expect_header:
+                    self._check_header(op)
+                    expect_header = False
+                else:
+                    self._apply(op)
+            except (ValueError, KeyError, TypeError) as exc:
+                if expect_header:
+                    # Unusable header: preserve the evidence, start over.
+                    self._quarantine(exc)
+                    return 0
+                break
+            consumed += line_span
+        return consumed
+
+    def _check_header(self, op: dict) -> None:
+        if op.get("schema") != SCHEMA:
+            raise ValueError(f"not a tuning store (schema={op.get('schema')!r})")
+        if op.get("version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported store version {op.get('version')!r}"
+            )
+
+    def _quarantine(self, reason: Exception) -> None:
+        backup = self.path.with_name(self.path.name + ".corrupt")
+        os.replace(self.path, backup)
+        self._entries.clear()
+        self._seq = 0
+        self._offset = 0
+        self._log_ops = 0
+        self._truncations += 1
+        self._write_header()
+        _metrics().counter(
+            "orion_store_recoveries_total",
+            "Tuning-store files quarantined and restarted.",
+        ).inc(reason=type(reason).__name__)
+
+    def _apply(self, op: dict) -> None:
+        kind = op["op"]
+        seq = int(op["seq"])
+        self._seq = max(self._seq, seq)
+        self._log_ops += 1
+        key = op["key"]
+        if kind == "put":
+            self._entries[key] = _Entry(record=op["record"], last_used=seq)
+        elif kind == "touch":
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.last_used = seq
+        elif kind == "del":
+            self._entries.pop(key, None)
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Log writing
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = (
+            json.dumps(
+                {"schema": SCHEMA, "version": SCHEMA_VERSION}, sort_keys=True
+            )
+            + "\n"
+        )
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._offset = len(line.encode("utf-8"))
+
+    def _append(self, op: dict) -> None:
+        line = json.dumps(op, sort_keys=True) + "\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._offset += len(line.encode("utf-8"))
+        self._log_ops += 1
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> TuningRecord | None:
+        """Look up a record; a hit refreshes its LRU position."""
+        with self._locked():
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                _count_lookup("miss")
+                return None
+            seq = self._next_seq()
+            entry.last_used = seq
+            self._append({"op": "touch", "seq": seq, "key": key})
+            self._hits += 1
+            _count_lookup("hit")
+            return TuningRecord.from_payload(entry.record)
+
+    def peek(self, key: str) -> TuningRecord | None:
+        """Look up without touching LRU state (``repro store export``)."""
+        with self._locked():
+            entry = self._entries.get(key)
+            return (
+                TuningRecord.from_payload(entry.record)
+                if entry is not None
+                else None
+            )
+
+    def put(self, record: TuningRecord) -> None:
+        """Insert or replace one record; may evict under the LRU bound."""
+        with self._locked():
+            seq = self._next_seq()
+            self._entries[record.key] = _Entry(
+                record=record.to_payload(), last_used=seq
+            )
+            self._append(
+                {
+                    "op": "put",
+                    "seq": seq,
+                    "key": record.key,
+                    "record": record.to_payload(),
+                }
+            )
+            self._puts += 1
+            _metrics().counter(
+                "orion_store_writes_total", "Tuning-store records written."
+            ).inc()
+            self._evict_over_bound()
+            self._maybe_compact()
+            _metrics().gauge(
+                "orion_store_entries", "Live tuning-store records."
+            ).set(len(self._entries))
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one record; returns whether it existed."""
+        with self._locked():
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._append({"op": "del", "seq": self._next_seq(), "key": key})
+            return True
+
+    def keys(self) -> list[str]:
+        with self._locked():
+            return sorted(self._entries)
+
+    def export(self) -> list[dict]:
+        """Every live record, sorted by key (stable, diffable)."""
+        with self._locked():
+            return [
+                self._entries[key].record for key in sorted(self._entries)
+            ]
+
+    def stats(self) -> StoreStats:
+        with self._locked():
+            return StoreStats(
+                path=str(self.path),
+                schema_version=SCHEMA_VERSION,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                log_ops=self._log_ops,
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                compactions=self._compactions,
+                truncated_recoveries=self._truncations,
+            )
+
+    def gc(self) -> StoreStats:
+        """Force a compaction; returns the post-compaction stats."""
+        with self._locked():
+            self._compact()
+        return self.stats()
+
+    def __len__(self) -> int:
+        with self._locked():
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._locked():
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Eviction + compaction (called under the lock)
+    # ------------------------------------------------------------------
+    def _evict_over_bound(self) -> None:
+        while len(self._entries) > self.max_entries:
+            victim = min(
+                self._entries.items(),
+                key=lambda kv: (kv[1].last_used, kv[0]),
+            )[0]
+            del self._entries[victim]
+            self._append(
+                {"op": "del", "seq": self._next_seq(), "key": victim}
+            )
+            self._evictions += 1
+            _metrics().counter(
+                "orion_store_evictions_total",
+                "Tuning-store records evicted by the LRU bound.",
+            ).inc()
+
+    def _maybe_compact(self) -> None:
+        threshold = max(_COMPACT_FLOOR, _COMPACT_RATIO * len(self._entries))
+        if self._log_ops > threshold:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the log to one put per live record."""
+        ordered = sorted(
+            self._entries.items(), key=lambda kv: (kv[1].last_used, kv[0])
+        )
+        lines = [
+            json.dumps(
+                {"schema": SCHEMA, "version": SCHEMA_VERSION}, sort_keys=True
+            )
+        ]
+        self._seq = 0
+        for key, entry in ordered:
+            seq = self._next_seq()
+            entry.last_used = seq
+            lines.append(
+                json.dumps(
+                    {
+                        "op": "put",
+                        "seq": seq,
+                        "key": key,
+                        "record": entry.record,
+                    },
+                    sort_keys=True,
+                )
+            )
+        payload = "\n".join(lines) + "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._offset = len(payload.encode("utf-8"))
+        self._log_ops = len(ordered)
+        self._compactions += 1
+        _metrics().counter(
+            "orion_store_compactions_total", "Tuning-store log compactions."
+        ).inc()
+
+
+# ----------------------------------------------------------------------
+def _metrics():
+    from repro.obs.metrics import get_registry
+
+    return get_registry()
+
+
+def _count_lookup(result: str) -> None:
+    _metrics().counter(
+        "orion_store_lookups_total",
+        "Tuning-store lookups by result (warm-start hits and misses).",
+    ).inc(result=result)

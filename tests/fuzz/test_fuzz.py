@@ -110,6 +110,32 @@ class TestOracle:
         assert "reproduce:" in str(failure)
 
 
+class TestStoreOracle:
+    def test_cases_round_trip_through_the_store(self, tmp_path):
+        from repro.service.store import TuningStore
+
+        store = TuningStore(tmp_path / "fuzz-store.jsonl")
+        report = run_fuzz(seed=0, cases=2, shape="straight", store=store)
+        assert report.ok
+        # Tunable cases published exactly one record each; identical
+        # keys across cases would be a fingerprint collision.
+        assert len(store) == 2
+
+    def test_unstable_fingerprint_is_reported(self, tmp_path, monkeypatch):
+        import repro.fuzz.oracle as oracle
+        from repro.service.store import TuningStore
+
+        fingerprints = iter(["fp-one", "fp-two", "fp-three"])
+        monkeypatch.setattr(
+            "repro.service.fingerprint.kernel_fingerprint",
+            lambda binary: next(fingerprints),
+        )
+        store = TuningStore(tmp_path / "fuzz-store.jsonl")
+        failures, _ = oracle.check_case(1, "straight", store=store)
+        assert {f.kind for f in failures} == {"store"}
+        assert any("fingerprint" in f.detail for f in failures)
+
+
 class TestSeedReproduction:
     def test_case_seed_is_base_plus_index(self):
         # Case i of a batch must behave exactly like --seed base+i with

@@ -1,0 +1,203 @@
+"""CLI surface of the service layer: serve, submit, store, fuzz --store."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.isa.assembly import format_module
+from repro.service.client import TuningClient
+from repro.service.store import TuningRecord, TuningStore
+from tests.helpers import loop_kernel
+
+
+@pytest.fixture()
+def fat_binary(tmp_path):
+    asm = tmp_path / "kernel.oras"
+    asm.write_text(format_module(loop_kernel()))
+    out = tmp_path / "fat.bin"
+    assert main(
+        [
+            "compile",
+            str(asm),
+            "-o",
+            str(out),
+            "--block-size",
+            "128",
+            "--max-versions",
+            "4",
+        ]
+    ) == 0
+    return out
+
+
+def seeded_store(path, keys=("a", "b")) -> TuningStore:
+    store = TuningStore(path)
+    for key in keys:
+        store.put(
+            TuningRecord(
+                key=key,
+                kernel="fp-" + key,
+                kernel_name="k",
+                arch="gtx680",
+                backend="timing",
+                winner_label="original",
+                winner_warps=32,
+                occupancy=0.5,
+                total_cycles=100,
+            )
+        )
+    return store
+
+
+class TestStoreCommands:
+    def test_stats(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        seeded_store(path)
+        assert main(["store", str(path), "stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["schema_version"] == 1
+
+    def test_export_to_file_and_stdout(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        seeded_store(path)
+        out = tmp_path / "dump.json"
+        assert main(["store", str(path), "export", "-o", str(out)]) == 0
+        assert [r["key"] for r in json.loads(out.read_text())] == ["a", "b"]
+        capsys.readouterr()
+        assert main(["store", str(path), "export"]) == 0
+        assert json.loads(capsys.readouterr().out)[0]["key"] == "a"
+
+    def test_gc_compacts(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        store = seeded_store(path)
+        for _ in range(5):
+            store.get("a")
+        assert main(["store", str(path), "gc"]) == 0
+        assert "2 live record(s)" in capsys.readouterr().out
+        assert len(path.read_text().splitlines()) == 3  # header + 2 puts
+
+
+class TestServeSubmit:
+    def test_cold_then_warm_submit_round_trip(
+        self, tmp_path, fat_binary, capsys
+    ):
+        store_path = tmp_path / "s.jsonl"
+        port_file = tmp_path / "port"
+        serve = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--store",
+                    str(store_path),
+                    "--port-file",
+                    str(port_file),
+                ],
+            ),
+            daemon=True,
+        )
+        serve.start()
+        deadline = time.monotonic() + 15
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "daemon never wrote its port file"
+        try:
+            submit = [
+                "submit",
+                str(fat_binary),
+                "--port-file",
+                str(port_file),
+                "--grid",
+                "16",
+                "--iterations",
+                "6",
+                "--max-events",
+                "2000",
+            ]
+            assert main(submit) == 0
+            cold = capsys.readouterr().out
+            assert "source: tuned" in cold
+            assert main(submit) == 0
+            warm = capsys.readouterr().out
+            assert "source: store" in warm
+            assert main(submit + ["--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["source"] == "store"
+            assert payload["record"]["winner_label"]
+        finally:
+            TuningClient(port_file=port_file).shutdown()
+            serve.join(timeout=15)
+        assert not serve.is_alive()
+        assert len(TuningStore(store_path)) == 1
+
+    def test_submit_degrades_without_a_daemon(
+        self, tmp_path, fat_binary, capsys
+    ):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            dead_port = sock.getsockname()[1]
+        code = main(
+            [
+                "submit",
+                str(fat_binary),
+                "--port",
+                str(dead_port),
+                "--grid",
+                "16",
+                "--iterations",
+                "6",
+                "--max-events",
+                "2000",
+                "--retries",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "source: local" in out
+        assert "degraded to local tuning" in out
+
+    def test_submit_no_fallback_errors(self, tmp_path, fat_binary, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            dead_port = sock.getsockname()[1]
+        code = main(
+            [
+                "submit",
+                str(fat_binary),
+                "--port",
+                str(dead_port),
+                "--retries",
+                "0",
+                "--no-fallback",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFuzzStoreFlag:
+    def test_fuzz_with_store(self, tmp_path, capsys):
+        path = tmp_path / "fuzz.jsonl"
+        code = main(
+            [
+                "fuzz",
+                "--cases",
+                "2",
+                "--shape",
+                "straight",
+                "--quiet",
+                "--store",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert len(TuningStore(path)) == 2

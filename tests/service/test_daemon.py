@@ -1,0 +1,313 @@
+"""Daemon end-to-end tests: warm starts, failure modes, load discipline.
+
+Each test runs a real :class:`TuningDaemon` on an ephemeral localhost
+port inside a background event-loop thread, and talks to it with the
+real sync client — the same bytes CI's service job pushes over the
+socket.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.arch import GTX680
+from repro.compiler import CompileOptions, compile_binary
+from repro.obs.metrics import get_registry
+from repro.runtime import Workload
+from repro.runtime.engine import ExecutionEngine
+from repro.service import protocol
+from repro.service.client import (
+    ServiceRejected,
+    ServiceUnavailable,
+    TuningClient,
+    tune_with_fallback,
+)
+from repro.service.daemon import DaemonConfig, TuningDaemon
+from repro.service.store import TuningStore
+from repro.sim import LaunchConfig
+from repro.sim.backend import get_backend
+from tests.runtime.test_launcher import pressure_module
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_binary(
+        pressure_module(), "k", CompileOptions(arch=GTX680)
+    )
+
+
+@pytest.fixture()
+def workload():
+    return Workload(
+        launch=LaunchConfig(grid_blocks=64, block_size=256),
+        iterations=10,
+        max_events_per_warp=1500,
+    )
+
+
+class SlowBackend:
+    """The timing backend with an artificial per-measurement delay."""
+
+    name = "timing"
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+        self._inner = get_backend("timing")
+
+    def measure(self, request):
+        time.sleep(self.delay)
+        return self._inner.measure(request)
+
+
+class DaemonHarness:
+    """A daemon on a background event-loop thread, stopped on exit."""
+
+    def __init__(self, store, config=None, backend="timing"):
+        self.engine = ExecutionEngine(
+            GTX680, backend=backend, tuning_store=store
+        )
+        self.daemon = TuningDaemon(self.engine, store, config)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def __enter__(self) -> "DaemonHarness":
+        started = threading.Event()
+
+        def run() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+
+            async def go() -> None:
+                await self.daemon.start()
+                started.set()
+                await self.daemon.serve_forever()
+
+            self._loop.run_until_complete(go())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert started.wait(10), "daemon failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self.daemon.stop)
+        self._thread.join(timeout=10)
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def client(self, **kwargs) -> TuningClient:
+        return TuningClient(port=self.port, **kwargs)
+
+
+def _backend_invocations() -> float:
+    counter = get_registry().counter(
+        "orion_backend_invocations_total",
+        "Backend measurements actually executed (cache misses).",
+    )
+    return counter.value(backend="timing")
+
+
+class TestWarmStartViaDaemon:
+    def test_second_submit_is_a_store_hit_with_zero_measurements(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            first = harness.client().tune(binary, workload)
+            assert first["source"] == "tuned"
+            assert first["record"]["winner_label"]
+            before = _backend_invocations()
+            # A brand-new client: nothing carries over but the store.
+            second = harness.client().tune(binary, workload)
+            assert second["source"] == "store"
+            assert second["key"] == first["key"]
+            assert second["record"] == first["record"]
+            # The warm path never touched a measurement backend.
+            assert _backend_invocations() == before
+
+    def test_warm_hit_survives_daemon_restart(
+        self, tmp_path, binary, workload
+    ):
+        store_path = tmp_path / "s.jsonl"
+        with DaemonHarness(TuningStore(store_path)) as harness:
+            assert harness.client().tune(binary, workload)["source"] == "tuned"
+        with DaemonHarness(TuningStore(store_path)) as harness:
+            assert harness.client().tune(binary, workload)["source"] == "store"
+
+    def test_query_and_invalidate(self, tmp_path, binary, workload):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            client = harness.client()
+            key = client.tune(binary, workload)["key"]
+            hit = client.query(key)
+            assert hit["found"] is True
+            assert hit["record"]["winner_label"]
+            assert client.invalidate(key)["removed"] is True
+            assert client.query(key)["found"] is False
+            # The next tune re-measures and re-publishes.
+            assert client.tune(binary, workload)["source"] == "tuned"
+
+
+class TestDaemonRobustness:
+    def test_survives_malformed_frames_and_requests(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            # Garbage body: a valid length prefix framing non-JSON.
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                sock.sendall(struct.pack(">I", 7) + b"garbage")
+                response = protocol.recv_frame(sock)
+                assert response["ok"] is False
+                assert response["code"] == protocol.CODE_BAD_REQUEST
+            # Wrong protocol version.
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                protocol.send_frame(sock, {"v": 99, "type": "ping"})
+                assert protocol.recv_frame(sock)["code"] == protocol.CODE_BAD_REQUEST
+            # Unknown request type.
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                protocol.send_frame(sock, protocol.request("frobnicate"))
+                assert protocol.recv_frame(sock)["code"] == protocol.CODE_BAD_REQUEST
+            # Tune with an unusable binary payload.
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                protocol.send_frame(
+                    sock,
+                    protocol.request(
+                        "tune", binary="!!!not-base64!!!", workload={}
+                    ),
+                )
+                assert protocol.recv_frame(sock)["code"] == protocol.CODE_BAD_REQUEST
+            # After all that abuse the daemon still serves real work.
+            client = harness.client()
+            assert client.ping()["ok"] is True
+            assert client.tune(binary, workload)["source"] == "tuned"
+
+    def test_queue_full_rejection_carries_retry_after(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        config = DaemonConfig(max_pending=0, retry_after=0.123)
+        with DaemonHarness(store, config) as harness:
+            client = harness.client(retries=0)
+            payload = protocol.request(
+                "tune",
+                binary=__import__("base64").b64encode(binary.to_bytes()).decode(),
+                workload={"grid_blocks": 64, "block_size": 256, "iterations": 10},
+            )
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                protocol.send_frame(sock, payload)
+                response = protocol.recv_frame(sock)
+            assert response["ok"] is False
+            assert response["code"] == protocol.CODE_QUEUE_FULL
+            assert response["retry_after"] == 0.123
+            # The client retries then degrades to ServiceUnavailable.
+            with pytest.raises(ServiceUnavailable):
+                client.tune(binary, workload)
+            # Control-plane requests are not admission-controlled.
+            assert client.ping()["ok"] is True
+
+    def test_timeout_answers_but_job_completes(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        config = DaemonConfig(request_timeout=0.01)
+        with DaemonHarness(store, config, backend=SlowBackend(0.05)) as harness:
+            client = harness.client(retries=0, timeout=10.0)
+            with pytest.raises(ServiceRejected) as excinfo:
+                client.tune(binary, workload)
+            assert excinfo.value.code == protocol.CODE_TIMEOUT
+            # The underlying job keeps running and publishes its winner;
+            # a later request becomes a pure store hit.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    response = harness.client(timeout=10.0).tune(binary, workload)
+                    if response["source"] == "store":
+                        break
+                except ServiceRejected as exc:
+                    assert exc.code == protocol.CODE_TIMEOUT
+                time.sleep(0.05)
+            else:
+                pytest.fail("stored winner never became visible")
+
+    def test_single_flight_dedups_concurrent_tunes(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store, backend=SlowBackend(0.02)) as harness:
+            before = _backend_invocations()
+            results: list[dict] = []
+            lock = threading.Lock()
+
+            def tune() -> None:
+                response = harness.client(timeout=60.0).tune(binary, workload)
+                with lock:
+                    results.append(response)
+
+            threads = [threading.Thread(target=tune) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert len(results) == 3
+            sources = sorted(r["source"] for r in results)
+            assert sources[-1] == "tuned"
+            assert set(sources) <= {"deduped", "store", "tuned"}
+            assert len({r["record"]["winner_label"] for r in results}) == 1
+            # Exactly one walk's worth of measurements ran: dedup joins
+            # and store hits added nothing on top of the first tune.
+            one_walk = _backend_invocations() - before
+            assert one_walk > 0
+            store.invalidate(results[0]["key"])
+            again = _backend_invocations()
+            harness.client(timeout=60.0).tune(binary, workload)
+            # Measurement cache makes the re-tune nearly free, so the
+            # three concurrent tunes cannot have measured more than once.
+            assert _backend_invocations() == again
+
+    def test_stats_reports_store_and_daemon_state(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            client = harness.client()
+            client.tune(binary, workload)
+            stats = client.stats()
+            assert stats["store"]["entries"] == 1
+            assert stats["daemon"]["pending"] == 0
+            assert stats["daemon"]["arch"] == GTX680.name
+            assert stats["daemon"]["backend"] == "timing"
+
+
+class TestClientFallback:
+    def _dead_port(self) -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_degrades_to_local_tuning(self, binary, workload):
+        client = TuningClient(port=self._dead_port(), retries=0, backoff=0.0)
+        fallbacks = get_registry().counter(
+            "orion_client_fallbacks_total",
+            "Tune requests that degraded to in-process tuning.",
+        )
+        before = fallbacks.value(reason="ServiceUnavailable")
+        response = tune_with_fallback(client, binary, workload, GTX680)
+        assert response["ok"] is True
+        assert response["source"] == "local"
+        assert response["degraded_reason"]
+        assert response["record"]["winner_label"]
+        assert fallbacks.value(reason="ServiceUnavailable") == before + 1
+
+    def test_no_fallback_raises(self, binary, workload):
+        client = TuningClient(port=self._dead_port(), retries=0, backoff=0.0)
+        with pytest.raises(ServiceUnavailable):
+            client.tune(binary, workload)

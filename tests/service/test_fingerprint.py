@@ -1,0 +1,108 @@
+"""Content-addressed tuning keys: stability, sensitivity, normalization."""
+
+import pytest
+
+from repro.arch import GTX680, TESLA_C2075
+from repro.compiler import CompileOptions, compile_binary
+from repro.runtime import Workload
+from repro.service.fingerprint import (
+    _bucket_pow2,
+    kernel_fingerprint,
+    normalize_work_profile,
+    tuning_key,
+)
+from repro.sim import LaunchConfig
+from tests.helpers import loop_kernel, straight_line_kernel
+
+
+def _compile(module):
+    return compile_binary(
+        module, "k", CompileOptions(arch=GTX680, block_size=128, max_versions=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return _compile(loop_kernel())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(
+        launch=LaunchConfig(grid_blocks=16, block_size=128), iterations=6
+    )
+
+
+class TestKernelFingerprint:
+    def test_stable_across_recompiles(self, binary):
+        assert kernel_fingerprint(binary) == kernel_fingerprint(
+            _compile(loop_kernel())
+        )
+
+    def test_round_trips_serialization(self, binary):
+        from repro.compiler.multiversion import MultiVersionBinary
+
+        decoded = MultiVersionBinary.from_bytes(binary.to_bytes())
+        assert kernel_fingerprint(decoded) == kernel_fingerprint(binary)
+
+    def test_different_kernels_differ(self, binary):
+        assert kernel_fingerprint(binary) != kernel_fingerprint(
+            _compile(straight_line_kernel())
+        )
+
+
+class TestBucketing:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (64, 64), (65, 128), (100, 128)],
+    )
+    def test_bucket_pow2(self, n, expected):
+        assert _bucket_pow2(n) == expected
+
+
+class TestNormalizeWorkProfile:
+    def test_profile_scaled_to_unit_peak(self, binary):
+        workload = Workload(
+            launch=LaunchConfig(grid_blocks=8, block_size=128),
+            iterations=4,
+            work_profile=[2.0, 4.0, 1.0],
+        )
+        normalized = normalize_work_profile(workload)
+        assert normalized["work_profile"] == [0.5, 1.0, 0.25]
+
+    def test_iterations_bucketed(self):
+        launch = LaunchConfig(grid_blocks=8, block_size=128)
+        a = normalize_work_profile(Workload(launch=launch, iterations=100))
+        b = normalize_work_profile(Workload(launch=launch, iterations=128))
+        assert a == b
+
+
+class TestTuningKey:
+    def test_stable_across_recompiles(self, binary, workload):
+        assert tuning_key(binary, workload, "gtx680", "timing") == tuning_key(
+            _compile(loop_kernel()), workload, "gtx680", "timing"
+        )
+
+    def test_sensitive_to_context(self, binary, workload):
+        base = tuning_key(binary, workload, GTX680.name, "timing")
+        assert base != tuning_key(binary, workload, TESLA_C2075.name, "timing")
+        assert base != tuning_key(binary, workload, GTX680.name, "analytical")
+        assert base != tuning_key(
+            binary, workload, GTX680.name, "timing", cache_config="large"
+        )
+
+    def test_sensitive_to_launch_geometry(self, binary, workload):
+        other = Workload(
+            launch=LaunchConfig(grid_blocks=32, block_size=128), iterations=6
+        )
+        assert tuning_key(binary, workload, "gtx680", "timing") != tuning_key(
+            binary, other, "gtx680", "timing"
+        )
+
+    def test_invariant_under_iteration_bucket(self, binary):
+        launch = LaunchConfig(grid_blocks=16, block_size=128)
+        a = Workload(launch=launch, iterations=100)
+        b = Workload(launch=launch, iterations=128)
+        assert tuning_key(binary, a, "gtx680", "timing") == tuning_key(
+            binary, b, "gtx680", "timing"
+        )

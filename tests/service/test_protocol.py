@@ -1,0 +1,96 @@
+"""Wire-format tests: framing, limits, envelope validation."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payload = {"v": 1, "type": "ping", "extra": [1, 2, {"x": "y"}]}
+        frame = protocol.encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_body(frame[4:]) == payload
+
+    def test_sync_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"v": 1, "type": "query", "key": "deadbeef" * 8}
+            sender = threading.Thread(
+                target=protocol.send_frame, args=(a, payload)
+            )
+            sender.start()
+            assert protocol.recv_frame(b) == payload
+            sender.join()
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_payload_rejected_on_encode(self):
+        huge = {"blob": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame(huge)
+
+    def test_oversized_length_prefix_rejected_before_buffering(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"{}")
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_json_body_raises(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            protocol.decode_body(b"\xff\xfe not json")
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            protocol.decode_body(b"[1, 2, 3]")
+
+
+class TestEnvelope:
+    def test_request_carries_version(self):
+        assert protocol.request("ping") == {
+            "v": PROTOCOL_VERSION,
+            "type": "ping",
+        }
+
+    def test_validate_accepts_known_types(self):
+        for type_ in protocol.REQUEST_TYPES:
+            assert protocol.validate_request(protocol.request(type_)) == type_
+
+    def test_validate_rejects_wrong_version(self):
+        with pytest.raises(ProtocolError, match="protocol version"):
+            protocol.validate_request({"v": 99, "type": "ping"})
+
+    def test_validate_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            protocol.validate_request({"v": PROTOCOL_VERSION, "type": "nope"})
+
+    def test_error_carries_retry_after_only_when_set(self):
+        plain = protocol.error("timeout", "too slow")
+        assert plain == {"ok": False, "code": "timeout", "error": "too slow"}
+        hinted = protocol.error("queue-full", "busy", retry_after=0.25)
+        assert hinted["retry_after"] == 0.25

@@ -1,0 +1,95 @@
+"""Concurrent tuning-store access: threads, instances, and processes.
+
+The store's contract is that any interleaving of lock-holding writers
+produces a log that replays to the union of their writes — whether the
+writers share one :class:`TuningStore` instance (thread lock), hold
+separate instances over one file (file lock + tail replay), or live in
+separate processes entirely.
+"""
+
+import multiprocessing
+import threading
+
+from repro.service.store import TuningRecord, TuningStore
+
+
+def record(key: str, cycles: int = 100) -> TuningRecord:
+    return TuningRecord(
+        key=key,
+        kernel="fp-" + key,
+        kernel_name="k",
+        arch="gtx680",
+        backend="timing",
+        winner_label="original",
+        winner_warps=32,
+        occupancy=0.5,
+        total_cycles=cycles,
+    )
+
+
+def test_threads_sharing_one_instance(tmp_path):
+    store = TuningStore(tmp_path / "s.jsonl", max_entries=256)
+    per_thread = 20
+
+    def writer(worker: int) -> None:
+        for i in range(per_thread):
+            store.put(record(f"w{worker}-{i}"))
+            assert store.get(f"w{worker}-{i}") is not None
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(store) == 4 * per_thread
+    # The on-disk log replays to exactly the same state.
+    assert len(TuningStore(tmp_path / "s.jsonl", max_entries=256)) == 4 * per_thread
+
+
+def test_two_instances_see_each_others_writes(tmp_path):
+    path = tmp_path / "s.jsonl"
+    a = TuningStore(path)
+    b = TuningStore(path)
+    a.put(record("from-a"))
+    assert b.get("from-a") is not None  # b replays a's appended tail
+    b.put(record("from-b"))
+    assert a.get("from-b") is not None
+    assert a.keys() == b.keys() == ["from-a", "from-b"]
+
+
+def test_interleaved_instances_keep_lru_consistent(tmp_path):
+    path = tmp_path / "s.jsonl"
+    a = TuningStore(path, max_entries=2)
+    b = TuningStore(path, max_entries=2)
+    a.put(record("x"))
+    b.put(record("y"))
+    a.get("x")  # refresh through instance a
+    b.put(record("z"))  # instance b must evict y, not x
+    assert a.keys() == b.keys() == ["x", "z"]
+
+
+def _process_writer(path: str, worker: int, count: int) -> None:
+    store = TuningStore(path, max_entries=1024)
+    for i in range(count):
+        store.put(record(f"p{worker}-{i}"))
+
+
+def test_processes_appending_concurrently(tmp_path):
+    path = tmp_path / "s.jsonl"
+    TuningStore(path)  # create header up front
+    count = 10
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(target=_process_writer, args=(str(path), w, count))
+        for w in range(3)
+    ]
+    for p in workers:
+        p.start()
+    for p in workers:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    merged = TuningStore(path)
+    assert len(merged) == 3 * count
+    for w in range(3):
+        for i in range(count):
+            assert merged.get(f"p{w}-{i}") is not None

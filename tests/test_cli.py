@@ -269,7 +269,7 @@ class TestFuzz:
     def test_failures_point_at_the_trace(self, tmp_path, capsys, monkeypatch):
         import repro.fuzz.oracle as oracle
 
-        def broken(seed, shape, arch, trace=None):
+        def broken(seed, shape, arch, trace=None, store=None):
             return [oracle.FuzzFailure(seed, shape, "crash", "kaboom",
                                        trace=trace)], 0
 
@@ -301,6 +301,38 @@ class TestBenchReport:
         assert loaded["kernels"][0]["name"] == "gaussian"
         assert "compile" in loaded["cache"]
         assert loaded["telemetry"]["event_counts"]["session_finalized"] == 1
+
+    def test_outside_a_git_checkout_warns_and_records_null_sha(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs.report import load_report, validate_bench_report
+
+        monkeypatch.chdir(tmp_path)  # no .git anywhere up to /tmp
+        report = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--report", str(report)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "not inside a git checkout" in captured.err
+        assert "git_sha=null" in captured.err
+        loaded = load_report(report)
+        assert loaded["git_sha"] is None
+        assert validate_bench_report(loaded) == []
+
+    def test_inside_a_git_checkout_does_not_warn(self, tmp_path, capsys):
+        report = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--only", "gaussian", "--arch", "c2075",
+             "--report", str(report)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "not inside a git checkout" not in captured.err
+        from repro.obs.report import load_report
+
+        assert load_report(report)["git_sha"]
 
 
 class TestTraceTools:
