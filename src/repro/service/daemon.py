@@ -34,6 +34,7 @@ import asyncio
 import base64
 import binascii
 import os
+import struct
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -102,7 +103,13 @@ def decode_binary(encoded: str) -> MultiVersionBinary:
         raw = base64.b64decode(encoded.encode("ascii"), validate=True)
     except (AttributeError, binascii.Error, UnicodeEncodeError):
         raise ValueError("binary is not valid base64") from None
-    return MultiVersionBinary.from_bytes(raw)
+    try:
+        return MultiVersionBinary.from_bytes(raw)
+    except (struct.error, IndexError, KeyError) as exc:
+        # A truncated or garbled container raises low-level decode
+        # errors; normalize them so the daemon answers bad-request
+        # instead of internal.
+        raise ValueError(f"binary is malformed: {type(exc).__name__}") from exc
 
 
 class TuningDaemon:
@@ -123,6 +130,14 @@ class TuningDaemon:
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.config.jobs),
             thread_name_prefix="orion-tune",
+        )
+        # Store calls fsync and contend for a cross-process file lock, so
+        # they never run on the event-loop thread.  They get their own
+        # single worker (the store serializes internally anyway) rather
+        # than the tune pool, where a warm hit could queue behind a
+        # multi-second cold tune.
+        self._store_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="orion-store"
         )
         #: tuning key → in-flight tune future (single-flight dedup)
         self._inflight: dict[str, asyncio.Future] = {}
@@ -149,6 +164,7 @@ class TuningDaemon:
         async with self._server:
             await self._stop.wait()
         self._pool.shutdown(wait=True)
+        self._store_pool.shutdown(wait=True)
         self.engine.telemetry.flush()
 
     def stop(self) -> None:
@@ -229,12 +245,12 @@ class TuningDaemon:
         if type_ == "ping":
             return protocol.ok(version=protocol.PROTOCOL_VERSION), "ok"
         if type_ == "stats":
-            return self._stats_response(), "ok"
+            return await self._stats_response(), "ok"
         if type_ == "shutdown":
             self.stop()
             return protocol.ok(stopping=True), "ok"
         if type_ == "query":
-            return self._query(payload)
+            return await self._query(payload)
         if type_ == "invalidate":
             key = payload.get("key")
             if not isinstance(key, str):
@@ -244,11 +260,16 @@ class TuningDaemon:
                     ),
                     "bad-request",
                 )
-            removed = self.store.invalidate(key)
+            removed = await self._store_call(self.store.invalidate, key)
             return protocol.ok(removed=removed), "ok"
         return await self._tune(payload)
 
-    def _query(self, payload: dict) -> tuple[dict, str]:
+    async def _store_call(self, fn, *args):
+        """Run one blocking store operation off the event-loop thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._store_pool, fn, *args)
+
+    async def _query(self, payload: dict) -> tuple[dict, str]:
         key = payload.get("key")
         if not isinstance(key, str):
             return (
@@ -257,7 +278,7 @@ class TuningDaemon:
                 ),
                 "bad-request",
             )
-        record = self.store.peek(key)
+        record = await self._store_call(self.store.peek, key)
         if record is None:
             return protocol.ok(found=False, key=key), "miss"
         return protocol.ok(found=True, record=record.to_payload()), "hit"
@@ -281,7 +302,7 @@ class TuningDaemon:
             self.engine.backend.name,
             self.engine.cache_config.value,
         )
-        record = self.store.get(key)
+        record = await self._store_call(self.store.get, key)
         if record is not None:
             return (
                 protocol.ok(
@@ -368,14 +389,19 @@ class TuningDaemon:
             self.engine.arch.name,
             self.engine.backend.name,
         )
-        self.store.put(record)
+        # When this store is attached to the engine, engine.run already
+        # published the converged winner under this same key; writing it
+        # again would double the log growth.  Only write what the engine
+        # skipped (detached store, or a session that never converged).
+        if self.store.peek(key) is None:
+            self.store.put(record)
         return record
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def _stats_response(self) -> dict:
-        stats = self.store.stats()
+    async def _stats_response(self) -> dict:
+        stats = await self._store_call(self.store.stats)
         return protocol.ok(
             store=stats.to_payload(),
             daemon={

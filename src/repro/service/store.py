@@ -19,7 +19,10 @@ An append-only JSONL operation log replayed into a key → record map:
   ``(last_used, key)`` is evicted with an explicit ``del`` op;
 * **self-compacting** — when the log grows past a multiple of the live
   entry count, it is atomically rewritten (temp file + ``os.replace``)
-  to one ``put`` per live record, preserving LRU order.
+  to one ``put`` per live record, preserving LRU order; every rewrite
+  stamps a fresh header *generation id*, so other instances detect the
+  rewrite even when the new file is larger than their replay offset and
+  replay from byte 0 instead of trusting a stale offset.
 
 Store traffic charges ``orion_store_*`` metrics in the process-wide
 registry, so warm-start hit rates show up in ``repro metrics`` next to
@@ -32,6 +35,7 @@ import json
 import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -49,6 +53,10 @@ SCHEMA_VERSION = 1
 #: keeps tiny stores from compacting on every other write)
 _COMPACT_RATIO = 4
 _COMPACT_FLOOR = 64
+
+#: sentinel for a header whose generation cannot be read; compares
+#: unequal to every real generation, forcing a full replay
+_UNREADABLE = object()
 
 
 class StoreError(Exception):
@@ -214,6 +222,10 @@ class TuningStore:
         self._seq = 0
         self._offset = 0  # bytes of the log already replayed
         self._log_ops = 0
+        #: generation id of the header this instance last replayed; a
+        #: compaction (any process) stamps a fresh one, so a mismatch
+        #: means the bytes behind ``_offset`` are not what we replayed
+        self._generation: str | None = None
         self._thread_lock = threading.RLock()
         lock_path = self.path.with_name(self.path.name + ".lock")
         self._file_lock = (
@@ -248,18 +260,32 @@ class TuningStore:
             self._write_header()
             return
         size = self.path.stat().st_size
-        if size < self._offset:
-            # Another process compacted (or rewrote) the log: replay all.
-            self._entries.clear()
-            self._seq = 0
-            self._offset = 0
-            self._log_ops = 0
+        if size == 0:
+            # Truncated to nothing (e.g. crash mid-rewrite): start over.
+            self._reset_replay_state()
+            self._write_header()
+            return
+        if size < self._offset or self._disk_generation() != self._generation:
+            # Another process compacted (or rewrote) the log.  Size alone
+            # cannot detect this — a compaction can *grow* the file past
+            # our stale offset — so the header generation is the proof.
+            # Either way the bytes behind ``_offset`` are not the ones we
+            # replayed: start from byte 0.
+            self._reset_replay_state()
         if size == self._offset:
             return
         with self.path.open("rb") as handle:
             handle.seek(self._offset)
             tail = handle.read()
         good = self._replay(tail, header_expected=self._offset == 0)
+        if good == 0 and self._offset > 0 and tail:
+            # A non-empty tail that replays to nothing means our offset
+            # points mid-line into a rewritten file.  Never truncate the
+            # live log from a stale offset — replay from scratch.
+            self._reset_replay_state()
+            with self.path.open("rb") as handle:
+                tail = handle.read()
+            good = self._replay(tail, header_expected=True)
         if good < len(tail):
             # Torn or corrupt tail: truncate back to the last whole op.
             with self.path.open("r+b") as handle:
@@ -268,6 +294,34 @@ class TuningStore:
                 os.fsync(handle.fileno())
             self._truncations += 1
         self._offset += good
+
+    def _reset_replay_state(self) -> None:
+        self._entries.clear()
+        self._seq = 0
+        self._offset = 0
+        self._log_ops = 0
+
+    def _disk_generation(self):
+        """The generation id in the on-disk header.
+
+        Returns :data:`_UNREADABLE` (never equal to a real generation)
+        when the header line is torn or not parseable, forcing the
+        caller down the full-replay path where quarantine lives.
+        """
+        try:
+            with self.path.open("rb") as handle:
+                line = handle.readline()
+        except OSError:
+            return _UNREADABLE
+        if not line.endswith(b"\n"):
+            return _UNREADABLE
+        try:
+            header = json.loads(line)
+        except ValueError:
+            return _UNREADABLE
+        if not isinstance(header, dict):
+            return _UNREADABLE
+        return header.get("generation")
 
     def _replay(self, data: bytes, header_expected: bool) -> int:
         """Apply whole ops from ``data``; return bytes consumed."""
@@ -302,14 +356,12 @@ class TuningStore:
             raise ValueError(
                 f"unsupported store version {op.get('version')!r}"
             )
+        self._generation = op.get("generation")
 
     def _quarantine(self, reason: Exception) -> None:
         backup = self.path.with_name(self.path.name + ".corrupt")
         os.replace(self.path, backup)
-        self._entries.clear()
-        self._seq = 0
-        self._offset = 0
-        self._log_ops = 0
+        self._reset_replay_state()
         self._truncations += 1
         self._write_header()
         _metrics().counter(
@@ -339,17 +391,27 @@ class TuningStore:
     # ------------------------------------------------------------------
     def _write_header(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = (
-            json.dumps(
-                {"schema": SCHEMA, "version": SCHEMA_VERSION}, sort_keys=True
-            )
-            + "\n"
-        )
+        line = self._header_line()
         with self.path.open("w", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
         self._offset = len(line.encode("utf-8"))
+
+    def _header_line(self) -> str:
+        """A fresh header line; stamps a new generation on this instance."""
+        self._generation = uuid.uuid4().hex
+        return (
+            json.dumps(
+                {
+                    "schema": SCHEMA,
+                    "version": SCHEMA_VERSION,
+                    "generation": self._generation,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
 
     def _append(self, op: dict) -> None:
         line = json.dumps(op, sort_keys=True) + "\n"
@@ -496,11 +558,7 @@ class TuningStore:
         ordered = sorted(
             self._entries.items(), key=lambda kv: (kv[1].last_used, kv[0])
         )
-        lines = [
-            json.dumps(
-                {"schema": SCHEMA, "version": SCHEMA_VERSION}, sort_keys=True
-            )
-        ]
+        lines = [self._header_line().rstrip("\n")]
         self._seq = 0
         for key, entry in ordered:
             seq = self._next_seq()

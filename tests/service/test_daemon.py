@@ -133,6 +133,17 @@ class TestWarmStartViaDaemon:
             # The warm path never touched a measurement backend.
             assert _backend_invocations() == before
 
+    def test_cold_tune_writes_the_record_once(
+        self, tmp_path, binary, workload
+    ):
+        """The engine publishes the winner; the daemon must not append
+        an identical second put for the same key."""
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            assert harness.client().tune(binary, workload)["source"] == "tuned"
+        assert store.stats().puts == 1
+        assert len(store) == 1
+
     def test_warm_hit_survives_daemon_restart(
         self, tmp_path, binary, workload
     ):
@@ -183,6 +194,14 @@ class TestDaemonRobustness:
                     protocol.request(
                         "tune", binary="!!!not-base64!!!", workload={}
                     ),
+                )
+                assert protocol.recv_frame(sock)["code"] == protocol.CODE_BAD_REQUEST
+            # Valid base64 of a truncated container (right magic, torn
+            # body) is still the client's fault, not an internal error.
+            torn = __import__("base64").b64encode(b"ORMV\x10").decode()
+            with socket.create_connection(("127.0.0.1", harness.port)) as sock:
+                protocol.send_frame(
+                    sock, protocol.request("tune", binary=torn, workload={})
                 )
                 assert protocol.recv_frame(sock)["code"] == protocol.CODE_BAD_REQUEST
             # After all that abuse the daemon still serves real work.

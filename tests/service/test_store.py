@@ -68,7 +68,23 @@ class TestRoundTrip:
     def test_header_is_first_line(self, store_path):
         TuningStore(store_path).put(record("a"))
         header = json.loads(store_path.read_text().splitlines()[0])
-        assert header == {"schema": SCHEMA, "version": SCHEMA_VERSION}
+        assert header["schema"] == SCHEMA
+        assert header["version"] == SCHEMA_VERSION
+        assert header["generation"]
+
+    def test_pre_generation_store_still_opens(self, store_path):
+        """A v1 log written before generation ids replays normally."""
+        store = TuningStore(store_path)
+        store.put(record("a"))
+        lines = store_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["generation"]
+        lines[0] = json.dumps(header, sort_keys=True)
+        store_path.write_text("\n".join(lines) + "\n")
+        reopened = TuningStore(store_path)
+        assert reopened.get("a") is not None
+        reopened.put(record("b"))
+        assert reopened.keys() == ["a", "b"]
 
 
 class TestLru:

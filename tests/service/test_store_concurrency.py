@@ -7,6 +7,7 @@ separate instances over one file (file lock + tail replay), or live in
 separate processes entirely.
 """
 
+import json
 import multiprocessing
 import threading
 
@@ -66,6 +67,66 @@ def test_interleaved_instances_keep_lru_consistent(tmp_path):
     a.get("x")  # refresh through instance a
     b.put(record("z"))  # instance b must evict y, not x
     assert a.keys() == b.keys() == ["x", "z"]
+
+
+def test_compaction_that_grows_the_log_is_detected(tmp_path):
+    """Regression: a compaction by another instance must never be
+    mistaken for appended tail.
+
+    Instance a syncs while the log is tiny; instance b then appends many
+    records and compacts, leaving a file *larger* than a's stale offset.
+    A size check alone would have a replay garbage from mid-line and
+    truncate the live log back to its stale offset — destroying every
+    committed record past it.  The header generation id catches this.
+    """
+    path = tmp_path / "s.jsonl"
+    a = TuningStore(path, max_entries=1024)
+    a.put(record("from-a"))
+    # The touch op is dropped by compaction, so a's replay offset —
+    # header + put + touch — cannot line up with any boundary in the
+    # compacted layout: it points mid-line, the worst case.
+    assert a.get("from-a") is not None
+    b = TuningStore(path, max_entries=1024)
+    for i in range(200):
+        b.put(record(f"from-b-{i}", cycles=i))
+    b.gc()
+    assert b.stats().compactions >= 1
+    assert path.stat().st_size > 1000  # compacted log dwarfs a's offset
+    # a must replay from scratch and see every committed record.
+    assert a.get("from-a") is not None
+    for i in range(200):
+        assert a.get(f"from-b-{i}") is not None
+    assert len(a) == 201
+    # Nothing was truncated away on disk either.
+    assert len(TuningStore(path)) == 201
+
+
+def test_rewrite_keeping_the_header_falls_back_to_full_replay(tmp_path):
+    """Even with an unchanged header generation (out-of-band rewrite),
+    a tail that replays to zero bytes at a non-zero offset must trigger
+    a full replay, never a truncation of the live log."""
+    path = tmp_path / "s.jsonl"
+    a = TuningStore(path)
+    a.put(record("x"))
+    header = path.read_text().splitlines()[0]
+    lines = [header]
+    for i in range(50):
+        lines.append(
+            json.dumps(
+                {
+                    "op": "put",
+                    "seq": i + 1,
+                    "key": f"key-{i:04d}",
+                    "record": record(f"key-{i:04d}").to_payload(),
+                },
+                sort_keys=True,
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    assert a.get("key-0049") is not None
+    assert a.get("x") is None  # the rewrite dropped it; a agrees
+    assert len(a) == 50
+    assert len(TuningStore(path)) == 50
 
 
 def _process_writer(path: str, worker: int, count: int) -> None:
