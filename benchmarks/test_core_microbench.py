@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro import accel
 from repro.arch import GTX680
 from repro.bench.kernels import BENCHMARKS
 from repro.ir.cfg import CFG
@@ -108,3 +109,58 @@ def test_bench_sm_simulation(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.cycles > 0
+
+
+# ----------------------------------------------------------------------
+# The three accelerated seams (ISSUE 6).  One microbench per seam so a
+# future regression localizes to simulator wave, matcher solve, or
+# engine dispatch instead of the whole suite.
+# ----------------------------------------------------------------------
+def test_bench_sm_wave_accelerated(benchmark, monkeypatch):
+    """Simulator wave through the flat-array fast path."""
+    if accel.numpy_or_none() is None:
+        pytest.skip("numpy not installed")
+    monkeypatch.setenv("ORION_ACCEL", "numpy")
+    module = BENCHMARKS["srad"].build()
+    launch = LaunchConfig(grid_blocks=8, block_size=256)
+    traces = generate_warp_traces(
+        module, "kernel", launch, 16, max_events_per_warp=800
+    )
+    sim = SMSimulator(GTX680)
+
+    def run():
+        return sim.run(list(traces), warps_per_block=8)
+
+    accelerated = benchmark.pedantic(run, rounds=3, iterations=1)
+    monkeypatch.setenv("ORION_ACCEL", "off")
+    assert sim.run(list(traces), warps_per_block=8).cycles == accelerated.cycles
+
+
+def test_bench_matcher_solve_lapjv_40x40(benchmark, monkeypatch):
+    """Matcher solve through the LAPJV fast path."""
+    if accel.scipy_optimize_or_none() is None:
+        pytest.skip("scipy not installed")
+    monkeypatch.setenv("ORION_ACCEL", "numpy")
+    rng = random.Random(7)
+    cost = [[float(rng.randint(0, 1000)) for _ in range(40)] for _ in range(40)]
+    assign = benchmark(min_cost_assignment, cost)
+    assert len(set(assign)) == 40
+
+
+def test_bench_engine_batch_dispatch(benchmark):
+    """Pooled measurement dispatch overhead (single-flight + batching)."""
+    from repro.runtime.engine import MeasurementPool
+    from repro.sim.backend import MeasurementResult
+
+    class _NullBackend:
+        name = "null"
+
+        def measure(self, request):
+            return MeasurementResult(backend=self.name, cycles=1)
+
+    def run():
+        pool = MeasurementPool(_NullBackend(), batch=8)
+        return [pool.measure(f"key-{i}", i) for i in range(200)]
+
+    results = benchmark(run)
+    assert len(results) == 200

@@ -321,7 +321,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     print(format_telemetry_summary(engine.telemetry, engine.cache.stats))
-    if args.report:
+    payload = None
+    if args.report or args.baseline:
         from repro.obs.report import build_bench_report, write_report
         from repro.perf.cache import default_cache
 
@@ -333,6 +334,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             compile_stats=default_cache().stats,
             telemetry=engine.telemetry,
         )
+    if args.report:
         if payload["git_sha"] is None:
             print(
                 "warning: not inside a git checkout (or git is "
@@ -345,6 +347,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"telemetry trace -> {args.trace}")
     if args.metrics:
         _print_live_metrics()
+    if args.baseline:
+        from repro.obs.report import compare_reports, load_report
+
+        problems = compare_reports(load_report(args.baseline), payload)
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression against baseline {args.baseline}")
     return 0
 
 
@@ -647,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         metavar="FILE",
         help="write the versioned machine-readable bench report to FILE",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="compare this run against a committed bench report "
+        "(exit 1 on changed kernel results or >25%% per-phase slowdown)",
     )
     _add_arch(p)
     _add_engine_options(p)

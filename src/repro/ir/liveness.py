@@ -57,24 +57,58 @@ class _RegNumbering:
     derived from it) is stable across runs and hash seeds.
     """
 
-    __slots__ = ("index", "regs", "widths")
+    __slots__ = ("index", "regs", "widths", "inst_masks")
 
     def __init__(self, fn: Function, labels: list[str]) -> None:
         index: dict[Reg, int] = {}
         regs: list[Reg] = []
+        # Per-instruction operand masks, recorded during the numbering
+        # walk so downstream passes (block use/def masks, interference
+        # construction) never re-decode operand lists:
+        # label -> [(def_bit, read_mask, move_src_bit, is_phi), ...]
+        # aligned with the block's instruction list.  ``def_bit`` is the
+        # written register's bit index or -1 (instructions write at most
+        # one register); ``move_src_bit`` is the register-MOV source
+        # mask, 0 otherwise.
+        inst_masks: dict[str, list[tuple[int, int, int, bool]]] = {}
         for label in labels:
+            block_masks: list[tuple[int, int, int, bool]] = []
+            inst_masks[label] = block_masks
             for inst in fn.blocks[label].instructions:
+                read_mask = 0
                 for reg in inst.regs_read():
-                    if reg not in index:
-                        index[reg] = len(regs)
+                    i = index.get(reg)
+                    if i is None:
+                        i = index[reg] = len(regs)
                         regs.append(reg)
-                for reg in inst.regs_written():
-                    if reg not in index:
-                        index[reg] = len(regs)
-                        regs.append(reg)
+                    read_mask |= 1 << i
+                def_bit = -1
+                dst = inst.dst
+                if dst is not None:
+                    i = index.get(dst)
+                    if i is None:
+                        i = index[dst] = len(regs)
+                        regs.append(dst)
+                    def_bit = i
+                move_src_bit = 0
+                if (
+                    inst.opcode is Opcode.MOV
+                    and inst.srcs
+                    and isinstance(inst.srcs[0], VirtualReg)
+                ):
+                    move_src_bit = 1 << index[inst.srcs[0]]
+                block_masks.append(
+                    (
+                        def_bit,
+                        read_mask,
+                        move_src_bit,
+                        inst.opcode is Opcode.PHI,
+                    )
+                )
         self.index = index
         self.regs = regs
         self.widths = [r.width for r in regs]
+        self.inst_masks = inst_masks
 
     def bit(self, reg: Reg) -> int:
         return 1 << self.index[reg]
@@ -116,30 +150,27 @@ def _block_masks(
     """(upward-exposed uses, defs) of one block, as bitmasks."""
     uses = 0
     defs = 0
-    bit = numbering.bit
-    for inst in fn.blocks[label].instructions:
-        if inst.opcode is Opcode.PHI:
-            # φ uses happen on the predecessor edge, not here; the def
-            # happens at the top of this block.
-            for reg in inst.regs_written():
-                defs |= bit(reg)
-            continue
-        for reg in inst.regs_read():
-            b = bit(reg)
-            if not defs & b:
-                uses |= b
-        for reg in inst.regs_written():
-            defs |= bit(reg)
+    for def_bit, read_mask, _, is_phi in numbering.inst_masks[label]:
+        # φ uses happen on the predecessor edge, not here; the def
+        # happens at the top of this block.
+        if not is_phi:
+            uses |= read_mask & ~defs
+        if def_bit >= 0:
+            defs |= 1 << def_bit
     return uses, defs
 
 
-def analyze_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
-    """Backward dataflow liveness over the function's CFG.
+def analyze_liveness_masks(
+    fn: Function, cfg: CFG
+) -> tuple[
+    _RegNumbering, dict[str, int], dict[str, int], dict[str, int], dict[str, int]
+]:
+    """Mask-domain liveness: ``(numbering, live_in, live_out, uses, defs)``.
 
-    φ semantics: a φ's operands are live-out of the corresponding
-    predecessor; its destination is defined at the block top.
+    The fixpoint itself, without materialising ``set[Reg]`` results or
+    scanning instruction points — interference construction consumes
+    the bitmasks directly (same numbering, same dataflow).
     """
-    cfg = cfg or CFG(fn)
     labels = cfg.rpo
     numbering = _RegNumbering(fn, labels)
     bit = numbering.bit
@@ -198,6 +229,17 @@ def analyze_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
                         in_pending.add(pred)
                         pending.append(pred)
 
+    return numbering, live_in, live_out, uses, defs
+
+
+def analyze_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
+    """Backward dataflow liveness over the function's CFG.
+
+    φ semantics: a φ's operands are live-out of the corresponding
+    predecessor; its destination is defined at the block top.
+    """
+    cfg = cfg or CFG(fn)
+    numbering, live_in, live_out, uses, defs = analyze_liveness_masks(fn, cfg)
     info = LivenessInfo(
         live_in={l: numbering.materialize(m) for l, m in live_in.items()},
         live_out={l: numbering.materialize(m) for l, m in live_out.items()},

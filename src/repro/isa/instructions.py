@@ -178,6 +178,13 @@ class Instruction:
     special: SpecialReg | None = None
     phi_args: list[tuple[str, Operand]] = field(default_factory=list)
 
+    # Simulator-side caches (class attributes, NOT dataclass fields:
+    # they must stay out of __init__/__eq__/__repr__).  Both depend
+    # purely on ``opcode`` — never on operands — so they cannot go
+    # stale under operand mutation by the allocator.
+    _exec_plan = None  # repro.sim.interp dispatch plan
+    _trace_event = None  # repro.sim.trace (TraceEvent, flat code) pair
+
     # ------------------------------------------------------------------
     # Structural queries
     # ------------------------------------------------------------------

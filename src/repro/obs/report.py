@@ -79,6 +79,13 @@ def build_bench_report(
         from repro.obs.metrics import get_registry
 
         metrics_snapshot = get_registry().snapshot()
+    from repro import accel
+    from repro.perf.timers import TIMERS
+
+    timings = {
+        name: {"calls": stats.calls, "seconds": stats.seconds}
+        for name, stats in sorted(TIMERS.snapshot().items())
+    }
     kernels = []
     for name, report in rows:
         final = report.final_version
@@ -105,6 +112,10 @@ def build_bench_report(
         "kernels": kernels,
         "cache": {"measurement": _cache_payload(measurement_stats)},
         "metrics": metrics_snapshot,
+        # Which accelerators were live and where the wall-clock went —
+        # the two facts a perf-trajectory comparison needs.
+        "accel": accel.accel_info(),
+        "timings": timings,
     }
     if compile_stats is not None:
         payload["cache"]["compile"] = _cache_payload(compile_stats)
@@ -173,6 +184,69 @@ def validate_bench_report(report: dict) -> list[str]:
                 "orion_cache_lookups_total is absent"
             )
     return errors
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    threshold: float = 0.25,
+    min_seconds: float = 0.05,
+    slack_seconds: float = 0.5,
+) -> list[str]:
+    """Regression-check ``current`` against a committed ``baseline``.
+
+    Returns problem descriptions (empty = no regression).  Two gates:
+
+    * **determinism** — a kernel present in both reports must report
+      exactly the same ``total_cycles`` and ``final_version``; simulated
+      results are machine-independent, so any drift is a real behaviour
+      change, not noise.
+    * **per-phase slowdown** — a timed phase more than ``threshold``
+      slower than the baseline predicts.  Wall-clock comparisons across
+      machines need normalization: each phase's expectation is scaled
+      by the overall speed ratio (total comparable seconds, current /
+      baseline), so a uniformly slower CI box shifts every expectation
+      while a phase regressing relative to its peers sticks out.
+      Phases under ``min_seconds`` in the baseline are ignored, and a
+      phase must exceed its expectation by both ``threshold`` *and*
+      ``slack_seconds`` — scheduler jitter on a short phase is noise,
+      not a regression.
+    """
+    problems: list[str] = []
+    base_kernels = {k.get("name"): k for k in baseline.get("kernels", [])}
+    for kernel in current.get("kernels", []):
+        base = base_kernels.get(kernel.get("name"))
+        if base is None:
+            continue
+        for field in ("total_cycles", "final_version"):
+            if kernel.get(field) != base.get(field):
+                problems.append(
+                    f"kernel {kernel['name']}: {field} changed "
+                    f"{base.get(field)!r} -> {kernel.get(field)!r}"
+                )
+    base_timings = baseline.get("timings") or {}
+    cur_timings = current.get("timings") or {}
+    comparable = []
+    for name, base_stat in sorted(base_timings.items()):
+        cur_stat = cur_timings.get(name)
+        if cur_stat is None or base_stat["seconds"] < min_seconds:
+            continue
+        comparable.append((name, base_stat["seconds"], cur_stat["seconds"]))
+    if comparable:
+        base_total = sum(b for _, b, _ in comparable)
+        cur_total = sum(c for _, _, c in comparable)
+        scale = cur_total / base_total
+        for name, base_seconds, cur_seconds in comparable:
+            expected = base_seconds * scale
+            if (
+                cur_seconds > expected * (1.0 + threshold)
+                and cur_seconds - expected > slack_seconds
+            ):
+                problems.append(
+                    f"phase {name}: {cur_seconds:.3f}s vs {expected:.3f}s "
+                    f"expected from baseline (>{threshold:.0%} slowdown)"
+                )
+    return problems
 
 
 def write_report(report: dict, path: str | Path) -> Path:

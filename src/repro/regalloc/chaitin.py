@@ -22,6 +22,7 @@ blockers, and are never spilled.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.ir.interference import InterferenceGraph
@@ -73,83 +74,182 @@ def color_graph(
         if align_wide and not is_aligned(base, var.width):
             raise ValueError(f"precoloured {var} at {base} is misaligned")
 
-    candidates = [v for v in graph.nodes if v not in precolored]
-    stack = _stack_order(graph, num_colors, candidates, set(precolored))
+    # Dense-index domain: graph nodes are numbered once and the
+    # colouring lives in a flat array, so the hot probe loop walks
+    # ``list[int]`` neighbour ids instead of hashing Reg objects into a
+    # dict per lookup.  Same slots assigned as the Reg-keyed original.
+    dense = graph.dense()
+    nodes, _, nbr_ids, node_widths = dense
+    # The ordering setup (sorted candidates, initial blocked/edge counts,
+    # candidate-to-candidate neighbour lists) does not depend on the slot
+    # budget, so it is shared across the budget binary search in
+    # ``minimum_registers`` — only the budget-dependent selection reruns.
+    memo = getattr(graph, "_stack_memo", None)
+    if memo is None or memo[0] is not dense:
+        memo = (dense, {})
+        graph._stack_memo = memo
+    setup_key = frozenset(precolored)
+    setup = memo[1].get(setup_key)
+    if setup is None:
+        candidate_ids = [
+            i for i, v in enumerate(nodes) if v not in precolored
+        ]
+        setup = _stack_setup(nodes, nbr_ids, node_widths, candidate_ids)
+        memo[1][setup_key] = setup
+    stack_ids = _stack_order(setup, num_colors)
     spilled: list[Reg] = []
+    pre_slots = [
+        (i, precolored[v])
+        for i, v in enumerate(nodes)
+        if v in precolored
+    ]
+    steps = [
+        required_alignment(w) if align_wide else 1 for w in node_widths
+    ]
+    masks = [(1 << w) - 1 for w in node_widths]
 
+    slot_of = [-1] * len(nodes)
     while True:
-        coloring = dict(precolored)
-        failed: Reg | None = None
-        for var in reversed(stack):
-            slot = _lowest_free_slot(var, graph, coloring, num_colors, align_wide)
-            if slot is None:
-                failed = var
+        for i in range(len(slot_of)):
+            slot_of[i] = -1
+        for i, base in pre_slots:
+            slot_of[i] = base
+        failed_pos = -1
+        for pos in range(len(stack_ids) - 1, -1, -1):
+            i = stack_ids[pos]
+            used = 0
+            for j in nbr_ids[i]:
+                base = slot_of[j]
+                if base < 0:
+                    continue
+                width = node_widths[j]
+                if base + width > num_colors:
+                    width = num_colors - base
+                    if width <= 0:
+                        continue
+                used |= ((1 << width) - 1) << base
+            mask = masks[i]
+            slot = -1
+            for base in range(0, num_colors - node_widths[i] + 1, steps[i]):
+                if not (used >> base) & mask:
+                    slot = base
+                    break
+            if slot < 0:
+                failed_pos = pos
                 break
-            coloring[var] = slot
-        if failed is None:
+            slot_of[i] = slot
+        if failed_pos < 0:
+            coloring = dict(precolored)
+            for pos in range(len(stack_ids) - 1, -1, -1):
+                i = stack_ids[pos]
+                coloring[nodes[i]] = slot_of[i]
             return ColoringResult(coloring=coloring, spilled=spilled)
         # Fig. 4c: drop the uncolourable variable and restart colouring.
-        stack.remove(failed)
-        spilled.append(failed)
+        spilled.append(nodes[stack_ids[failed_pos]])
+        del stack_ids[failed_pos]
 
 
-def _stack_order(
-    graph: InterferenceGraph,
-    num_colors: int,
-    candidates: list[Reg],
-    always_blocking: set[Reg],
-) -> list[Reg]:
-    """Fig. 4b ordering: trivial picks first, else optimistic candidates.
+def _stack_setup(
+    nodes: list[Reg],
+    nbr_ids: list[list[int]],
+    node_widths: list[int],
+    candidate_ids: list[int],
+) -> tuple[list[int], list[int], list[int], list[int], list[list[int]]]:
+    """Budget-independent half of :func:`_stack_order`.
 
-    Degrees are maintained incrementally over dense candidate indices —
-    removing a node decrements its neighbours' blocked-width and edge
-    counts — instead of rescanning every neighbour set per pick, which
-    turns the ordering from O(n²·deg) into O(n² + E) while selecting
-    the exact same stack.
+    ``(order, widths, blocked, edges, neighbor_pos)`` — candidate ids in
+    tie-break order, their widths, initial blocked-width and edge counts
+    against the full graph (candidates plus the always-blocking
+    precoloured nodes), and candidate-to-candidate neighbour positions.
+    Cached per (graph, precoloured set) so a budget binary search pays
+    the O(E) setup once.
     """
-    order = sorted(candidates, key=_sort_key)
-    ids = {v: i for i, v in enumerate(order)}
-    widths = [v.width for v in order]
-    # blocked/edges start from the full graph (candidates plus the
-    # always-blocking precoloured nodes, which are never removed).
+    order = sorted(candidate_ids, key=lambda i: _sort_key(nodes[i]))
+    pos_of = [-1] * len(nodes)  # graph id -> candidate position
+    for p, gid in enumerate(order):
+        pos_of[gid] = p
+    widths = [node_widths[g] for g in order]
     blocked = [0] * len(order)
     edges = [0] * len(order)
-    neighbor_ids: list[list[int]] = []
-    for i, v in enumerate(order):
+    neighbor_pos: list[list[int]] = []
+    for p, g in enumerate(order):
         nbrs: list[int] = []
-        for n in graph.neighbors(v):
-            blocked[i] += n.width
-            edges[i] += 1
-            j = ids.get(n)
-            if j is not None:
-                nbrs.append(j)
-        neighbor_ids.append(nbrs)
+        b = 0
+        e = 0
+        for j in nbr_ids[g]:
+            b += node_widths[j]
+            e += 1
+            q = pos_of[j]
+            if q >= 0:
+                nbrs.append(q)
+        blocked[p] = b
+        edges[p] = e
+        neighbor_pos.append(nbrs)
+    return (order, widths, blocked, edges, neighbor_pos)
 
-    alive = [True] * len(order)
-    remaining = list(range(len(order)))
-    stack: list[Reg] = []
-    while remaining:
+
+def _stack_order(setup, num_colors: int) -> list[int]:
+    """Fig. 4b ordering: trivial picks first, else optimistic candidates.
+
+    Runs entirely over dense node ids (see ``InterferenceGraph.dense``).
+    Degrees are maintained incrementally — removing a node decrements
+    its neighbours' blocked-width and edge counts — instead of
+    rescanning every neighbour set per pick, which keeps the ordering
+    O(n² + E) while selecting the exact same stack as the original
+    Reg-domain scan.  Returns the stack as dense node ids.
+    """
+    order, widths, blocked0, edges0, neighbor_pos = setup
+    blocked = list(blocked0)
+    edges = list(edges0)
+
+    # ``blocked`` only ever decreases, so "trivially colourable" is
+    # monotone: once a node qualifies it stays qualified until removed.
+    # A lazy min-heap keyed (width, position) therefore yields exactly
+    # the node the original linear scan picked — the first node of
+    # strictly-minimal width among the trivially-colourable ones.
+    n = len(order)
+    alive = [True] * n
+    pushed = [False] * n
+    trivial: list[tuple[int, int]] = []
+    for i in range(n):
+        if widths[i] + blocked[i] <= num_colors:
+            trivial.append((widths[i], i))
+            pushed[i] = True
+    heapq.heapify(trivial)
+    stack: list[int] = []
+    left = n
+    while left:
         pick = -1
-        for i in remaining:
-            if widths[i] + blocked[i] <= num_colors:
-                if pick < 0 or widths[pick] > widths[i]:
-                    pick = i
+        while trivial:
+            _, i = trivial[0]
+            if alive[i]:
+                pick = i
+                heapq.heappop(trivial)
+                break
+            heapq.heappop(trivial)
         if pick < 0:
             # No trivially colourable node: optimistic spill candidate
             # with minimal width, then minimal edge count (Fig. 4b).
-            pick = remaining[0]
-            for i in remaining:
-                if widths[pick] > widths[i] or (
-                    widths[pick] == widths[i] and edges[pick] > edges[i]
+            for i in range(n):
+                if alive[i] and (
+                    pick < 0
+                    or widths[pick] > widths[i]
+                    or (
+                        widths[pick] == widths[i]
+                        and edges[pick] > edges[i]
+                    )
                 ):
                     pick = i
         stack.append(order[pick])
-        remaining.remove(pick)
         alive[pick] = False
-        for j in neighbor_ids[pick]:
+        left -= 1
+        for j in neighbor_pos[pick]:
             if alive[j]:
                 blocked[j] -= widths[pick]
                 edges[j] -= 1
+                if not pushed[j] and widths[j] + blocked[j] <= num_colors:
+                    heapq.heappush(trivial, (widths[j], j))
+                    pushed[j] = True
     return stack
 
 
@@ -160,16 +260,26 @@ def _lowest_free_slot(
     num_colors: int,
     align_wide: bool,
 ) -> int | None:
-    used = [False] * num_colors
+    # One int as the occupancy bitmask: building it is a few shifts per
+    # coloured neighbour, and probing a candidate base is one shift+AND
+    # instead of a per-slot list scan (this is the allocator's hottest
+    # loop; same slots returned as the original list scan).
+    used = 0
+    get = coloring.get
     for neighbor in graph.neighbors(var):
-        base = coloring.get(neighbor)
+        base = get(neighbor)
         if base is None:
             continue
-        for slot in range(base, min(base + neighbor.width, num_colors)):
-            used[slot] = True
+        width = neighbor.width
+        if base + width > num_colors:
+            width = num_colors - base
+            if width <= 0:
+                continue
+        used |= ((1 << width) - 1) << base
     step = required_alignment(var.width) if align_wide else 1
+    mask = (1 << var.width) - 1
     for base in range(0, num_colors - var.width + 1, step):
-        if not any(used[base : base + var.width]):
+        if not (used >> base) & mask:
             return base
     return None
 

@@ -45,58 +45,95 @@ def coalesce_moves(
     precolored = precolored or {}
     report = CoalesceReport()
 
-    # Union-find over variables, so chains of moves collapse.
-    parent: dict[Reg, Reg] = {}
+    pairs = move_pairs(fn)
+    if not pairs:
+        return report
 
-    def find(x: Reg) -> Reg:
+    # Dense-id domain (see ``InterferenceGraph.dense``): the merge loop
+    # runs over int ids and int sets, so no Reg-object adjacency sets
+    # are materialised or hashed.  Same merges, same report.
+    nodes, graph_ids, nbr_ids, widths = graph.dense()
+    ids = dict(graph_ids)  # extended locally for regs not in the graph
+    nodes = list(nodes)
+    widths = list(widths)
+    adjacency = [set(ns) for ns in nbr_ids]
+    # Degrees (neighbour widths, slot units) maintained incrementally
+    # across merges instead of re-summed per Briggs test.
+    deg = [sum(widths[n] for n in ns) for ns in nbr_ids]
+
+    def gid(v: Reg) -> int:
+        i = ids.get(v)
+        if i is None:
+            i = len(nodes)
+            ids[v] = i
+            nodes.append(v)
+            widths.append(v.width)
+            adjacency.append(set())
+            deg.append(0)
+        return i
+
+    pre_ids = {ids[v] for v in precolored if v in ids}
+
+    # Union-find over variables, so chains of moves collapse.
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
         while parent.get(x, x) != x:
             parent[x] = parent.get(parent[x], parent[x])
             x = parent[x]
         return x
 
-    # Work on a mutable copy of the adjacency for incremental merging.
-    adjacency = {v: set(ns) for v, ns in graph.adjacency.items()}
-
-    def degree(v: Reg) -> int:
-        return sum(n.width for n in adjacency.get(v, ()))
-
-    for dst, src in move_pairs(fn):
-        a, b = find(dst), find(src)
+    for dst, src in pairs:
+        a, b = find(gid(dst)), find(gid(src))
         if a == b:
             report.merged_pairs += 1
             continue
-        if a in precolored or b in precolored:
+        if a in pre_ids or b in pre_ids:
             continue
-        if not isinstance(a, VirtualReg) or not isinstance(b, VirtualReg):
+        if not isinstance(nodes[a], VirtualReg) or not isinstance(
+            nodes[b], VirtualReg
+        ):
             continue
-        if a.width != b.width:
+        if widths[a] != widths[b]:
             continue
-        if b in adjacency.get(a, ()):
+        if b in adjacency[a]:
             continue  # interfering: must stay separate
-        neighbors = adjacency.get(a, set()) | adjacency.get(b, set())
+        neighbors = adjacency[a] | adjacency[b]
         significant = sum(
-            n.width
+            widths[n]
             for n in neighbors
-            if degree(n) >= num_colors or n in precolored
+            if deg[n] >= num_colors or n in pre_ids
         )
-        if significant + a.width > num_colors:
+        if significant + widths[a] > num_colors:
             continue  # Briggs test failed: might no longer colour
         # Merge b into a.
         parent[b] = a
         merged = neighbors - {a, b}
         adjacency[a] = merged
+        wb = widths[b]  # == widths[a], checked above
         for n in merged:
-            adjacency.setdefault(n, set()).discard(b)
-            adjacency[n].add(a)
-        adjacency.pop(b, None)
+            nbrs = adjacency[n]
+            if b in nbrs:
+                nbrs.discard(b)
+                if a in nbrs:
+                    # n saw both halves: the merge removes one of them.
+                    deg[n] -= wb
+                else:
+                    nbrs.add(a)  # b swapped for equal-width a: no change
+            # else: n neighboured a only — untouched by the merge.
+        adjacency[b] = set()
+        deg[a] = sum(widths[n] for n in merged)
+        deg[b] = 0
         report.merged_pairs += 1
-        report.replacements[b] = a
+        report.replacements[nodes[b]] = nodes[a]
 
     if not report.replacements:
         return report
 
     # Rewrite the function and drop moves that became self-copies.
-    resolved = {var: find(var) for var in report.replacements}
+    resolved = {
+        var: nodes[find(ids[var])] for var in report.replacements
+    }
     for block in fn.ordered_blocks():
         kept = []
         for inst in block.instructions:

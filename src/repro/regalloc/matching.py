@@ -6,9 +6,21 @@ on-chip slots, solved "using the modified Kuhn–Munkres algorithm, with
 O(M³) time complexity".  This is that solver, implemented from scratch
 (the shortest-augmenting-path / potentials formulation, which is the
 standard O(n³) Hungarian variant).
+
+When the ``ORION_ACCEL`` fast path is on and scipy imports,
+:func:`min_cost_assignment` dispatches to
+``scipy.optimize.linear_sum_assignment`` (the LAPJV family: a C
+shortest-augmenting-path solver) and keeps the pure solver as the
+reference and fallback.  Both implementations are deterministic for a
+given matrix; the infeasible-assignment guard from the pure solver is
+preserved — a scipy infeasibility (or any scipy rejection of the
+matrix) re-runs the pure solver so error behaviour, down to the
+exception message, is identical.
 """
 
 from __future__ import annotations
+
+from repro import accel
 
 INFINITY = float("inf")
 
@@ -17,7 +29,8 @@ def min_cost_assignment(cost: list[list[float]]) -> list[int]:
     """Assign each row to a distinct column minimising total cost.
 
     ``cost`` must be an n×m matrix with n <= m.  Returns ``assign`` with
-    ``assign[i]`` = column matched to row ``i``.  O(n²·m).
+    ``assign[i]`` = column matched to row ``i``.  O(n²·m) pure, LAPJV
+    via scipy on the accelerated path.
     """
     n = len(cost)
     if n == 0:
@@ -27,6 +40,26 @@ def min_cost_assignment(cost: list[list[float]]) -> list[int]:
         raise ValueError("cost matrix rows have unequal lengths")
     if n > m:
         raise ValueError("need at least as many columns as rows")
+    optimize = accel.scipy_optimize_or_none()
+    if optimize is not None:
+        accel.count_selected("matcher", "lapjv")
+        try:
+            _, cols = optimize.linear_sum_assignment(cost)
+        except ValueError:
+            # scipy rejected the matrix (infeasible, or entries it will
+            # not take).  The pure solver defines the error contract:
+            # re-run it so callers see exactly the reference behaviour —
+            # the PR 3 infeasible-assignment ValueError, or a result.
+            return _min_cost_assignment_pure(cost)
+        return [int(j) for j in cols]
+    accel.count_selected("matcher", "pure")
+    return _min_cost_assignment_pure(cost)
+
+
+def _min_cost_assignment_pure(cost: list[list[float]]) -> list[int]:
+    """The reference O(n²·m) Hungarian solver (potentials formulation)."""
+    n = len(cost)
+    m = len(cost[0])
 
     # Potentials u (rows), v (columns); matching stored as way/links.
     # 1-indexed internally, following the classic formulation.

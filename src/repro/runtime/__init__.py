@@ -3,7 +3,7 @@ execution engine (pluggable backends, concurrent sessions, measurement
 cache), and structured telemetry (paper Section 3.4)."""
 
 from repro.runtime.adaptation import DynamicTuner, TrialRecord
-from repro.runtime.engine import ExecutionEngine
+from repro.runtime.engine import ExecutionEngine, MeasurementPool
 from repro.runtime.launcher import OrionRuntime
 from repro.runtime.session import (
     ExecutionReport,
@@ -35,6 +35,7 @@ __all__ = [
     "InMemorySink",
     "IterationRecord",
     "JsonlSink",
+    "MeasurementPool",
     "OrionRuntime",
     "SplitLaunch",
     "TelemetryEvent",

@@ -14,6 +14,12 @@ a time; the engine
   shared content-addressed
   :class:`~repro.perf.measure_cache.MeasurementCache` (keyed on module
   hash + launch + traits + cache config + backend);
+* funnels every cache miss through one shared :class:`MeasurementPool`
+  (``ORION_ENGINE_BATCH`` / ``batch``) that collapses concurrent
+  identical requests to a single backend invocation and dispatches
+  distinct concurrent misses in batches, so overlapping sessions —
+  ``run_many`` threads and the tuning daemon's cold-tune workers
+  alike — keep the timing backend's per-module trace cache hot;
 * narrates everything through structured telemetry
   (:mod:`repro.runtime.telemetry`): a JSONL trace via
   ``ORION_TRACE_FILE``/``--trace``, an in-memory stream for tests.
@@ -28,6 +34,7 @@ from __future__ import annotations
 import os
 import threading
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.arch.specs import CacheConfig, GpuArchitecture
@@ -63,6 +70,142 @@ def _resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+def _resolve_batch(batch: int | None) -> int:
+    """Measurement batch size: explicit arg, else ``ORION_ENGINE_BATCH``.
+
+    ``<= 1`` disables pooled dispatch (every caller invokes the backend
+    directly, the pre-pool engine behaviour).
+    """
+    if batch is None:
+        raw = os.environ.get("ORION_ENGINE_BATCH", "")
+        try:
+            batch = int(raw) if raw else 8
+        except ValueError:
+            batch = 8
+    return max(0, batch)
+
+
+class _Flight:
+    """One in-flight backend measurement awaited by >= 1 threads."""
+
+    __slots__ = ("key", "request", "event", "result", "error", "done")
+
+    def __init__(self, key: str, request: MeasurementRequest) -> None:
+        self.key = key
+        self.request = request
+        self.event = threading.Event()
+        self.result: MeasurementResult | None = None
+        self.error: BaseException | None = None
+        self.done = False
+
+
+class MeasurementPool:
+    """Batched, deduplicated dispatch of backend measurements.
+
+    One pool per engine, shared by every consumer of that engine —
+    ``run_many`` session threads and the tuning daemon's cold-tune
+    workers alike.  Two jobs:
+
+    * **single-flight** — concurrent requests for the same cache key
+      collapse to one backend invocation; late arrivals wait for the
+      first result instead of repeating the work;
+    * **batching** — distinct concurrent misses are claimed in groups
+      of up to ``batch`` and dispatched together by the claiming
+      thread, keeping same-binary candidates temporally adjacent so
+      the timing backend's per-module trace cache stays hot across
+      sessions.
+
+    Backends are pure functions of the request, so pooled results are
+    identical to direct calls; only wall-clock time and telemetry
+    interleaving change.  No dispatcher thread exists: the first
+    caller to queue a flight drives batches until its own flight
+    resolves (or another driver claims it), so an idle engine holds no
+    resources and there is nothing to shut down.
+    """
+
+    def __init__(
+        self, backend: ExecutionBackend, batch: int | None = None
+    ) -> None:
+        self.backend = backend
+        self.batch = _resolve_batch(batch)
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+        self._queue: deque[_Flight] = deque()
+
+    def measure(
+        self, key: str, request: MeasurementRequest
+    ) -> MeasurementResult:
+        """Measure ``request``, joining an identical in-flight call."""
+        if self.batch <= 1:
+            return self.backend.measure(request)
+        with self._lock:
+            flight = self._inflight.get(key)
+            joined = flight is not None
+            if not joined:
+                flight = _Flight(key, request)
+                self._inflight[key] = flight
+                self._queue.append(flight)
+        self._count("joined" if joined else "queued")
+        if not joined:
+            self._drive(flight)
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.result
+
+    def _drive(self, own: _Flight) -> None:
+        """Claim and dispatch queued flights until ``own`` resolves.
+
+        Every queued flight is popped exactly once, by exactly one
+        driver, who always resolves it — so when the queue is empty and
+        ``own`` is not done, some other driver holds it and will set
+        its event; waiting is safe.
+        """
+        while True:
+            with self._lock:
+                if own.done:
+                    return
+                batch = []
+                while self._queue and len(batch) < self.batch:
+                    batch.append(self._queue.popleft())
+            if not batch:
+                return
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Flight]) -> None:
+        self._observe_batch(len(batch))
+        for flight in batch:
+            try:
+                flight.result = self.backend.measure(flight.request)
+            except Exception as exc:  # noqa: BLE001 — deliver to waiters
+                flight.error = exc
+        with self._lock:
+            for flight in batch:
+                self._inflight.pop(flight.key, None)
+                flight.done = True
+        for flight in batch:
+            flight.event.set()
+
+    @staticmethod
+    def _count(result: str) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "orion_engine_measurements_total",
+            "Pooled backend measurement requests by outcome.",
+        ).inc(result=result)
+
+    @staticmethod
+    def _observe_batch(size: int) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().histogram(
+            "orion_engine_batch_size",
+            "Backend measurements dispatched per claimed batch.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        ).observe(size)
+
+
 class ExecutionEngine:
     """Schedules tuning sessions over a backend + measurement cache."""
 
@@ -74,6 +217,7 @@ class ExecutionEngine:
         measurement_cache: MeasurementCache | None = None,
         telemetry: TelemetryHub | None = None,
         jobs: int | None = None,
+        batch: int | None = None,
         trace_file: str | os.PathLike | None = None,
         tuning_store=None,
     ) -> None:
@@ -83,6 +227,7 @@ class ExecutionEngine:
         self.cache = measurement_cache or MeasurementCache()
         self.telemetry = telemetry or TelemetryHub()
         self.jobs = jobs
+        self.pool = MeasurementPool(self.backend, batch)
         self._lock = threading.Lock()
         trace = trace_file or os.environ.get("ORION_TRACE_FILE") or None
         if trace:
@@ -163,7 +308,8 @@ class ExecutionEngine:
             grid_blocks=launch.grid_blocks,
             block_size=launch.block_size,
         )
-        result = self.backend.measure(
+        result = self.pool.measure(
+            key,
             MeasurementRequest(
                 arch=self.arch,
                 version=version,
@@ -174,7 +320,7 @@ class ExecutionEngine:
                 max_events_per_warp=workload.max_events_per_warp,
                 global_memory=workload.global_memory,
                 forced_warps=forced_warps,
-            )
+            ),
         )
         with self._lock:
             self.cache.put(key, result.to_payload())

@@ -21,6 +21,11 @@ Load discipline, in order of application:
    answers ``code="timeout"`` while the underlying job keeps running
    (a later identical request joins it via single-flight).
 
+Below the session layer, concurrent cold tunes share the engine's
+:class:`~repro.runtime.engine.MeasurementPool`: candidate measurements
+from different tune jobs are deduplicated per cache key and dispatched
+in batches (``ORION_ENGINE_BATCH``), exactly like ``run_many``.
+
 Every request is wrapped in a ``daemon_request`` span, charged to
 ``orion_daemon_requests_total{type,outcome}`` and the
 ``orion_daemon_request_seconds`` histogram, and the live job count is

@@ -16,18 +16,91 @@ kernel genuinely run at different occupancies here.
 from __future__ import annotations
 
 import math
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import accel
 from repro.arch.occupancy import OccupancyResult, calculate_occupancy
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.ir.function import Module
-from repro.sim.interp import LaunchConfig, Value
+from repro.sim.interp import Interpreter, LaunchConfig, Value
 from repro.sim.sm import SMResult, SMSimulator
-from repro.sim.trace import MemoryTraits, generate_warp_traces
+from repro.sim.trace import (
+    MemoryTraits,
+    WarpTrace,
+    _trace_warp,
+    generate_warp_traces,
+)
 
 
 class LaunchError(RuntimeError):
     """Raised when a kernel configuration cannot run on the architecture."""
+
+
+#: Per-module warp-trace cache for the accelerated path.  Warp *w*'s
+#: trace is independent of how many warps are resident, so an occupancy
+#: sweep over the same binary only ever traces each warp once and then
+#: reuses (and incrementally extends) the cached list.  Keyed by module
+#: identity (held weakly — a dead module invalidates its entry) plus
+#: everything else trace generation depends on; bounded LRU so candidate
+#: churn during tuning cannot grow it without limit.
+_TRACE_CACHE: OrderedDict = OrderedDict()
+_TRACE_CACHE_MAX = 8
+
+
+def _cached_traces(
+    module: Module,
+    kernel_name: str,
+    launch: LaunchConfig,
+    resident: int,
+    traits: MemoryTraits | None,
+    max_events_per_warp: int,
+    line_bytes: int,
+) -> list[WarpTrace]:
+    traits = traits or MemoryTraits()
+    key = (
+        id(module),
+        kernel_name,
+        launch.grid_blocks,
+        launch.block_size,
+        tuple(sorted(launch.params.items())),
+        traits,
+        max_events_per_warp,
+        line_bytes,
+    )
+    entry = _TRACE_CACHE.get(key)
+    if entry is not None and entry[0]() is not module:
+        entry = None  # id() was recycled by a new module
+    if entry is None:
+        interp = Interpreter(
+            module, max_steps=max(10 * max_events_per_warp, 100_000)
+        )
+        entry = (weakref.ref(module), interp, [])
+        _TRACE_CACHE[key] = entry
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    _TRACE_CACHE.move_to_end(key)
+    _, interp, traces = entry
+    if len(traces) < resident:
+        kernel = module.functions[kernel_name]
+        warps_per_block = max(1, (launch.block_size + 31) // 32)
+        for w in range(len(traces), resident):
+            traces.append(
+                _trace_warp(
+                    interp,
+                    kernel,
+                    launch,
+                    w,
+                    warps_per_block,
+                    traits,
+                    max_events_per_warp,
+                    None,
+                    line_bytes,
+                    collect_flat=True,
+                )
+            )
+    return traces[:resident]
 
 
 @dataclass
@@ -85,16 +158,27 @@ def simulate_kernel(
     resident = occ.active_warps if forced_warps is None else forced_warps
     resident = max(warps_per_block, min(resident, total_warps))
 
-    traces = generate_warp_traces(
-        module,
-        kernel_name,
-        launch,
-        resident,
-        traits=traits,
-        max_events_per_warp=max_events_per_warp,
-        global_memory=global_memory,
-        line_bytes=arch.cache_line_bytes,
-    )
+    if global_memory is None and accel.accel_mode() != "off":
+        traces = _cached_traces(
+            module,
+            kernel_name,
+            launch,
+            resident,
+            traits,
+            max_events_per_warp,
+            arch.cache_line_bytes,
+        )
+    else:
+        traces = generate_warp_traces(
+            module,
+            kernel_name,
+            launch,
+            resident,
+            traits=traits,
+            max_events_per_warp=max_events_per_warp,
+            global_memory=global_memory,
+            line_bytes=arch.cache_line_bytes,
+        )
     sim = SMSimulator(arch, cache_config, traits=traits, ilp=ilp)
     result = sim.run(traces, warps_per_block)
 

@@ -59,10 +59,15 @@ class LaunchConfig:
 class _ThreadState:
     """Registers and local memory of one thread."""
 
-    __slots__ = ("regs", "local", "tid", "ctaid")
+    # Virtual and physical registers live in separate int-keyed dicts
+    # (the namespaces cannot collide), which avoids building and hashing
+    # a key tuple on every operand access in the hot loop.
+    __slots__ = ("vregs", "pregs", "ret", "local", "tid", "ctaid")
 
     def __init__(self, tid: int, ctaid: int) -> None:
-        self.regs: dict[object, Value] = {}
+        self.vregs: dict[int, Value] = {}
+        self.pregs: dict[int, Value] = {}
+        self.ret: Value = 0
         self.local: dict[int, Value] = {}
         self.tid = tid
         self.ctaid = ctaid
@@ -91,6 +96,10 @@ class Interpreter:
         #: executed instruction (address is None for non-memory ops).
         #: Used by the trace generator; may raise to stop execution.
         self.observer = None
+        #: Address already computed for the observer of the instruction
+        #: currently executing; consumed by ``_memory_op`` so memory ops
+        #: do not resolve their effective address twice while tracing.
+        self._pending_addr: int | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -151,54 +160,74 @@ class Interpreter:
     ) -> Iterator[object]:
         """Generator executing ``fn``; yields at barriers, returns value."""
         for i, value in enumerate(args):
-            state.regs[("v", i)] = value
+            state.vregs[i] = value
 
         label = fn.entry.label
         steps = 0
         index = 0
         block = fn.blocks[label]
+        instructions = block.instructions
         return_value: Value = 0
+        max_steps = self.max_steps
+        # The observer is fixed for the lifetime of one run (set before
+        # the generator starts, cleared only after it finishes), so it
+        # can be read once instead of per executed instruction.
+        observer = self.observer
         while True:
-            if index >= len(block.instructions):
+            if index >= len(instructions):
                 raise InterpError(f"fell off block {label} in {fn.name}")
-            inst = block.instructions[index]
+            inst = instructions[index]
             steps += 1
-            if steps > self.max_steps:
+            if steps > max_steps:
                 raise InterpError(
                     f"{fn.name} exceeded {self.max_steps} steps (infinite loop?)"
                 )
-            op = inst.opcode
-            if self.observer is not None:
-                address = (
-                    self._effective_address(inst, state, launch)
-                    if inst.is_memory
-                    else None
-                )
-                self.observer(inst, state, address)
+            # Per-instruction execution plan (kind code, handler, memory
+            # flag), cached on the instruction object: instructions are
+            # shared across all warps/threads of a module, so the opcode
+            # ladder and dispatch-dict probe run once per instruction
+            # instead of once per executed step.
+            plan = inst._exec_plan
+            if plan is None:
+                plan = inst._exec_plan = _build_plan(inst)
+            kind = plan[0]
+            if observer is not None:
+                if plan[2]:  # memory op: observer sees the address
+                    address = self._effective_address(inst, state, launch)
+                    observer(inst, state, address)
+                    self._pending_addr = address
+                else:
+                    observer(inst, state, None)
 
-            if op is Opcode.BRA:
+            if kind == _K_SIMPLE:
+                plan[1](self, inst, state, launch, memory, shared)
+                index += 1
+                continue
+            if kind == _K_BRA:
                 label = inst.targets[0]
                 block = fn.blocks[label]
+                instructions = block.instructions
                 index = 0
                 continue
-            if op is Opcode.CBR:
+            if kind == _K_CBR:
                 cond = self._read(inst.srcs[0], state, launch)
                 label = inst.targets[0] if cond else inst.targets[1]
                 block = fn.blocks[label]
+                instructions = block.instructions
                 index = 0
                 continue
-            if op is Opcode.EXIT:
+            if kind == _K_EXIT:
                 return
-            if op is Opcode.RET:
+            if kind == _K_RET:
                 if inst.srcs:
                     return_value = self._read(inst.srcs[0], state, launch)
-                    state.regs[("ret",)] = return_value
+                    state.ret = return_value
                 return
-            if op is Opcode.BAR:
+            if kind == _K_BAR:
                 yield _BARRIER
                 index += 1
                 continue
-            if op is Opcode.CALL:
+            if kind == _K_CALL:
                 callee = self.module.functions[inst.callee]
                 if inst.srcs or inst.dst is not None:
                     # value ABI: fresh environment for the callee.
@@ -211,9 +240,7 @@ class Interpreter:
                         callee, sub, launch, memory, shared, arg_values
                     )
                     if inst.dst is not None:
-                        self._write(
-                            inst.dst, sub.regs.get(("ret",), 0), state
-                        )
+                        self._write(inst.dst, sub.ret, state)
                 else:
                     # frame ABI: same flat register file.
                     yield from self._run_function(
@@ -221,11 +248,7 @@ class Interpreter:
                     )
                 index += 1
                 continue
-            if op is Opcode.PHI:
-                raise InterpError("cannot interpret SSA form; destruct first")
-
-            self._execute_simple(inst, state, launch, memory, shared)
-            index += 1
+            raise InterpError("cannot interpret SSA form; destruct first")
 
     # ------------------------------------------------------------------
     def _execute_simple(
@@ -250,7 +273,11 @@ class Interpreter:
         memory: dict[int, Value],
         shared: dict[int, Value],
     ) -> None:
-        address = self._effective_address(inst, state, launch)
+        address = self._pending_addr
+        if address is None:
+            address = self._effective_address(inst, state, launch)
+        else:
+            self._pending_addr = None
         space = inst.space
         if space is MemSpace.PARAM:
             if inst.opcode is Opcode.ST:
@@ -287,21 +314,23 @@ class Interpreter:
     def _read(
         self, op: Operand, state: _ThreadState, launch: LaunchConfig
     ) -> Value:
+        # PhysReg first: the timing pipeline traces post-allocation
+        # binaries, where almost every operand is physical.
+        if isinstance(op, PhysReg):
+            return state.pregs.get(op.index, 0)
         if isinstance(op, Imm):
             return op.value
         if isinstance(op, VirtualReg):
-            return state.regs.get(("v", op.index), 0)
-        if isinstance(op, PhysReg):
-            return state.regs.get(("r", op.index), 0)
+            return state.vregs.get(op.index, 0)
         if isinstance(op, SpecialReg):
             return self._special(op, state, launch)
         raise InterpError(f"cannot read operand {op!r}")
 
     def _write(self, dst: object, value: Value, state: _ThreadState) -> None:
         if isinstance(dst, VirtualReg):
-            state.regs[("v", dst.index)] = value
+            state.vregs[dst.index] = value
         elif isinstance(dst, PhysReg):
-            state.regs[("r", dst.index)] = value
+            state.pregs[dst.index] = value
         else:
             raise InterpError(f"cannot write operand {dst!r}")
 
@@ -329,29 +358,112 @@ class Interpreter:
 # if/elif chain the hot loop used to walk for every late-listed opcode.
 
 
+# The ALU handler factories inline the common operand paths (physical
+# register, immediate, virtual register — exact final classes, so the
+# ``type() is`` probes equal the isinstance ladder) and fall back to the
+# full ``_read``/``_write`` for special registers and error reporting.
+
+
 def _unary(fn):
     def handler(interp, inst, state, launch, memory, shared):
-        a = interp._read(inst.srcs[0], state, launch)
-        interp._write(inst.dst, fn(a), state)
+        op = inst.srcs[0]
+        t = type(op)
+        if t is PhysReg:
+            a = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            a = op.value
+        elif t is VirtualReg:
+            a = state.vregs.get(op.index, 0)
+        else:
+            a = interp._read(op, state, launch)
+        value = fn(a)
+        dst = inst.dst
+        if type(dst) is PhysReg:
+            state.pregs[dst.index] = value
+        elif type(dst) is VirtualReg:
+            state.vregs[dst.index] = value
+        else:
+            interp._write(dst, value, state)
 
     return handler
 
 
 def _binary(fn):
     def handler(interp, inst, state, launch, memory, shared):
-        a = interp._read(inst.srcs[0], state, launch)
-        b = interp._read(inst.srcs[1], state, launch)
-        interp._write(inst.dst, fn(a, b), state)
+        srcs = inst.srcs
+        op = srcs[0]
+        t = type(op)
+        if t is PhysReg:
+            a = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            a = op.value
+        elif t is VirtualReg:
+            a = state.vregs.get(op.index, 0)
+        else:
+            a = interp._read(op, state, launch)
+        op = srcs[1]
+        t = type(op)
+        if t is PhysReg:
+            b = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            b = op.value
+        elif t is VirtualReg:
+            b = state.vregs.get(op.index, 0)
+        else:
+            b = interp._read(op, state, launch)
+        value = fn(a, b)
+        dst = inst.dst
+        if type(dst) is PhysReg:
+            state.pregs[dst.index] = value
+        elif type(dst) is VirtualReg:
+            state.vregs[dst.index] = value
+        else:
+            interp._write(dst, value, state)
 
     return handler
 
 
 def _ternary(fn):
     def handler(interp, inst, state, launch, memory, shared):
-        a = interp._read(inst.srcs[0], state, launch)
-        b = interp._read(inst.srcs[1], state, launch)
-        c = interp._read(inst.srcs[2], state, launch)
-        interp._write(inst.dst, fn(a, b, c), state)
+        srcs = inst.srcs
+        op = srcs[0]
+        t = type(op)
+        if t is PhysReg:
+            a = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            a = op.value
+        elif t is VirtualReg:
+            a = state.vregs.get(op.index, 0)
+        else:
+            a = interp._read(op, state, launch)
+        op = srcs[1]
+        t = type(op)
+        if t is PhysReg:
+            b = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            b = op.value
+        elif t is VirtualReg:
+            b = state.vregs.get(op.index, 0)
+        else:
+            b = interp._read(op, state, launch)
+        op = srcs[2]
+        t = type(op)
+        if t is PhysReg:
+            c = state.pregs.get(op.index, 0)
+        elif t is Imm:
+            c = op.value
+        elif t is VirtualReg:
+            c = state.vregs.get(op.index, 0)
+        else:
+            c = interp._read(op, state, launch)
+        value = fn(a, b, c)
+        dst = inst.dst
+        if type(dst) is PhysReg:
+            state.pregs[dst.index] = value
+        elif type(dst) is VirtualReg:
+            state.vregs[dst.index] = value
+        else:
+            interp._write(dst, value, state)
 
     return handler
 
@@ -363,10 +475,6 @@ def _op_s2r(interp, inst, state, launch, memory, shared):
 def _op_selp(interp, inst, state, launch, memory, shared):
     pick = 1 if interp._read(inst.srcs[0], state, launch) else 2
     interp._write(inst.dst, interp._read(inst.srcs[pick], state, launch), state)
-
-
-def _op_memory(interp, inst, state, launch, memory, shared):
-    interp._memory_op(inst, state, launch, memory, shared)
 
 
 def _op_set(interp, inst, state, launch, memory, shared):
@@ -385,8 +493,10 @@ _DISPATCH = {
     Opcode.SELP: _op_selp,
     Opcode.I2F: _unary(float),
     Opcode.F2I: _unary(int),
-    Opcode.LD: _op_memory,
-    Opcode.ST: _op_memory,
+    # _memory_op's signature matches the handler convention, so LD/ST
+    # dispatch straight to it with no wrapper frame.
+    Opcode.LD: Interpreter._memory_op,
+    Opcode.ST: Interpreter._memory_op,
     Opcode.ISET: _op_set,
     Opcode.FSET: _op_set,
     Opcode.NOP: _op_nop,
@@ -414,6 +524,37 @@ _DISPATCH = {
     Opcode.IMAD: _ternary(lambda a, b, c: a * b + c),
     Opcode.FFMA: _ternary(lambda a, b, c: a * b + c),
 }
+
+
+# Kind codes for the per-instruction execution plan cached on
+# ``Instruction._exec_plan``.  Control-flow opcodes keep their inline
+# handling in ``_run_function`` (they touch the loop's locals); straight
+# -line opcodes carry their `_DISPATCH` handler in the plan so the hot
+# loop calls it without any dict probe.
+_K_SIMPLE, _K_BRA, _K_CBR, _K_EXIT, _K_RET, _K_BAR, _K_CALL, _K_PHI = range(8)
+
+_KIND_BY_OPCODE = {
+    Opcode.BRA: _K_BRA,
+    Opcode.CBR: _K_CBR,
+    Opcode.EXIT: _K_EXIT,
+    Opcode.RET: _K_RET,
+    Opcode.BAR: _K_BAR,
+    Opcode.CALL: _K_CALL,
+    Opcode.PHI: _K_PHI,
+}
+
+
+def _op_unimplemented(interp, inst, state, launch, memory, shared):
+    raise InterpError(f"unimplemented opcode {inst.opcode}")
+
+
+def _build_plan(inst: Instruction) -> tuple:
+    """``(kind, handler, is_memory)`` for one instruction."""
+    kind = _KIND_BY_OPCODE.get(inst.opcode, _K_SIMPLE)
+    handler = None
+    if kind == _K_SIMPLE:
+        handler = _DISPATCH.get(inst.opcode, _op_unimplemented)
+    return (kind, handler, inst.is_memory)
 
 
 def run_kernel(

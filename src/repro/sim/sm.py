@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro import accel
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.isa.instructions import FuncUnit
 from repro.sim.memory import MemoryStats, MemorySubsystem
@@ -49,6 +50,10 @@ class SMResult:
 class _Warp:
     trace: WarpTrace
     block: int
+    #: identity index in the resident-warp list (heap key; two warps
+    #: with equal traces must still schedule independently, so pushes
+    #: use this rather than a value-equality list search)
+    index: int = 0
     pc: int = 0
     ready: float = 0.0
     at_barrier: bool = False
@@ -79,10 +84,21 @@ class SMSimulator:
     def run(self, traces: list[WarpTrace], warps_per_block: int) -> SMResult:
         if not traces:
             return SMResult(0, 0, MemoryStats(), 0, 0)
+        np = accel.numpy_or_none()
+        if np is not None:
+            from repro.sim.flat import run_flat
+
+            accel.count_selected("simulator", "flat")
+            return SMResult(*run_flat(self, traces, warps_per_block, np))
+        accel.count_selected("simulator", "pure")
+        return self._run_pure(traces, warps_per_block)
+
+    def _run_pure(self, traces: list[WarpTrace], warps_per_block: int) -> SMResult:
+        """The reference event loop (``ORION_ACCEL=off`` semantics)."""
         arch = self.arch
         memory = MemorySubsystem(arch, self.cache_config)
         warps = [
-            _Warp(trace=t, block=i // max(1, warps_per_block))
+            _Warp(trace=t, block=i // max(1, warps_per_block), index=i)
             for i, t in enumerate(traces)
         ]
         blocks: dict[int, list[_Warp]] = {}
@@ -132,7 +148,7 @@ class SMSimulator:
                             w.at_barrier = False
                             w.ready = release + 1
                             if not w.done:
-                                heapq.heappush(heap, (w.ready, warps.index(w)))
+                                heapq.heappush(heap, (w.ready, w.index))
                             else:
                                 finish = max(finish, w.ready)
                 continue
@@ -172,7 +188,7 @@ class SMSimulator:
                     for w in waiting:
                         w.at_barrier = False
                         w.ready = max(release, warp.ready) + 1
-                        heapq.heappush(heap, (w.ready, warps.index(w)))
+                        heapq.heappush(heap, (w.ready, w.index))
             else:
                 heapq.heappush(heap, (warp.ready, index))
 

@@ -75,6 +75,40 @@ class _TraceLimit(Exception):
     pass
 
 
+#: Singleton events for instruction kinds whose TraceEvent is fully
+#: determined by the opcode (everything except non-shared memory ops).
+#: TraceEvent is frozen and compared by value, so sharing instances is
+#: invisible to callers and skips a dataclass construction per event.
+_EVENT_BY_OPCODE: dict[Opcode, TraceEvent] = {}
+_SMEM_EVENT = TraceEvent(unit=FuncUnit.SMEM, space=MemSpace.SHARED)
+
+# Flat-encoding codes shared with :mod:`repro.sim.flat` (defined here
+# so the import direction stays trace -> flat acyclic).  The accelerated
+# tracing path emits these arrays alongside the event stream, saving the
+# flattening re-walk; ``repro.sim.flat._flatten_trace`` remains the
+# reference encoder for traces built any other way.
+FLAT_ALU, FLAT_MEM, FLAT_SMEM, FLAT_SFU, FLAT_CTRL, FLAT_BARRIER = range(6)
+FLAT_SP_GLOBAL, FLAT_SP_LOCAL, FLAT_SP_OTHER, FLAT_SP_SHARED = range(4)
+
+_UNIT_CODE = {
+    FuncUnit.SMEM: FLAT_SMEM,
+    FuncUnit.SFU: FLAT_SFU,
+    FuncUnit.CTRL: FLAT_CTRL,
+}
+
+
+def _opcode_event(inst: Instruction) -> TraceEvent:
+    op = inst.opcode
+    event = _EVENT_BY_OPCODE.get(op)
+    if event is None:
+        if op is Opcode.BAR:
+            event = TraceEvent(unit=FuncUnit.SYNC, barrier=True)
+        else:
+            event = TraceEvent(unit=inst.func_unit)
+        _EVENT_BY_OPCODE[op] = event
+    return event
+
+
 def warp_lines(
     address: int,
     space: MemSpace,
@@ -85,6 +119,22 @@ def warp_lines(
     """Cache lines touched by a warp given its representative address."""
     stride = traits.lane_stride(space)
     lanes = min(warp_size, max(1, traits.active_lanes))
+    # Closed forms for the common stride shapes (identical to the
+    # general dedup below, just without per-lane set churn): lane
+    # addresses form an arithmetic progression, so when the step is at
+    # most a line every line between the first and last is touched, and
+    # when the step is a whole number of lines the lines are themselves
+    # an arithmetic progression.
+    if lanes == 1 or stride == 0:
+        return (address - address % line_bytes,)
+    if 0 < stride <= line_bytes:
+        first = address - address % line_bytes
+        span = address + (lanes - 1) * stride
+        last = span - span % line_bytes
+        return tuple(range(first, last + 1, line_bytes))
+    if stride > 0 and stride % line_bytes == 0:
+        first = address - address % line_bytes
+        return tuple(first + lane * stride for lane in range(lanes))
     lines = {
         (address + lane * stride) // line_bytes * line_bytes
         for lane in range(lanes)
@@ -114,55 +164,157 @@ def generate_warp_traces(
     kernel = module.functions[kernel_name]
     warps_per_block = max(1, (launch.block_size + 31) // 32)
     interp = Interpreter(module, max_steps=max(10 * max_events_per_warp, 100_000))
+    return [
+        _trace_warp(
+            interp,
+            kernel,
+            launch,
+            w,
+            warps_per_block,
+            traits,
+            max_events_per_warp,
+            global_memory,
+            line_bytes,
+        )
+        for w in range(resident_warps)
+    ]
 
-    traces: list[WarpTrace] = []
-    for w in range(resident_warps):
-        block_index = w // warps_per_block
-        tid = (w % warps_per_block) * 32
-        if block_index >= launch.grid_blocks:
-            block_index %= max(1, launch.grid_blocks)
-        # A slice of warps follows a diverged address stream, modelling
-        # the irregular tail of graph/data-mining workloads.
-        warp_traits = traits
-        if traits.irregularity > 0 and ((w * 2654435761) % 97) / 97.0 < (
-            traits.irregularity
-        ):
-            warp_traits = MemoryTraits(
-                global_lane_stride=max(line_bytes, traits.global_lane_stride),
-                divergence=traits.divergence,
-                irregularity=traits.irregularity,
-                active_lanes=traits.active_lanes,
+
+def _trace_warp(
+    interp: Interpreter,
+    kernel,
+    launch: LaunchConfig,
+    w: int,
+    warps_per_block: int,
+    traits: MemoryTraits,
+    max_events_per_warp: int,
+    global_memory: dict[int, Value] | None,
+    line_bytes: int,
+    collect_flat: bool = False,
+) -> WarpTrace:
+    """Trace one warp; warp *w*'s trace is independent of how many other
+    warps are resident, which is what makes per-warp caching sound."""
+    block_index = w // warps_per_block
+    tid = (w % warps_per_block) * 32
+    if block_index >= launch.grid_blocks:
+        block_index %= max(1, launch.grid_blocks)
+    # A slice of warps follows a diverged address stream, modelling
+    # the irregular tail of graph/data-mining workloads.
+    warp_traits = traits
+    if traits.irregularity > 0 and ((w * 2654435761) % 97) / 97.0 < (
+        traits.irregularity
+    ):
+        warp_traits = MemoryTraits(
+            global_lane_stride=max(line_bytes, traits.global_lane_stride),
+            divergence=traits.divergence,
+            irregularity=traits.irregularity,
+            active_lanes=traits.active_lanes,
+        )
+    trace = WarpTrace()
+    events = trace.events
+
+    local_base = w * line_bytes
+
+    # When collecting for the accelerated simulator, the flat arrays
+    # (see ``repro.sim.flat._flatten_trace``) are emitted here alongside
+    # the event stream, so the simulator never re-walks the events.
+    if collect_flat:
+        f_codes: list[int] | None = []
+        f_counts: list[int] = []
+        f_spaces: list[int] = []
+        f_lines: list[int] = []
+    else:
+        f_codes = f_counts = f_spaces = f_lines = None
+
+    def observe(
+        inst: Instruction,
+        state: _ThreadState,
+        address: int | None,
+        _traits: MemoryTraits = warp_traits,
+        _events: list[TraceEvent] = events,
+        _codes: list[int] | None = f_codes,
+        _counts: list[int] | None = f_counts,
+        _spaces: list[int] | None = f_spaces,
+        _lines: list[int] | None = f_lines,
+    ) -> None:
+        # Inlined _event_for: ``address is None`` exactly when the
+        # instruction is not a memory op (the interpreter only computes
+        # addresses for memory ops), so non-memory events come from the
+        # per-opcode singleton table without touching func_unit.
+        if len(_events) >= max_events_per_warp:
+            raise _TraceLimit()
+        if address is None:
+            # Cached on the instruction (opcode-determined, so it never
+            # goes stale): skips the per-step dict probe and enum hash.
+            plan = inst._trace_event
+            if plan is None:
+                event = _opcode_event(inst)
+                code = (
+                    FLAT_BARRIER
+                    if event.barrier
+                    else _UNIT_CODE.get(event.unit, FLAT_ALU)
+                )
+                plan = inst._trace_event = (event, code)
+            _events.append(plan[0])
+            if _codes is not None:
+                _codes.append(plan[1])
+                _counts.append(0)
+                _spaces.append(FLAT_SP_OTHER)
+            return
+        space = inst.space
+        assert space is not None
+        if space is MemSpace.SHARED:
+            _events.append(_SMEM_EVENT)
+            if _codes is not None:
+                # SMEM-unit events flatten as non-memory occurrences.
+                _codes.append(FLAT_SMEM)
+                _counts.append(0)
+                _spaces.append(FLAT_SP_OTHER)
+        elif space is MemSpace.LOCAL:
+            # Hardware interleaves local memory per thread: one warp's
+            # access to slot ``s`` is one (warp-private) cache line at
+            # slot-major, warp-minor layout.
+            line = (address // 4) * 8192 + local_base
+            _events.append(
+                TraceEvent(unit=FuncUnit.MEM, space=space, lines=(line,))
             )
-        trace = WarpTrace()
-        events = trace.events
-
-        def observe(
-            inst: Instruction,
-            state: _ThreadState,
-            address: int | None,
-            _traits: MemoryTraits = warp_traits,
-            _warp: int = w,
-        ) -> None:
-            if len(events) >= max_events_per_warp:
-                raise _TraceLimit()
-            events.append(
-                _event_for(inst, address, _traits, line_bytes, _warp)
+            if _codes is not None:
+                _codes.append(FLAT_MEM)
+                _counts.append(1)
+                _spaces.append(FLAT_SP_LOCAL)
+                _lines.append(line)
+        else:
+            lines = warp_lines(
+                address, space, _traits, line_bytes=line_bytes
             )
+            _events.append(
+                TraceEvent(unit=FuncUnit.MEM, space=space, lines=lines)
+            )
+            if _codes is not None:
+                _codes.append(FLAT_MEM)
+                _counts.append(len(lines))
+                _spaces.append(
+                    FLAT_SP_GLOBAL
+                    if space in (MemSpace.GLOBAL, MemSpace.PARAM)
+                    else FLAT_SP_OTHER
+                )
+                _lines.extend(lines)
 
-        interp.observer = observe
-        state = _ThreadState(tid, block_index)
-        memory = dict(global_memory or {})
-        shared: dict[int, Value] = {}
-        gen = interp._run_function(kernel, state, launch, memory, shared, [])
-        try:
-            for _ in gen:
-                pass  # barriers already recorded by the observer
-        except _TraceLimit:
-            trace.truncated = True
-        finally:
-            interp.observer = None
-        traces.append(trace)
-    return traces
+    interp.observer = observe
+    state = _ThreadState(tid, block_index)
+    memory = dict(global_memory or {})
+    shared: dict[int, Value] = {}
+    gen = interp._run_function(kernel, state, launch, memory, shared, [])
+    try:
+        for _ in gen:
+            pass  # barriers already recorded by the observer
+    except _TraceLimit:
+        trace.truncated = True
+    finally:
+        interp.observer = None
+    if collect_flat:
+        trace._flat = (f_codes, f_counts, f_spaces, f_lines)
+    return trace
 
 
 def _event_for(

@@ -9,6 +9,7 @@ from repro.obs.report import (
     SCHEMA,
     SCHEMA_VERSION,
     build_bench_report,
+    compare_reports,
     load_report,
     validate_bench_report,
     write_report,
@@ -141,3 +142,66 @@ class TestWrite:
         b = write_report(build(), tmp_path / "b.json").read_text()
         assert a == b
         assert a.endswith("\n")
+
+
+def _timed_report(kernels=None, **phases):
+    return {
+        "kernels": kernels
+        or [
+            {
+                "name": "gaussian",
+                "total_cycles": 1000,
+                "final_version": "conservative warps=48",
+            }
+        ],
+        "timings": {
+            name: {"calls": 1, "seconds": seconds}
+            for name, seconds in phases.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _timed_report(tuning=4.0, measure=8.0)
+        assert compare_reports(report, report) == []
+
+    def test_uniform_machine_slowdown_passes(self):
+        base = _timed_report(tuning=4.0, measure=8.0)
+        # The whole box is 3x slower — normalized, nothing regressed.
+        slow = _timed_report(tuning=12.0, measure=24.0)
+        assert compare_reports(base, slow) == []
+
+    def test_single_phase_regression_flagged(self):
+        base = _timed_report(tuning=4.0, measure=8.0, realize=4.0)
+        bad = _timed_report(tuning=4.0, measure=8.0, realize=12.0)
+        problems = compare_reports(base, bad)
+        assert len(problems) == 1
+        assert "phase realize" in problems[0]
+
+    def test_cycles_drift_is_exact(self):
+        base = _timed_report()
+        drifted = _timed_report(
+            kernels=[
+                {
+                    "name": "gaussian",
+                    "total_cycles": 1001,
+                    "final_version": "conservative warps=48",
+                }
+            ]
+        )
+        problems = compare_reports(base, drifted)
+        assert any("total_cycles" in p for p in problems)
+
+    def test_small_phases_and_slack_ignore_jitter(self):
+        base = _timed_report(tuning=4.0, blink=0.01)
+        # blink is under min_seconds; tuning within the slack allowance.
+        jittery = _timed_report(tuning=4.3, blink=0.05)
+        assert compare_reports(base, jittery) == []
+
+    def test_missing_timings_still_checks_kernels(self):
+        base = {"kernels": [{"name": "k", "total_cycles": 5}]}
+        cur = {"kernels": [{"name": "k", "total_cycles": 6}]}
+        assert compare_reports(base, cur)
+        cur["kernels"][0]["total_cycles"] = 5
+        assert compare_reports(base, cur) == []

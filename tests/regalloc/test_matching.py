@@ -2,10 +2,17 @@
 
 import itertools
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
-from scipy.optimize import linear_sum_assignment
+
+# Only the scipy cross-check needs the scientific stack; the pure
+# Kuhn–Munkres tests must keep running in accelerator-free installs.
+try:
+    import numpy as np
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - exercised by the pure CI job
+    np = None
+    linear_sum_assignment = None
 
 from repro.regalloc.matching import (
     assignment_weight,
@@ -113,6 +120,7 @@ def test_matches_brute_force(cost):
     assert total == pytest.approx(best)
 
 
+@pytest.mark.skipif(np is None, reason="needs numpy + scipy")
 @given(
     n=st.integers(min_value=1, max_value=12),
     m=st.integers(min_value=0, max_value=6),

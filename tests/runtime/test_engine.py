@@ -113,9 +113,9 @@ class TestRunMany:
         """Identical sessions collapse to one backend invocation each.
 
         Sequential scheduling makes the hit count exact; concurrently
-        two sessions may race to the same key and both miss (the cache
-        is a memo, not a barrier), which only costs a duplicate backend
-        call.
+        two sessions may race to the same key and both miss the cache,
+        in which case the measurement pool's single-flight still
+        collapses them to one backend call.
         """
         engine, sink = engine_with_sink()
         engine.run_many(
