@@ -12,18 +12,24 @@ from repro.arch.occupancy import (
 )
 from repro.arch.specs import (
     GTX680,
+    GTX980,
+    GTX1080,
     TESLA_C2075,
     CacheConfig,
     GpuArchitecture,
+    all_architectures,
     known_architectures,
 )
 
 __all__ = [
     "GTX680",
+    "GTX980",
+    "GTX1080",
     "TESLA_C2075",
     "CacheConfig",
     "GpuArchitecture",
     "OccupancyResult",
+    "all_architectures",
     "calculate_occupancy",
     "ceil_to",
     "floor_to",

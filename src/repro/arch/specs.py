@@ -73,6 +73,13 @@ class GpuArchitecture:
     onchip_memory_bytes: int
     shared_memory_allocation_unit: int  # bytes
 
+    # Maxwell and later decouple shared memory from L1: when these are
+    # set the SM has a fixed dedicated shared-memory array and a fixed
+    # L1/texture cache, and :class:`CacheConfig` becomes a no-op knob
+    # (both splits report the same capacities).
+    dedicated_shared_bytes: int | None = None
+    dedicated_l1_bytes: int | None = None
+
     # Timing parameters for the simulator substrate (cycles).
     issue_width: int = 1
     alu_latency: int = 10
@@ -118,11 +125,27 @@ class GpuArchitecture:
     # ------------------------------------------------------------------
     def shared_memory_bytes(self, config: CacheConfig) -> int:
         """Shared-memory capacity (bytes per SM) under ``config``."""
+        if self.dedicated_shared_bytes is not None:
+            return self.dedicated_shared_bytes
         return _CACHE_SPLITS[config][1]
 
     def l1_cache_bytes(self, config: CacheConfig) -> int:
         """L1 capacity (bytes per SM) under ``config``."""
+        if self.dedicated_l1_bytes is not None:
+            return self.dedicated_l1_bytes
         return _CACHE_SPLITS[config][0]
+
+    def fingerprint(self) -> str:
+        """Content hash of every field (keys tuning records to the arch).
+
+        The descriptor is a frozen dataclass of plain values, so its
+        ``repr`` is a stable serialization; two archs sharing a name
+        but differing in any limit (e.g. ``with_overrides`` variants)
+        hash apart.
+        """
+        import hashlib
+
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:16]
 
     @property
     def total_cores(self) -> int:
@@ -184,6 +207,64 @@ TESLA_C2075 = GpuArchitecture(
 )
 
 
+GTX980 = GpuArchitecture(
+    name="GTX980",
+    compute_capability=(5, 2),
+    num_sms=16,
+    cores_per_sm=128,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    # Maxwell lifts the per-thread encoding cap from Kepler's 63 to 255,
+    # which changes Orion's trade-off space: kernels that *had* to spill
+    # on the GTX680 can allocate spill-free here, so the original
+    # version moves and upward tuning starts from a different anchor.
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    warp_allocation_granularity=4,
+    onchip_memory_bytes=96 * 1024,
+    shared_memory_allocation_unit=256,
+    # GM204: 96KB dedicated shared memory, 24KB L1/texture per SM — the
+    # CacheConfig split knob no longer exists on this generation.
+    dedicated_shared_bytes=96 * 1024,
+    dedicated_l1_bytes=24 * 1024,
+    # 128 cores / 32-wide warps: up to 4 warp-instructions per cycle.
+    issue_width=4,
+)
+
+GTX1080 = GpuArchitecture(
+    name="GTX1080",
+    compute_capability=(6, 1),
+    num_sms=20,
+    cores_per_sm=128,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_allocation_unit=256,
+    warp_allocation_granularity=4,
+    onchip_memory_bytes=96 * 1024,
+    shared_memory_allocation_unit=256,
+    # GP104: 96KB dedicated shared memory, 48KB unified L1/texture.
+    dedicated_shared_bytes=96 * 1024,
+    dedicated_l1_bytes=48 * 1024,
+    issue_width=4,
+    # Pascal's unified L1/texture path caches global loads again
+    # (Kepler reserved L1 for local memory), so downward tuning has a
+    # cache to protect — like the C2075, unlike the GTX680.
+    l1_caches_global=True,
+)
+
+
 def known_architectures() -> tuple[GpuArchitecture, ...]:
     """The two architectures the paper evaluates on."""
     return (GTX680, TESLA_C2075)
+
+
+def all_architectures() -> tuple[GpuArchitecture, ...]:
+    """Every shipped descriptor, paper platforms first."""
+    return (GTX680, TESLA_C2075, GTX980, GTX1080)

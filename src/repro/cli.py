@@ -42,18 +42,27 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.arch.specs import GTX680, TESLA_C2075, GpuArchitecture
+from repro.arch.specs import (
+    GTX680,
+    GTX980,
+    GTX1080,
+    TESLA_C2075,
+    GpuArchitecture,
+)
 from repro.compiler.multiversion import MultiVersionBinary
 from repro.compiler.pipeline import CompileOptions, compile_binary
 from repro.fuzz.generator import SHAPES
 from repro.harness.reporting import format_series, format_table
 from repro.isa.assembly import format_module, parse_module
 from repro.isa.encoding import decode_module, encode_module
+from repro.regalloc.strategy import MIXED_ID, STRATEGIES
 from repro.sim.backend import BACKENDS
 from repro.sim.interp import LaunchConfig, run_kernel
 
 ARCHS: dict[str, GpuArchitecture] = {
     "gtx680": GTX680,
+    "gtx980": GTX980,
+    "gtx1080": GTX1080,
     "c2075": TESLA_C2075,
 }
 
@@ -105,6 +114,17 @@ def _add_arch(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_strategy(parser: argparse.ArgumentParser, mixed: bool = True) -> None:
+    choices = sorted(STRATEGIES) + ([MIXED_ID] if mixed else [])
+    parser.add_argument(
+        "--strategy",
+        choices=choices,
+        default=None,
+        help="allocation strategy: where spilled registers live "
+             "(default: $ORION_STRATEGY or local-spill)",
+    )
+
+
 # ----------------------------------------------------------------------
 def cmd_asm(args: argparse.Namespace) -> int:
     module = parse_module(Path(args.input).read_text())
@@ -132,15 +152,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
     module = _load_module(Path(args.input))
     kernel = args.kernel or module.kernel().name
     arch = ARCHS[args.arch]
+    options = dict(
+        arch=arch,
+        block_size=args.block_size,
+        can_tune=not args.no_tune,
+        max_versions=args.max_versions,
+    )
+    if args.strategy:
+        options["strategy"] = args.strategy
     binary = compile_binary(
         module,
         kernel,
-        CompileOptions(
-            arch=arch,
-            block_size=args.block_size,
-            can_tune=not args.no_tune,
-            max_versions=args.max_versions,
-        ),
+        CompileOptions(**options),
         jobs=args.jobs,
         use_cache=not args.no_cache,
         verify=args.verify,
@@ -168,24 +191,28 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _version_table(binary: MultiVersionBinary) -> str:
+    # The strategy column appears only for mixed/non-default binaries,
+    # keeping the reference output stable.
+    show_strategy = binary.strategies() != ("local-spill",)
     rows = []
     for role, versions in (("candidate", binary.versions), ("failsafe", binary.failsafe)):
         for v in versions:
-            rows.append(
-                (
-                    role,
-                    v.label,
-                    f"{v.occupancy:.3f}",
-                    v.regs_per_thread,
-                    v.smem_per_block,
-                    v.outcome.spilled_variables,
-                    v.outcome.stack_moves,
-                )
+            row = (
+                role,
+                v.label,
+                f"{v.occupancy:.3f}",
+                v.regs_per_thread,
+                v.smem_per_block,
+                v.outcome.spilled_variables,
+                v.outcome.stack_moves,
             )
-    return format_table(
-        ["role", "label", "occupancy", "regs", "smem B", "spills", "moves"],
-        rows,
-    )
+            if show_strategy:
+                row += (v.strategy,)
+            rows.append(row)
+    headers = ["role", "label", "occupancy", "regs", "smem B", "spills", "moves"]
+    if show_strategy:
+        headers.append("strategy")
+    return format_table(headers, rows)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -228,13 +255,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             hub=hub,
             trace=args.trace,
             store=store,
+            strategy=args.strategy or "local-spill",
         )
     finally:
         if hub is not None:
             hub.close()
+    oracle = (
+        f", strategy oracle vs {report.strategy}"
+        if report.strategy != "local-spill"
+        else ""
+    )
     print(
         f"fuzzed {report.cases} case(s) (shape={report.shape}, "
-        f"seeds {args.seed}..{args.seed + args.cases - 1}): "
+        f"seeds {args.seed}..{args.seed + args.cases - 1}{oracle}): "
         f"{report.versions_checked} version(s) checked, "
         f"{len(report.failures)} failure(s)"
     )
@@ -259,11 +292,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     launch = LaunchConfig(grid_blocks=args.grid, block_size=args.block_size)
     workload = Workload(launch=launch, max_events_per_warp=args.max_events)
     engine = ExecutionEngine(arch, backend=args.backend, trace_file=args.trace)
+    strategy = args.strategy or "local-spill"
     occupancies, runtimes = [], []
     for warps in occupancy_levels(arch, args.block_size):
         try:
             version = realize_occupancy(
-                module, kernel, arch, args.block_size, warps, conservative=True
+                module, kernel, arch, args.block_size, warps,
+                conservative=True, strategy=strategy,
             )
         except RealizeError as exc:
             print(f"  warps={warps}: infeasible ({exc})")
@@ -276,7 +311,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("no feasible occupancy level")
         return 1
     best = min(runtimes)
-    print(f"sweep of {kernel!r} on {arch.name} ({engine.backend.name} backend):")
+    tag = f", {strategy}" if strategy != "local-spill" else ""
+    print(
+        f"sweep of {kernel!r} on {arch.name} "
+        f"({engine.backend.name} backend{tag}):"
+    )
     print(
         format_series(
             occupancies,
@@ -300,22 +339,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.runtime.engine import ExecutionEngine
 
+    from repro.regalloc.strategy import default_strategy_id
+
     arch = ARCHS[args.arch]
+    strategy = args.strategy or default_strategy_id()
     engine = ExecutionEngine(
         arch, backend=args.backend, jobs=args.jobs, trace_file=args.trace
     )
     try:
         rows = bench_suite(
-            arch, only=args.only, jobs=args.jobs, suite_engine=engine
+            arch, only=args.only, jobs=args.jobs, suite_engine=engine,
+            strategy=strategy,
         )
     finally:
         engine.telemetry.close()
+    tag = f", {strategy}" if strategy != "local-spill" else ""
     print(
         format_suite_report(
             rows,
             title=(
                 f"Benchmark suite on {arch.name} "
-                f"({engine.backend.name} backend, "
+                f"({engine.backend.name} backend{tag}, "
                 f"{len(rows)}/{len(BENCHMARKS)} kernels)"
             ),
         )
@@ -333,6 +377,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             engine.cache.stats,
             compile_stats=default_cache().stats,
             telemetry=engine.telemetry,
+            strategy=strategy,
         )
     if args.report:
         if payload["git_sha"] is None:
@@ -487,6 +532,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.sim.interp import LaunchConfig
 
     binary = MultiVersionBinary.from_bytes(Path(args.input).read_bytes())
+    if args.strategy and args.strategy not in binary.strategies():
+        raise ValueError(
+            f"binary {args.input} carries no {args.strategy!r} versions "
+            f"(compiled with: {', '.join(binary.strategies())}); "
+            f"recompile with repro compile --strategy {args.strategy}"
+        )
     workload = Workload(
         launch=LaunchConfig(
             grid_blocks=args.grid,
@@ -592,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timings", action="store_true",
                    help="print the phase-timer / cache-hit report")
     _add_arch(p)
+    _add_strategy(p)
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("inspect", help="describe a multi-version binary")
@@ -625,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "persistent tuning store at FILE, checking "
                         "fingerprint stability across recompiles")
     _add_arch(p)
+    _add_strategy(p, mixed=False)
     _add_observability(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -635,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", type=int, default=256)
     p.add_argument("--max-events", type=int, default=3000)
     _add_arch(p)
+    _add_strategy(p, mixed=False)
     _add_engine_options(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -666,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 on changed kernel results or >25%% per-phase slowdown)",
     )
     _add_arch(p)
+    _add_strategy(p)
     _add_engine_options(p)
     p.set_defaults(func=cmd_bench)
 
@@ -791,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw response as JSON")
     _add_arch(p)
+    _add_strategy(p, mixed=False)
     p.add_argument(
         "--backend",
         choices=sorted(BACKENDS),

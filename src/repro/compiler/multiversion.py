@@ -33,6 +33,13 @@ def version_content_hash(version: KernelVersion) -> str:
     through those, via occupancy).  The label is deliberately *not*
     hashed: a re-labelled identical version measures identically, and
     the measurement cache should treat it so.
+
+    A non-default allocation strategy *is* hashed: a spill-free kernel
+    compiles to identical bytes under every strategy, yet a soft-limit
+    version simulates with swap costs the local-spill one never pays —
+    strategies must never share measurements.  The reference
+    ``local-spill`` contributes nothing, keeping its hashes (and warm
+    measurement caches) identical to pre-strategy builds.
     """
     payload = version.binary or encode_module(version.module)
     digest = hashlib.sha256()
@@ -41,6 +48,8 @@ def version_content_hash(version: KernelVersion) -> str:
     digest.update(
         f"\x00{version.regs_per_thread}\x00{version.smem_per_block}".encode()
     )
+    if version.strategy != "local-spill":
+        digest.update(f"\x00strategy={version.strategy}".encode())
     return digest.hexdigest()
 
 
@@ -79,6 +88,12 @@ class MultiVersionBinary:
 
     def version_count(self) -> int:
         return len(self.versions) + len(self.failsafe)
+
+    def strategies(self) -> tuple[str, ...]:
+        """Distinct allocation-strategy ids across all versions, sorted."""
+        return tuple(
+            sorted({v.strategy for v in (*self.versions, *self.failsafe)})
+        )
 
     def content_hash(self) -> str:
         """SHA-256 of the serialised binary (manifest + all versions)."""
@@ -136,7 +151,7 @@ class MultiVersionBinary:
 
 
 def _version_meta(v: KernelVersion) -> dict:
-    return {
+    meta = {
         "label": v.label,
         "target_warps": v.target_warps,
         "achieved_warps": v.achieved_warps,
@@ -148,12 +163,19 @@ def _version_meta(v: KernelVersion) -> dict:
         "spilled_variables": v.outcome.spilled_variables,
         "stack_moves": v.outcome.stack_moves,
     }
+    # Only serialized when non-default: fat binaries produced under the
+    # reference strategy stay byte-identical to pre-strategy builds.
+    if v.strategy != "local-spill":
+        meta["strategy"] = v.strategy
+        meta["smem_spill_slots"] = v.outcome.smem_spill_slots
+    return meta
 
 
 def _version_from_meta(
     meta: dict, binary: bytes, kernel_name: str
 ) -> KernelVersion:
     module = decode_module(binary)
+    strategy = meta.get("strategy", "local-spill")
     outcome = AllocationOutcome(
         module=module,
         kernel_name=kernel_name,
@@ -162,6 +184,8 @@ def _version_from_meta(
         local_bytes_per_thread=meta["local_bytes_per_thread"],
         spilled_variables=meta["spilled_variables"],
         stack_moves=meta["stack_moves"],
+        strategy=strategy,
+        smem_spill_slots=meta.get("smem_spill_slots", 0),
     )
     return KernelVersion(
         label=meta["label"],
@@ -173,4 +197,5 @@ def _version_from_meta(
         smem_padding=meta["smem_padding"],
         outcome=outcome,
         binary=binary,
+        strategy=strategy,
     )

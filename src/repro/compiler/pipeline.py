@@ -26,7 +26,7 @@ optimisation, no shared-memory promotion, no occupancy search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.occupancy import calculate_occupancy
 from repro.arch.specs import CacheConfig, GpuArchitecture
@@ -38,6 +38,7 @@ from repro.isa.encoding import decode_module, encode_module
 from repro.obs.spans import span
 from repro.perf.cache import CompileCache, compile_cache_key, default_cache
 from repro.regalloc.allocator import allocate_module
+from repro.regalloc.strategy import default_strategy_id, strategy_ids
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,12 @@ class CompileOptions:
     Every field is part of the compile-cache key (the frozen repr is
     the fingerprint); worker count deliberately is not, so it lives in
     the ``jobs`` argument of :func:`compile_binary` instead.
+
+    ``strategy`` names an allocation strategy (where spilled registers
+    live — see :mod:`repro.regalloc.strategy`) or ``"mixed"`` to
+    enumerate candidates under every non-experimental strategy.  The
+    default resolves ``$ORION_STRATEGY`` at construction time, so the
+    resolved id (never the indirection) lands in the cache fingerprint.
     """
 
     arch: GpuArchitecture
@@ -54,6 +61,10 @@ class CompileOptions:
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE
     can_tune: bool = True
     max_versions: int = 5
+    strategy: str = field(default_factory=default_strategy_id)
+
+    def __post_init__(self) -> None:
+        strategy_ids(self.strategy)  # validate (raises on unknown ids)
 
 
 def front_end(data: bytes | Module) -> Module:
@@ -118,6 +129,7 @@ def compile_binary(
             cache_config=options.cache_config,
             max_versions=options.max_versions,
             jobs=jobs,
+            strategies=strategy_ids(options.strategy),
         )
     with span("pack", kernel=kernel_name):
         binary = MultiVersionBinary.from_plan(

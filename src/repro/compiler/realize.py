@@ -17,11 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.arch.occupancy import (
-    calculate_occupancy,
-    max_regs_per_thread_for_warps,
-    min_smem_padding_to_cap_warps,
-)
+from repro.arch.occupancy import min_smem_padding_to_cap_warps
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.ir.function import Module
 from repro.isa.encoding import encode_module
@@ -30,6 +26,7 @@ from repro.regalloc.allocator import (
     BudgetError,
     allocate_module,
 )
+from repro.regalloc.strategy import AllocationStrategy, get_strategy
 
 
 class RealizeError(ValueError):
@@ -49,6 +46,8 @@ class KernelVersion:
     smem_padding: int  # downward-tuning padding included above
     outcome: AllocationOutcome
     binary: bytes = field(repr=False, default=b"")
+    #: allocation-strategy id this candidate was realised under
+    strategy: str = "local-spill"
 
     @property
     def module(self) -> Module:
@@ -70,14 +69,21 @@ def realize_occupancy(
     label: str | None = None,
     space_minimization: bool = True,
     movement_minimization: bool = True,
+    strategy: str | AllocationStrategy | None = None,
 ) -> KernelVersion:
     """Produce a kernel binary resident at exactly ``target_warps``.
 
     ``conservative`` spends spare shared memory on spilled variables so
-    that "all variables fit into on-chip memory".
+    that "all variables fit into on-chip memory".  ``strategy`` selects
+    where squeezed-out registers go (``None`` = reference local-spill);
+    under a shared-spill strategy the allocator promotes *every* spill
+    slot, so an infeasible target (shared frame caps occupancy below
+    it) surfaces as :class:`RealizeError` instead of silently shipping
+    a lower-occupancy candidate.
     """
+    strat = get_strategy(strategy)
     user_smem = module.functions[kernel_name].shared_bytes
-    reg_budget = max_regs_per_thread_for_warps(
+    reg_budget = strat.max_regs_for_warps(
         arch, block_size, target_warps, user_smem, cache_config
     )
     if reg_budget is None:
@@ -87,7 +93,7 @@ def realize_occupancy(
         )
 
     smem_budget_per_thread = 0
-    if conservative:
+    if conservative and not strat.spills_to_shared:
         warps_per_block = max(1, (block_size + arch.warp_size - 1) // arch.warp_size)
         blocks_at_target = max(1, target_warps // warps_per_block)
         per_block_allowance = (
@@ -106,10 +112,11 @@ def realize_occupancy(
                 smem_spill_budget_per_thread=smem_budget_per_thread,
                 space_minimization=space_minimization,
                 movement_minimization=movement_minimization,
+                strategy=strat,
             )
         except BudgetError as exc:
             raise RealizeError(str(exc)) from exc
-        occ = calculate_occupancy(
+        occ = strat.occupancy(
             arch,
             block_size,
             outcome.registers_per_thread,
@@ -124,6 +131,15 @@ def realize_occupancy(
     else:  # pragma: no cover - loop always breaks within 8 halvings
         raise RealizeError("could not reconcile smem promotion with target")
 
+    if strat.spills_to_shared and occ.active_warps < target_warps:
+        # The mandatory shared spill frame itself limits the block
+        # count: this target is infeasible under smem spilling (the
+        # RegDem trade-off), and candidate generation should know.
+        raise RealizeError(
+            f"shared spill frame caps occupancy at {occ.active_warps} "
+            f"warps, below the {target_warps}-warp target"
+        )
+
     padding = 0
     smem_total = outcome.shared_bytes_per_block
     if occ.active_warps > target_warps:
@@ -135,13 +151,14 @@ def realize_occupancy(
             outcome.registers_per_thread,
             smem_total,
             cache_config,
+            reg_capacity_factor=strat.reg_oversubscription,
         )
         if padding is None:
             raise RealizeError(
                 f"cannot pad occupancy down to {target_warps} warps"
             )
         smem_total += padding
-        occ = calculate_occupancy(
+        occ = strat.occupancy(
             arch,
             block_size,
             outcome.registers_per_thread,
@@ -159,6 +176,7 @@ def realize_occupancy(
         smem_padding=padding,
         outcome=outcome,
         binary=encode_module(outcome.module),
+        strategy=strat.id,
     )
 
 
@@ -174,7 +192,9 @@ def repad_version(
 
     No recompilation: only the launch-time shared-memory request grows.
     This is how the downward tuning direction explores occupancy levels.
+    The repadded variant inherits the source version's strategy.
     """
+    strat = get_strategy(version.strategy)
     base_smem = version.smem_per_block - version.smem_padding
     padding = min_smem_padding_to_cap_warps(
         arch,
@@ -183,10 +203,11 @@ def repad_version(
         version.regs_per_thread,
         base_smem,
         cache_config,
+        reg_capacity_factor=strat.reg_oversubscription,
     )
     if padding is None:
         raise RealizeError(f"cannot pad down to {target_warps} warps")
-    occ = calculate_occupancy(
+    occ = strat.occupancy(
         arch,
         block_size,
         version.regs_per_thread,
@@ -203,4 +224,5 @@ def repad_version(
         smem_padding=padding,
         outcome=version.outcome,
         binary=version.binary,
+        strategy=version.strategy,
     )

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.arch.occupancy import calculate_occupancy, occupancy_levels
+from repro.arch.occupancy import occupancy_levels
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.compiler.maxlive import kernel_max_live, tuning_direction
 from repro.compiler.realize import (
@@ -39,10 +39,17 @@ from repro.ir.function import Module
 from repro.isa.encoding import encode_module
 from repro.obs.spans import span
 from repro.regalloc.allocator import allocate_module, minimal_budget
+from repro.regalloc.strategy import (
+    DEFAULT_STRATEGY_ID,
+    AllocationStrategy,
+    get_strategy,
+)
 
 
-def _count_realization(kernel_name: str, version) -> None:
-    """One candidate realization attempt, by outcome.
+def _count_realization(
+    kernel_name: str, version, strategy: str = DEFAULT_STRATEGY_ID
+) -> None:
+    """One candidate realization attempt, by outcome and strategy.
 
     The parallel path counts in the parent after gathering futures —
     counters incremented inside worker processes would be lost with the
@@ -56,6 +63,7 @@ def _count_realization(kernel_name: str, version) -> None:
     ).inc(
         kernel=kernel_name,
         result="ok" if version is not None else "infeasible",
+        strategy=strategy,
     )
 
 
@@ -87,8 +95,10 @@ def original_version(
     arch: GpuArchitecture,
     block_size: int,
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+    strategy: str | AllocationStrategy | None = None,
 ) -> KernelVersion:
     """The paper's *original*: minimal spill-free registers (or the cap)."""
+    strat = get_strategy(strategy)
     try:
         budget = minimal_budget(
             module, kernel_name, upper_bound=arch.max_registers_per_thread
@@ -97,9 +107,9 @@ def original_version(
         # Cannot fit spill-free under the hardware cap: use the cap.
         budget = arch.max_registers_per_thread
     outcome = allocate_module(
-        module, kernel_name, budget, block_size=block_size
+        module, kernel_name, budget, block_size=block_size, strategy=strat
     )
-    occ = calculate_occupancy(
+    occ = strat.occupancy(
         arch,
         block_size,
         outcome.registers_per_thread,
@@ -116,6 +126,7 @@ def original_version(
         smem_padding=0,
         outcome=outcome,
         binary=encode_module(outcome.module),
+        strategy=strat.id,
     )
 
 
@@ -125,20 +136,26 @@ def conservative_level(
     arch: GpuArchitecture,
     block_size: int,
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+    strategy: str | AllocationStrategy | None = None,
 ) -> int:
     """Highest warp count at which all live values still fit on-chip.
 
     At ``W`` resident warps each thread owns ``regs/W·32`` register
     slots plus its share of spare shared memory; the conservative level
-    is the largest ``W`` whose combined slots cover max-live.
+    is the largest ``W`` whose combined slots cover max-live.  A
+    soft-limit strategy sees a proportionally larger register file.
     """
+    strat = get_strategy(strategy)
     ml = max(1, kernel_max_live(module, kernel_name))
     user_smem = module.functions[kernel_name].shared_bytes
     warps_per_block = max(1, (block_size + arch.warp_size - 1) // arch.warp_size)
     best = occupancy_levels(arch, block_size)[0]
+    register_capacity = int(
+        arch.registers_per_sm * strat.reg_oversubscription
+    )
     for warps in occupancy_levels(arch, block_size):
         threads = warps * arch.warp_size
-        reg_slots = arch.registers_per_sm // threads
+        reg_slots = register_capacity // threads
         blocks = warps // warps_per_block
         spare_smem = arch.shared_memory_bytes(cache_config) - blocks * user_smem
         smem_slots = max(0, spare_smem) // (threads * 4)
@@ -156,6 +173,7 @@ def compile_time_tuning(
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
     max_versions: int = 5,
     jobs: int | None = None,
+    strategies: tuple[str, ...] | None = None,
 ) -> TuningPlan:
     """Fig. 8: produce the candidate kernel-version set.
 
@@ -166,7 +184,20 @@ def compile_time_tuning(
     binaries are byte-identical to a sequential compile — workers are
     gathered in submission order and any pool failure falls back to the
     sequential path.
+
+    ``strategies`` enumerates candidates per allocation strategy ×
+    occupancy level (upward direction); ``None`` means the reference
+    ``local-spill`` only, which reproduces today's plan exactly.  The
+    *first* strategy is primary: it realises the original version and
+    the fail-safes, so mixed-strategy plans stay anchored to a known
+    baseline.  Downward tuning re-pads the original binary, which never
+    spills — strategies are equivalent there, so only the primary is
+    used.
     """
+    strategy_set = tuple(strategies) if strategies else (DEFAULT_STRATEGY_ID,)
+    for sid in strategy_set:
+        get_strategy(sid)  # validate early
+    primary = strategy_set[0]
     threshold = arch.registers_per_thread_at_full_occupancy
     direction = tuning_direction(module, kernel_name, threshold)
     plan = TuningPlan(
@@ -176,32 +207,46 @@ def compile_time_tuning(
         max_live=kernel_max_live(module, kernel_name),
     )
     original = original_version(
-        module, kernel_name, arch, block_size, cache_config
+        module, kernel_name, arch, block_size, cache_config, strategy=primary
     )
     plan.versions.append(original)
     levels = occupancy_levels(arch, block_size)
 
     if direction == "increasing":
-        floor = conservative_level(
-            module, kernel_name, arch, block_size, cache_config
-        )
-        targets = [
-            w
-            for w in levels
-            if w >= max(floor, original.achieved_warps + 1)
-        ]
-        targets = _thin(targets, max_versions - 1)
-        plan.versions.extend(
-            _realize_targets(
-                module,
-                kernel_name,
-                arch,
-                block_size,
-                targets,
-                cache_config,
-                _resolve_jobs(jobs),
+        realized_per_strategy: list[list[KernelVersion]] = []
+        for sid in strategy_set:
+            floor = conservative_level(
+                module, kernel_name, arch, block_size, cache_config,
+                strategy=sid,
             )
-        )
+            targets = [
+                w
+                for w in levels
+                if w >= max(floor, original.achieved_warps + 1)
+            ]
+            targets = _thin(targets, max_versions - 1)
+            realized_per_strategy.append(
+                _realize_targets(
+                    module,
+                    kernel_name,
+                    arch,
+                    block_size,
+                    targets,
+                    cache_config,
+                    _resolve_jobs(jobs),
+                    strategy=sid,
+                )
+            )
+        if len(realized_per_strategy) == 1:
+            plan.versions.extend(realized_per_strategy[0])
+        else:
+            # Interleave strategies level by level (ascending warps,
+            # declared strategy order breaking ties) so the runtime
+            # hill-climb compares spill targets at each occupancy step.
+            rank = {sid: i for i, sid in enumerate(strategy_set)}
+            merged = [v for group in realized_per_strategy for v in group]
+            merged.sort(key=lambda v: (v.target_warps, rank[v.strategy]))
+            plan.versions.extend(merged)
         # Fail-safe: one padded version below the original.
         lower = [w for w in levels if w < original.achieved_warps]
         if lower:
@@ -250,6 +295,7 @@ def compile_time_tuning(
                         cache_config,
                         conservative=True,
                         label=f"failsafe warps={upper[0]}",
+                        strategy=primary,
                     )
                 )
             except RealizeError:
@@ -282,13 +328,18 @@ def _realize_one(
     block_size: int,
     warps: int,
     cache_config: CacheConfig,
+    strategy: str = DEFAULT_STRATEGY_ID,
 ) -> KernelVersion | None:
     """One conservative candidate, or ``None`` when unrealisable.
 
-    Module-level (picklable) so it can run in a worker process; failures
-    come back as values rather than exceptions to keep the RealizeError
-    semantics identical across transports.
+    Module-level (picklable, strategy passed by id) so it can run in a
+    worker process; failures come back as values rather than exceptions
+    to keep the RealizeError semantics identical across transports.
+    Non-default strategies are tagged in the label so every candidate in
+    a mixed plan stays uniquely addressable (warm starts and the tuner
+    both key on labels).
     """
+    suffix = "" if strategy == DEFAULT_STRATEGY_ID else f" [{strategy}]"
     try:
         return realize_occupancy(
             module,
@@ -298,7 +349,8 @@ def _realize_one(
             warps,
             cache_config,
             conservative=True,
-            label=f"conservative warps={warps}",
+            label=f"conservative warps={warps}{suffix}",
+            strategy=strategy,
         )
     except RealizeError:
         return None
@@ -312,6 +364,7 @@ def _realize_targets(
     targets: list[int],
     cache_config: CacheConfig,
     jobs: int,
+    strategy: str = DEFAULT_STRATEGY_ID,
 ) -> list[KernelVersion]:
     """Realise each target level, in parallel when ``jobs > 1``.
 
@@ -334,6 +387,7 @@ def _realize_targets(
                     targets,
                     cache_config,
                     jobs,
+                    strategy,
                 )
         except Exception:
             pass  # fall through to the sequential path
@@ -341,9 +395,15 @@ def _realize_targets(
     for warps in targets:
         with span("realize", kernel=kernel_name, warps=warps):
             version = _realize_one(
-                module, kernel_name, arch, block_size, warps, cache_config
+                module,
+                kernel_name,
+                arch,
+                block_size,
+                warps,
+                cache_config,
+                strategy,
             )
-        _count_realization(kernel_name, version)
+        _count_realization(kernel_name, version, strategy)
         if version is not None:
             versions.append(version)
     return versions
@@ -357,6 +417,7 @@ def _realize_parallel(
     targets: list[int],
     cache_config: CacheConfig,
     jobs: int,
+    strategy: str = DEFAULT_STRATEGY_ID,
 ) -> list[KernelVersion]:
     import concurrent.futures
     import multiprocessing
@@ -377,12 +438,13 @@ def _realize_parallel(
                 block_size,
                 warps,
                 cache_config,
+                strategy,
             )
             for warps in targets
         ]
         results = [future.result() for future in futures]
     for version in results:
-        _count_realization(kernel_name, version)
+        _count_realization(kernel_name, version, strategy)
     return [version for version in results if version is not None]
 
 

@@ -14,6 +14,14 @@ One *case* is one generated module pushed through the full pipeline:
 
 Exact equality (not approximate) is sound because allocation only moves
 values between slots; it never reorders or rewrites arithmetic.
+
+A non-default ``strategy`` adds the **strategy-differential** oracle:
+the same module is compiled a second time under that allocation
+strategy, every one of *its* versions must also verify and reproduce
+the reference output exactly (where spilled values live must never
+change what the kernel computes), and the two compiles must carry
+distinct kernel fingerprints (a collision would let the tuning store
+serve one strategy's winner to the other).
 """
 
 from __future__ import annotations
@@ -51,15 +59,21 @@ class FuzzFailure:
 
     seed: int
     shape: str
-    kind: str  # "verifier" | "differential" | "determinism" | "store" | "crash"
+    #: "verifier" | "differential" | "determinism" | "store" |
+    #: "strategy" | "crash"
+    kind: str
     detail: str
     #: trace file of the failing run, when the run carried one — lets
     #: the reproduction line point at the span-level evidence
     trace: str | None = None
+    #: non-default allocation strategy the failing run compiled under
+    strategy: str = "local-spill"
 
     @property
     def repro(self) -> str:
         line = f"repro fuzz --seed {self.seed} --cases 1 --shape {self.shape}"
+        if self.strategy != "local-spill":
+            line += f" --strategy {self.strategy}"
         if self.trace:
             line += f"  # trace: {self.trace}"
         return line
@@ -79,6 +93,9 @@ class FuzzReport:
     shape: str
     failures: list[FuzzFailure] = field(default_factory=list)
     versions_checked: int = 0
+    #: non-default strategy the run cross-checked against (oracle off
+    #: when it is the reference ``local-spill``)
+    strategy: str = "local-spill"
 
     @property
     def ok(self) -> bool:
@@ -91,6 +108,7 @@ def check_case(
     arch: GpuArchitecture = GTX680,
     trace: str | None = None,
     store=None,
+    strategy: str = "local-spill",
 ) -> tuple[list[FuzzFailure], int]:
     """Run the oracle on one generated case.
 
@@ -105,14 +123,68 @@ def check_case(
     contract — an unstable key silently forfeits every warm start), and
     a record must round-trip through the real store file byte-exactly
     (kind ``"store"``).
+
+    ``strategy`` (a non-default allocation-strategy id) adds the
+    strategy-differential oracle: a second compile under that strategy
+    whose every version must verify and match the reference output,
+    and whose kernel fingerprint must differ from the base compile's
+    (kind ``"strategy"`` on a collision).  The base compile is always
+    pinned to ``local-spill`` so the reference half of the comparison
+    is identical across CI shards regardless of ``ORION_STRATEGY``.
     """
     failures: list[FuzzFailure] = []
 
-    def fail(kind: str, detail: str) -> None:
-        failures.append(FuzzFailure(seed, shape, kind, detail, trace=trace))
+    def fail(kind: str, detail: str, *, failing: str = "local-spill") -> None:
+        failures.append(
+            FuzzFailure(seed, shape, kind, detail, trace=trace, strategy=failing)
+        )
 
-    with span("fuzz_case", seed=seed, shape=shape):
-        return _check_case_body(seed, shape, arch, failures, fail, store)
+    with span("fuzz_case", seed=seed, shape=shape, strategy=strategy):
+        return _check_case_body(
+            seed, shape, arch, failures, fail, store, strategy
+        )
+
+
+def _check_versions(
+    binary,
+    expected,
+    fail: Callable[..., None],
+    failing: str,
+) -> int:
+    """Verifier + differential oracle over every version of one binary."""
+    checked = 0
+    for version in (*binary.versions, *binary.failsafe):
+        checked += 1
+        try:
+            issues = verify_module(
+                version.outcome.module,
+                physical=True,
+                reg_budget=version.regs_per_thread,
+                interproc=version.outcome.interproc,
+            )
+            if issues:
+                fail(
+                    "verifier",
+                    f"version {version.label}: " + "; ".join(map(str, issues)),
+                    failing=failing,
+                )
+                continue
+            actual = run_kernel(
+                version.outcome.module, _LAUNCH, global_memory=_initial_memory()
+            )
+            if actual != expected:
+                fail(
+                    "differential",
+                    _describe_divergence(version.label, expected, actual),
+                    failing=failing,
+                )
+        except Exception as exc:  # noqa: BLE001
+            fail(
+                "crash",
+                f"version {version.label}: {type(exc).__name__}: {exc}",
+                failing=failing,
+            )
+    return checked
 
 
 def _check_case_body(
@@ -120,13 +192,16 @@ def _check_case_body(
     shape: str,
     arch: GpuArchitecture,
     failures: list[FuzzFailure],
-    fail: Callable[[str, str], None],
+    fail: Callable[..., None],
     store=None,
+    strategy: str = "local-spill",
 ) -> tuple[list[FuzzFailure], int]:
     try:
         module = generate_module(seed, shape)
         expected = run_kernel(module, _LAUNCH, global_memory=_initial_memory())
-        options = CompileOptions(arch=arch, block_size=128, max_versions=4)
+        options = CompileOptions(
+            arch=arch, block_size=128, max_versions=4, strategy="local-spill"
+        )
 
         cold = CompileCache()
         binary = compile_binary(
@@ -147,30 +222,53 @@ def _check_case_body(
         fail("crash", f"{type(exc).__name__}: {exc}")
         return failures, 0
 
-    checked = 0
-    for version in (*binary.versions, *binary.failsafe):
-        checked += 1
-        try:
-            issues = verify_module(
-                version.outcome.module,
-                physical=True,
-                reg_budget=version.regs_per_thread,
-                interproc=version.outcome.interproc,
-            )
-            if issues:
-                fail(
-                    "verifier",
-                    f"version {version.label}: " + "; ".join(map(str, issues)),
-                )
-                continue
-            actual = run_kernel(
-                version.outcome.module, _LAUNCH, global_memory=_initial_memory()
-            )
-            if actual != expected:
-                fail("differential", _describe_divergence(version.label, expected, actual))
-        except Exception as exc:  # noqa: BLE001
-            fail("crash", f"version {version.label}: {type(exc).__name__}: {exc}")
+    checked = _check_versions(binary, expected, fail, "local-spill")
+    if strategy != "local-spill":
+        checked += _check_strategy_oracle(
+            module, expected, arch, strategy, binary, fail
+        )
     return failures, checked
+
+
+def _check_strategy_oracle(
+    module,
+    expected,
+    arch: GpuArchitecture,
+    strategy: str,
+    base_binary,
+    fail: Callable[..., None],
+) -> int:
+    """The strategy-differential half: compile again under ``strategy``."""
+    from repro.service.fingerprint import kernel_fingerprint
+
+    try:
+        alt = compile_binary(
+            module,
+            "k",
+            CompileOptions(
+                arch=arch, block_size=128, max_versions=4, strategy=strategy
+            ),
+            use_cache=True,
+            cache=CompileCache(),
+        )
+    except Exception as exc:  # noqa: BLE001
+        fail("crash", f"{type(exc).__name__}: {exc}", failing=strategy)
+        return 0
+    checked = _check_versions(alt, expected, fail, strategy)
+    # Spill-free kernels compile to the same module bytes under every
+    # strategy; only the strategy tag keeps their fingerprints (and so
+    # their tuning-store records) apart.  A collision here means the
+    # store would hand one strategy's winner to the other.
+    if alt.strategies() != base_binary.strategies() and kernel_fingerprint(
+        alt
+    ) == kernel_fingerprint(base_binary):
+        fail(
+            "strategy",
+            f"kernel fingerprint collides between local-spill and "
+            f"{strategy} compiles",
+            failing=strategy,
+        )
+    return checked
 
 
 def _check_store_oracle(
@@ -234,6 +332,7 @@ def run_fuzz(
     hub=None,
     trace: str | None = None,
     store=None,
+    strategy: str = "local-spill",
 ) -> FuzzReport:
     """Run ``cases`` consecutive seeds starting at ``seed``.
 
@@ -243,16 +342,18 @@ def run_fuzz(
     per-case spans; ``trace`` is the file that hub writes, threaded
     onto every failure's reproduction line.  ``store`` adds the
     persistence oracle (see :func:`check_case`), sharing one store
-    file across every case of the run.
+    file across every case of the run.  ``strategy`` (non-default) adds
+    the strategy-differential oracle to every case.
     """
     from contextlib import nullcontext
 
-    report = FuzzReport(cases=cases, shape=shape)
+    report = FuzzReport(cases=cases, shape=shape, strategy=strategy)
     ambient = use_hub(hub) if hub is not None else nullcontext()
     with ambient:
         for i in range(cases):
             failures, checked = check_case(
-                seed + i, shape, arch, trace=trace, store=store
+                seed + i, shape, arch, trace=trace, store=store,
+                strategy=strategy,
             )
             report.failures.extend(failures)
             report.versions_checked += checked

@@ -43,6 +43,7 @@ from repro.harness.reporting import format_series, format_table
 from repro.ir.callgraph import count_static_calls
 from repro.perf.measure_cache import MeasurementCache
 from repro.regalloc.allocator import minimal_budget
+from repro.regalloc.strategy import default_strategy_id, get_strategy
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.session import ExecutionReport, TuningSession, Workload
 from repro.sim.backend import MeasurementResult
@@ -52,7 +53,7 @@ from repro.sim.energy import gpu_power
 # ----------------------------------------------------------------------
 # Shared plumbing (everything cached per benchmark+architecture)
 # ----------------------------------------------------------------------
-_COMPILE_CACHE: dict[tuple[str, str], MultiVersionBinary] = {}
+_COMPILE_CACHE: dict[tuple[str, str, str], MultiVersionBinary] = {}
 _NVCC_CACHE: dict[tuple[str, str], KernelVersion] = {}
 #: one content-addressed measurement cache shared by every engine the
 #: harness creates, so launches repeated across figures, tables, and
@@ -83,8 +84,19 @@ def engine(
     return _ENGINES[key]
 
 
-def compiled(spec: BenchmarkSpec, arch: GpuArchitecture) -> MultiVersionBinary:
-    key = (spec.name, arch.name)
+def compiled(
+    spec: BenchmarkSpec,
+    arch: GpuArchitecture,
+    strategy: str | None = None,
+) -> MultiVersionBinary:
+    """The benchmark's fat binary, compiled once per (arch, strategy).
+
+    ``strategy`` is a :mod:`repro.regalloc.strategy` selector (an id or
+    ``"mixed"``); ``None`` resolves the session default, matching what
+    a bare :class:`CompileOptions` would do.
+    """
+    sid = strategy if strategy is not None else default_strategy_id()
+    key = (spec.name, arch.name, sid)
     if key not in _COMPILE_CACHE:
         module = spec.build()
         _COMPILE_CACHE[key] = compile_binary(
@@ -94,6 +106,7 @@ def compiled(spec: BenchmarkSpec, arch: GpuArchitecture) -> MultiVersionBinary:
                 arch=arch,
                 block_size=spec.workload.block_size,
                 can_tune=spec.workload.can_tune,
+                strategy=sid,
             ),
         )
     return _COMPILE_CACHE[key]
@@ -198,26 +211,31 @@ class SweepResult:
         )
 
 
-_SWEEP_CACHE: dict[tuple[str, str, str], SweepResult] = {}
+_SWEEP_CACHE: dict[tuple[str, str, str, str], SweepResult] = {}
 
 
 def occupancy_sweep(
     benchmark: str,
     arch: GpuArchitecture,
     cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
+    strategy: str | None = None,
 ) -> SweepResult:
     """Orion-generated code at every occupancy level, timed.
 
     This is the paper's evaluation methodology: "we let the Orion
     compiler generate code at all occupancy levels, allowing for
-    identification of the best and worst cases."
+    identification of the best and worst cases."  ``strategy`` names a
+    concrete allocation strategy (``None`` = the reference
+    ``local-spill``, keeping figure generation deterministic).
     """
-    cache_key = (benchmark, arch.name, cache_config.value)
+    sid = get_strategy(strategy).id
+    cache_key = (benchmark, arch.name, cache_config.value, sid)
     if cache_key in _SWEEP_CACHE:
         return _SWEEP_CACHE[cache_key]
     spec = BENCHMARKS[benchmark]
     module = spec.build()
     kernel = module.kernel().name
+    suffix = "" if sid == "local-spill" else f" [{sid}]"
     points = []
     for warps in occupancy_levels(arch, spec.workload.block_size):
         try:
@@ -229,7 +247,8 @@ def occupancy_sweep(
                 warps,
                 cache_config,
                 conservative=True,
-                label=f"sweep warps={warps}",
+                label=f"sweep warps={warps}{suffix}",
+                strategy=sid,
             )
         except RealizeError:
             continue
@@ -403,6 +422,7 @@ def bench_suite(
     jobs: int | None = None,
     only: list[str] | None = None,
     suite_engine: ExecutionEngine | None = None,
+    strategy: str | None = None,
 ) -> list[tuple[str, ExecutionReport]]:
     """Drive the whole benchmark suite through one engine, concurrently.
 
@@ -411,7 +431,8 @@ def bench_suite(
     Sessions are independent and measurements content-addressed, so the
     reports are identical at any scheduler width.  Pass ``suite_engine``
     to control the backend instance, telemetry sinks, or trace file;
-    ``only`` restricts to a subset of benchmark names.
+    ``only`` restricts to a subset of benchmark names; ``strategy`` is
+    the allocation-strategy selector handed to :func:`compiled`.
     """
     names = list(only) if only else list(BENCHMARKS)
     unknown = [n for n in names if n not in BENCHMARKS]
@@ -420,7 +441,7 @@ def bench_suite(
     eng = suite_engine or engine(arch, backend=backend)
     sessions = [
         TuningSession(
-            compiled(BENCHMARKS[name], arch),
+            compiled(BENCHMARKS[name], arch, strategy=strategy),
             _workload(BENCHMARKS[name]),
             name=name,
         )

@@ -65,6 +65,7 @@ def build_bench_report(
     telemetry=None,
     metrics_snapshot=None,
     generator: str = "repro bench",
+    strategy: str = "local-spill",
 ) -> dict:
     """Assemble one run's report.
 
@@ -73,7 +74,10 @@ def build_bench_report(
     :class:`~repro.perf.cache.CacheStats`; ``telemetry`` a
     :class:`~repro.runtime.telemetry.TelemetryHub` whose per-kind counts
     are embedded; ``metrics_snapshot`` defaults to the process-wide
-    registry's snapshot.
+    registry's snapshot.  ``strategy`` records the allocation-strategy
+    selector the suite compiled under; each kernel row also carries the
+    *winning version's* concrete strategy, so a mixed run shows which
+    spill target each kernel's tuner actually picked.
     """
     if metrics_snapshot is None:
         from repro.obs.metrics import get_registry
@@ -100,6 +104,7 @@ def build_bench_report(
                 "iterations": len(report.records),
                 "iterations_to_converge": report.iterations_to_converge,
                 "was_split": report.was_split,
+                "strategy": getattr(final, "strategy", "local-spill"),
             }
         )
     payload = {
@@ -109,6 +114,7 @@ def build_bench_report(
         "git_sha": git_revision(),
         "arch": arch_name,
         "backend": backend_name,
+        "strategy": strategy,
         "kernels": kernels,
         "cache": {"measurement": _cache_payload(measurement_stats)},
         "metrics": metrics_snapshot,
@@ -162,6 +168,13 @@ def validate_bench_report(report: dict) -> list[str]:
                     errors.append(
                         f"kernels[{i}].{field}: missing or wrong type"
                     )
+            # Optional (absent in pre-strategy reports); typed when given.
+            if "strategy" in kernel and not isinstance(
+                kernel["strategy"], str
+            ):
+                errors.append(f"kernels[{i}].strategy: not a string")
+    if "strategy" in report and not isinstance(report["strategy"], str):
+        errors.append("strategy: not a string")
     cache = report.get("cache")
     if not isinstance(cache, dict) or "measurement" not in cache:
         errors.append("cache.measurement: missing")
@@ -213,6 +226,17 @@ def compare_reports(
       not a regression.
     """
     problems: list[str] = []
+    base_strategy = baseline.get("strategy")
+    cur_strategy = current.get("strategy")
+    if (
+        base_strategy is not None
+        and cur_strategy is not None
+        and base_strategy != cur_strategy
+    ):
+        problems.append(
+            f"allocation strategy changed {base_strategy!r} -> "
+            f"{cur_strategy!r}: reports are not comparable"
+        )
     base_kernels = {k.get("name"): k for k in baseline.get("kernels", [])}
     for kernel in current.get("kernels", []):
         base = base_kernels.get(kernel.get("name"))
@@ -224,6 +248,17 @@ def compare_reports(
                     f"kernel {kernel['name']}: {field} changed "
                     f"{base.get(field)!r} -> {kernel.get(field)!r}"
                 )
+        # Present in both reports → the winner's spill target must agree
+        # (absent in pre-strategy baselines, where it is local-spill).
+        if (
+            "strategy" in kernel
+            and "strategy" in base
+            and kernel["strategy"] != base["strategy"]
+        ):
+            problems.append(
+                f"kernel {kernel['name']}: winning strategy changed "
+                f"{base['strategy']!r} -> {kernel['strategy']!r}"
+            )
     base_timings = baseline.get("timings") or {}
     cur_timings = current.get("timings") or {}
     comparable = []

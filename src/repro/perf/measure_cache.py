@@ -24,7 +24,7 @@ import os
 
 from repro.perf.cache import CacheStats, CompileCache
 
-_KEY_PREFIX = b"orion-measure-v1\x00"
+_KEY_PREFIX = b"orion-measure-v2\x00"
 
 
 def measurement_cache_key(
@@ -40,12 +40,19 @@ def measurement_cache_key(
     max_events_per_warp: int,
     global_memory: dict | None = None,
     forced_warps: int | None = None,
+    strategy: str = "local-spill",
+    arch_fingerprint: str = "",
 ) -> str:
     """SHA-256 content address of one measurement.
 
     ``traits`` is fingerprinted by its (frozen-dataclass) repr, the
     same trick the compile cache plays with ``CompileOptions``: adding
-    a trait field invalidates naturally.
+    a trait field invalidates naturally.  ``strategy`` is the version's
+    allocation strategy (redundant with ``version_hash`` today, which
+    already folds in non-default strategies — kept explicit so the key
+    never depends on that hashing detail) and ``arch_fingerprint`` is
+    the architecture's descriptor fingerprint, so edits to an
+    architecture's resource table invalidate rather than alias.
     """
     fingerprint = "\x00".join(
         [
@@ -61,6 +68,8 @@ def measurement_cache_key(
             str(max_events_per_warp),
             repr(sorted(global_memory.items())) if global_memory else "-",
             str(forced_warps),
+            strategy,
+            arch_fingerprint,
         ]
     )
     digest = hashlib.sha256()

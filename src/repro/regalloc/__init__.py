@@ -16,6 +16,18 @@ from repro.regalloc.matching import (
 )
 from repro.regalloc.shared_assign import SharedPromotion, promote_spills_to_shared
 from repro.regalloc.spill import SpillState, insert_spill_code, spill_traffic
+from repro.regalloc.strategy import (
+    DEFAULT_STRATEGY_ID,
+    LOCAL_SPILL,
+    SMEM_SPILL,
+    SOFT_LIMIT,
+    STRATEGIES,
+    AllocationStrategy,
+    SpillStrategy,
+    default_strategy_id,
+    get_strategy,
+    strategy_ids,
+)
 from repro.regalloc.stack import (
     Cluster,
     InterprocResult,
@@ -31,16 +43,26 @@ from repro.regalloc.stack import (
 
 __all__ = [
     "AllocationOutcome",
+    "AllocationStrategy",
     "BudgetError",
     "Cluster",
     "CoalesceReport",
     "coalesce_moves",
     "ColoringResult",
+    "DEFAULT_STRATEGY_ID",
     "InterprocResult",
+    "LOCAL_SPILL",
+    "SMEM_SPILL",
+    "SOFT_LIMIT",
+    "STRATEGIES",
     "SharedPromotion",
     "SpillState",
+    "SpillStrategy",
     "StackError",
     "allocate_module",
+    "default_strategy_id",
+    "get_strategy",
+    "strategy_ids",
     "assignment_weight",
     "build_clusters",
     "color_graph",

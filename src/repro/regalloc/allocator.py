@@ -31,6 +31,7 @@ from repro.isa.registers import PhysReg, Reg, VirtualReg
 from repro.regalloc.chaitin import color_graph
 from repro.regalloc.shared_assign import promote_spills_to_shared
 from repro.regalloc.spill import SpillState, insert_spill_code
+from repro.regalloc.strategy import AllocationStrategy, get_strategy
 from repro.regalloc.stack import (
     InterprocResult,
     StackError,
@@ -59,6 +60,11 @@ class AllocationOutcome:
     stack_moves: int
     interproc: InterprocResult | None = None
     colorings: dict[str, dict[Reg, int]] = field(default_factory=dict)
+    #: id of the :class:`~repro.regalloc.strategy.AllocationStrategy`
+    #: that placed the spills (resource accounting follows it).
+    strategy: str = "local-spill"
+    #: spill slots living in the per-thread shared-memory frame
+    smem_spill_slots: int = 0
 
 
 def allocate_module(
@@ -70,6 +76,7 @@ def allocate_module(
     space_minimization: bool = True,
     movement_minimization: bool = True,
     max_iterations: int = 48,
+    strategy: str | AllocationStrategy | None = None,
 ) -> AllocationOutcome:
     """Allocate ``module`` so the kernel tree fits ``reg_budget`` slots.
 
@@ -77,7 +84,20 @@ def allocate_module(
     physical registers.  ``smem_spill_budget_per_thread`` enables
     shared-memory promotion of spilled values (bytes each thread may
     claim from the block's shared allowance).
+
+    ``strategy`` selects the spill target (see
+    :mod:`repro.regalloc.strategy`); ``None`` means the reference
+    ``local-spill`` behaviour.  Under a shared-spill strategy the
+    promotion budget is unconditionally unbounded: every spill slot
+    moves into the per-thread shared frame, and whether the resulting
+    shared footprint still meets an occupancy target is the realize
+    step's problem, not the allocator's.
     """
+    strat = get_strategy(strategy)
+    if strat.spills_to_shared:
+        # Effectively unlimited: the block's shared capacity is checked
+        # downstream by the occupancy arithmetic.
+        smem_spill_budget_per_thread = 1 << 30
     if reg_budget <= 0:
         raise BudgetError("register budget must be positive")
     work = module.copy()
@@ -113,6 +133,7 @@ def allocate_module(
     shared_extra = 0
     shared_cursor = work.functions[kernel_name].shared_bytes
     spilled_total = 0
+    smem_slots_total = 0
 
     colorings: dict[str, dict[Reg, int]] = {}
     plan: InterprocResult | None = None
@@ -137,6 +158,7 @@ def allocate_module(
                         user_shared_bytes=shared_cursor,
                     )
                     promoted.add(name)
+                    smem_slots_total += len(promotion.promoted)
                     if promotion.frame_bytes:
                         shared_extra += promotion.extra_shared_bytes
                         shared_cursor += promotion.extra_shared_bytes
@@ -207,9 +229,17 @@ def allocate_module(
     # deep chain; to keep addressing static each function's frame starts
     # at a distinct offset, so total local usage is the sum.
     total_local = sum(spill_states[name].frame_bytes for name in reachable)
+    if strat.spills_to_shared:
+        # All slots known at promotion time moved into shared memory;
+        # only functions whose re-colouring spilled *after* promotion
+        # (one-shot, so those fall back to local) still need a local
+        # frame window.
+        total_local = _residual_local_bytes(work, reachable, spill_states)
     _offset_local_frames(work, reachable, spill_states)
 
     _count_allocation(spilled_total, plan.static_move_count())
+    if smem_slots_total:
+        _count_smem_spills(smem_slots_total, strat.id)
     return AllocationOutcome(
         module=work,
         kernel_name=kernel_name,
@@ -221,6 +251,8 @@ def allocate_module(
         stack_moves=plan.static_move_count(),
         interproc=plan,
         colorings=colorings,
+        strategy=strat.id,
+        smem_spill_slots=smem_slots_total,
     )
 
 
@@ -244,6 +276,45 @@ def _count_allocation(spilled: int, stack_moves: int) -> None:
         "orion_allocator_stack_moves_total",
         "Static stack-move instructions emitted across allocations.",
     ).inc(stack_moves)
+
+
+def _count_smem_spills(slots: int, strategy_id: str) -> None:
+    """Charge shared-memory spill promotions, labelled by strategy."""
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_allocator_smem_spill_slots_total",
+        "Spill slots promoted into per-thread shared-memory frames.",
+    ).inc(slots, strategy=strategy_id)
+
+
+def _residual_local_bytes(
+    module: Module, reachable: list[str], states: dict[str, SpillState]
+) -> int:
+    """Local frame bytes still *used* after shared promotion.
+
+    A function whose spills all moved to shared memory keeps its (now
+    unreferenced) frame layout in ``SpillState``; only functions with a
+    surviving frame-addressed local access actually reserve local
+    memory.
+    """
+    from repro.isa.instructions import MemSpace
+    from repro.regalloc.shared_assign import _is_frame_addressed
+
+    total = 0
+    for name in reachable:
+        state = states[name]
+        if not state.frame_bytes:
+            continue
+        fn = module.functions[name]
+        if any(
+            inst.is_memory
+            and inst.space is MemSpace.LOCAL
+            and _is_frame_addressed(inst)
+            for inst in fn.instructions()
+        ):
+            total += state.frame_bytes
+    return total
 
 
 def _slots_used(coloring: dict[Reg, int]) -> int:

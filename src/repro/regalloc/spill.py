@@ -81,10 +81,16 @@ def insert_spill_code(
     return state
 
 
-def spill_traffic(fn: Function) -> int:
-    """Static count of local-memory operations (a tuning-cost signal)."""
+def spill_traffic(fn: Function, space: MemSpace = MemSpace.LOCAL) -> int:
+    """Static count of spill-space memory operations (a tuning-cost signal).
+
+    ``space`` selects the spill target to count: ``MemSpace.LOCAL`` for
+    the reference local-spill strategy, ``MemSpace.SHARED`` after
+    shared-memory promotion (the smem-spill strategy rewrites every
+    frame access to shared space).
+    """
     return sum(
         1
         for inst in fn.instructions()
-        if inst.is_memory and inst.space is MemSpace.LOCAL
+        if inst.is_memory and inst.space is space
     )

@@ -289,6 +289,8 @@ class ExecutionEngine:
             workload.max_events_per_warp,
             global_memory=workload.global_memory,
             forced_warps=forced_warps,
+            strategy=version.strategy,
+            arch_fingerprint=self.arch.fingerprint(),
         )
         with self._lock:
             payload = self.cache.get(key)
@@ -434,6 +436,7 @@ class ExecutionEngine:
             self.arch.name,
             self.backend.name,
             self.cache_config.value,
+            arch_fingerprint=self.arch.fingerprint(),
         )
 
     def _warm_start(self, session: TuningSession) -> str | None:

@@ -229,7 +229,7 @@ def tune_with_fallback(
         report = engine.run(TuningSession(binary, workload))
         key = tuning_key(
             binary, workload, arch.name, engine.backend.name,
-            engine.cache_config.value,
+            engine.cache_config.value, arch_fingerprint=arch.fingerprint(),
         )
         record = record_from_report(
             key, kernel_fingerprint(binary), binary, report,

@@ -306,6 +306,7 @@ class TuningDaemon:
             self.engine.arch.name,
             self.engine.backend.name,
             self.engine.cache_config.value,
+            arch_fingerprint=self.engine.arch.fingerprint(),
         )
         record = await self._store_call(self.store.get, key)
         if record is not None:

@@ -14,7 +14,14 @@ down:
   otherwise identical versions fingerprint identically too.
 * the **execution context** — architecture, backend, and cache
   configuration.  The winner on a GTX 680 under the timing simulator
-  says nothing about a C2075 under the analytical model.
+  says nothing about a C2075 under the analytical model.  The
+  architecture is identified by name *and* descriptor fingerprint
+  (:meth:`~repro.arch.specs.GpuArchitecture.fingerprint`), so editing
+  an architecture's resource table can never silently alias records
+  produced under the old numbers.  The candidate set's allocation
+  strategies are keyed explicitly too (they are already part of each
+  version's content hash, but the explicit field survives any future
+  hashing change).
 * the **normalized work profile** — the shape of the workload, not its
   exact size.  Launch geometry is kept exactly (it changes residency),
   iteration counts are bucketed to powers of two (tuning converges in
@@ -35,7 +42,7 @@ import json
 from repro.compiler.multiversion import MultiVersionBinary, version_content_hash
 from repro.runtime.session import Workload
 
-_KEY_PREFIX = b"orion-tuning-key-v1\x00"
+_KEY_PREFIX = b"orion-tuning-key-v2\x00"
 _KERNEL_PREFIX = b"orion-kernel-fp-v1\x00"
 
 
@@ -104,14 +111,23 @@ def tuning_key(
     arch_name: str,
     backend_name: str,
     cache_config: str = "small",
+    arch_fingerprint: str = "",
 ) -> str:
-    """The store key for one (kernel, context, work-shape) triple."""
+    """The store key for one (kernel, context, work-shape) triple.
+
+    ``arch_fingerprint`` is the architecture's descriptor fingerprint;
+    pass ``arch.fingerprint()`` whenever the descriptor is at hand so
+    that records keyed under different resource tables (even with the
+    same marketing name) never alias.
+    """
     payload = json.dumps(
         {
             "kernel": kernel_fingerprint(binary),
             "arch": arch_name,
+            "arch_fp": arch_fingerprint,
             "backend": backend_name,
             "cache_config": cache_config,
+            "strategies": list(binary.strategies()),
             "work": normalize_work_profile(workload),
         },
         sort_keys=True,

@@ -33,9 +33,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
-from repro.arch.occupancy import calculate_occupancy
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.compiler.realize import KernelVersion
+from repro.regalloc.strategy import get_strategy
 from repro.sim.analytical import estimate_cycles, profile_kernel
 from repro.sim.energy import gpu_power
 from repro.sim.gpu import LaunchError, simulate_kernel
@@ -133,7 +133,7 @@ def _resident_warps(request: MeasurementRequest) -> tuple[int, int, int]:
     arch = request.arch
     version = request.version
     launch = request.launch
-    occ = calculate_occupancy(
+    occ = get_strategy(version.strategy).occupancy(
         arch,
         launch.block_size,
         version.regs_per_thread,
@@ -175,6 +175,7 @@ class TimingBackend:
             max_events_per_warp=request.max_events_per_warp,
             global_memory=request.global_memory,
             forced_warps=request.forced_warps,
+            strategy=version.strategy,
         )
         cycles = timing.total_cycles
         result = MeasurementResult(
@@ -207,7 +208,7 @@ class AnalyticalBackend:
             profile, request.arch, resident, total_warps, ilp=request.ilp
         )
         cycles = max(1, round(estimate.estimated_cycles))
-        occ = calculate_occupancy(
+        occ = get_strategy(version.strategy).occupancy(
             request.arch,
             request.launch.block_size,
             version.regs_per_thread,

@@ -183,6 +183,8 @@ def run_flat(sim, traces: list[WarpTrace], warps_per_block: int, np):
     sfu_latency = max(1.0, arch.sfu_latency / sim.ilp)
     sfu_cost = issue_interval * 4
     alu_cost = issue_interval * sim.traits.divergence
+    swap_interval = sim.swap_interval
+    swap_latency = sim.swap_latency
 
     nwarps = len(traces)
     wpb = max(1, warps_per_block)
@@ -382,6 +384,12 @@ def run_flat(sim, traces: list[WarpTrace], warps_per_block: int, np):
             else:  # _ALU
                 readys[index] = start + alu_latency
                 cost = w_costs[index][p]
+
+            # Oversubscription swap cost — placed exactly where the
+            # reference loop applies it (after the unit ladder, before
+            # the issue clock advances) so floats stay byte-identical.
+            if swap_interval and (p + 1) % swap_interval == 0:
+                readys[index] += swap_latency
 
             issue_clock = start + cost
             instructions += 1

@@ -21,9 +21,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro import accel
-from repro.arch.occupancy import OccupancyResult, calculate_occupancy
+from repro.arch.occupancy import OccupancyResult
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.ir.function import Module
+from repro.regalloc.strategy import AllocationStrategy, get_strategy
 from repro.sim.interp import Interpreter, LaunchConfig, Value
 from repro.sim.sm import SMResult, SMSimulator
 from repro.sim.trace import (
@@ -138,14 +139,19 @@ def simulate_kernel(
     max_events_per_warp: int = 6000,
     global_memory: dict[int, Value] | None = None,
     forced_warps: int | None = None,
+    strategy: str | AllocationStrategy | None = None,
 ) -> KernelTiming:
     """Simulate one kernel launch and return its timing.
 
     ``forced_warps`` overrides the calculated resident-warp count (used
     by sweeps that pin occupancy directly); it is still capped by the
-    launch size.
+    launch size.  ``strategy`` (an allocation-strategy id; ``None`` =
+    the reference ``local-spill``) controls the occupancy arithmetic
+    and, for soft-limit strategies, adds the oversubscription swap cost
+    to the SM model.
     """
-    occ = calculate_occupancy(
+    strat = get_strategy(strategy)
+    occ = strat.occupancy(
         arch, launch.block_size, regs_per_thread, smem_per_block, cache_config
     )
     if not occ.is_launchable:
@@ -179,7 +185,17 @@ def simulate_kernel(
             global_memory=global_memory,
             line_bytes=arch.cache_line_bytes,
         )
-    sim = SMSimulator(arch, cache_config, traits=traits, ilp=ilp)
+    swap_interval, swap_latency = strat.swap_model(
+        arch, launch.block_size, regs_per_thread, smem_per_block, cache_config
+    )
+    sim = SMSimulator(
+        arch,
+        cache_config,
+        traits=traits,
+        ilp=ilp,
+        swap_interval=swap_interval,
+        swap_latency=swap_latency,
+    )
     result = sim.run(traces, warps_per_block)
 
     blocks_per_wave = max(1, (resident // warps_per_block)) * arch.num_sms

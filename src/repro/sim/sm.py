@@ -73,6 +73,8 @@ class SMSimulator:
         cache_config: CacheConfig = CacheConfig.SMALL_CACHE,
         traits: MemoryTraits | None = None,
         ilp: float = 1.0,
+        swap_interval: int = 0,
+        swap_latency: int = 0,
     ) -> None:
         self.arch = arch
         self.cache_config = cache_config
@@ -80,6 +82,14 @@ class SMSimulator:
         if ilp <= 0:
             raise ValueError("ilp must be positive")
         self.ilp = ilp
+        # Soft-limit (oversubscribed) strategies: every ``swap_interval``-th
+        # instruction of a warp pays ``swap_latency`` extra cycles for
+        # register state swapped out of the physical file.  ``0`` (the
+        # default, and every hard-limit strategy) disables the model.
+        if swap_interval < 0 or swap_latency < 0:
+            raise ValueError("swap model parameters cannot be negative")
+        self.swap_interval = swap_interval
+        self.swap_latency = swap_latency
 
     def run(self, traces: list[WarpTrace], warps_per_block: int) -> SMResult:
         if not traces:
@@ -109,6 +119,8 @@ class SMSimulator:
         alu_latency = max(1.0, arch.alu_latency / self.ilp)
         sfu_latency = max(1.0, arch.sfu_latency / self.ilp)
         divergence = self.traits.divergence
+        swap_interval = self.swap_interval
+        swap_latency = self.swap_latency
 
         issue_clock = 0.0
         instructions = 0
@@ -173,6 +185,12 @@ class SMSimulator:
             else:  # ALU and everything else
                 warp.ready = start + alu_latency
                 cost = issue_interval * divergence
+
+            # Oversubscription swap cost (soft-limit strategies): a
+            # deterministic per-warp surcharge on every interval-th
+            # instruction, modelling a register group swapped back in.
+            if swap_interval and (warp.pc + 1) % swap_interval == 0:
+                warp.ready += swap_latency
 
             issue_clock = start + cost
             instructions += 1

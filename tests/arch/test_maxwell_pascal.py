@@ -1,0 +1,96 @@
+"""Maxwell (GTX980) and Pascal (GTX1080) descriptor tests.
+
+Both generations decouple shared memory from L1 — the CacheConfig
+split knob becomes a no-op — and lift the per-thread register encoding
+cap to 255, which moves Orion's spill-free "original" version.  The
+occupancy numbers below are cross-checked against the NVIDIA occupancy
+calculator for sm_52 / sm_61.
+"""
+
+import pytest
+
+from repro.arch import CacheConfig, GTX680, GTX980, GTX1080, TESLA_C2075
+from repro.arch.occupancy import calculate_occupancy
+from repro.arch.specs import all_architectures, known_architectures
+
+
+class TestDescriptors:
+    def test_gtx980(self):
+        assert GTX980.compute_capability == (5, 2)
+        assert GTX980.num_sms == 16
+        assert GTX980.registers_per_sm == 65536
+        assert GTX980.max_registers_per_thread == 255
+        assert GTX980.max_warps_per_sm == 64
+
+    def test_gtx1080(self):
+        assert GTX1080.compute_capability == (6, 1)
+        assert GTX1080.num_sms == 20
+        assert GTX1080.max_registers_per_thread == 255
+        # Pascal's unified L1/texture caches global loads again.
+        assert GTX1080.l1_caches_global
+        assert not GTX980.l1_caches_global
+
+    def test_dedicated_memories_ignore_cache_config(self):
+        for arch in (GTX980, GTX1080):
+            assert arch.shared_memory_bytes(
+                CacheConfig.SMALL_CACHE
+            ) == arch.shared_memory_bytes(CacheConfig.LARGE_CACHE)
+            assert arch.shared_memory_bytes(CacheConfig.SMALL_CACHE) == 96 * 1024
+        assert GTX980.l1_cache_bytes(CacheConfig.LARGE_CACHE) == 24 * 1024
+        assert GTX1080.l1_cache_bytes(CacheConfig.LARGE_CACHE) == 48 * 1024
+
+    def test_registries(self):
+        # The paper-platform pair is untouched; the full registry
+        # appends the new generations after it.
+        assert known_architectures() == (GTX680, TESLA_C2075)
+        assert all_architectures() == (GTX680, TESLA_C2075, GTX980, GTX1080)
+
+    def test_fingerprints_distinct(self):
+        prints = [arch.fingerprint() for arch in all_architectures()]
+        assert len(set(prints)) == len(prints)
+
+    def test_fingerprint_tracks_overrides(self):
+        assert (
+            GTX980.with_overrides(dram_latency=900).fingerprint()
+            != GTX980.fingerprint()
+        )
+
+
+class TestOccupancy:
+    def test_full_occupancy_threshold_is_32_regs(self):
+        # Same 64K registers / 2048 threads ratio as Kepler.
+        for arch in (GTX980, GTX1080):
+            assert arch.registers_per_thread_at_full_occupancy == 32
+            occ = calculate_occupancy(arch, 256, 32)
+            assert occ.active_warps == 64
+            assert occ.occupancy == 1.0
+
+    def test_register_limited_at_255_regs(self):
+        # 255 regs/thread rounds to 256 per the allocation unit:
+        # 65536 / (256 * 32) = 8 warps = 1 block of 256 threads.
+        occ = calculate_occupancy(GTX980, 256, 255)
+        assert occ.limiter == "registers"
+        assert occ.active_blocks == 1
+        assert occ.active_warps == 8
+
+    def test_shared_memory_limited(self):
+        # 96KB dedicated shared memory: a 40KB block fits twice per SM
+        # on Maxwell/Pascal but only once under Kepler's 48KB split.
+        occ = calculate_occupancy(GTX980, 256, 32, smem_per_block=40 * 1024)
+        assert occ.limiter == "shared_memory"
+        assert occ.active_blocks == 2
+        kepler = calculate_occupancy(
+            GTX680, 256, 32, smem_per_block=40 * 1024
+        )
+        assert kepler.active_blocks == 1
+
+    def test_kepler_63_reg_kernels_can_go_spill_free_here(self):
+        # The encoding headroom is the interesting Maxwell difference:
+        # a kernel needing 80 live registers *must* spill on the GTX680
+        # (cap 63) but allocates cleanly on the GTX980 — at a real
+        # occupancy cost the tuner can now trade against spills.
+        assert 80 > GTX680.max_registers_per_thread
+        assert 80 <= GTX980.max_registers_per_thread
+        occ = calculate_occupancy(GTX980, 256, 80)
+        assert occ.is_launchable
+        assert occ.active_warps < 64

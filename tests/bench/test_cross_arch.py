@@ -1,0 +1,74 @@
+"""Cross-architecture tuning differentials (Maxwell/Pascal descriptors).
+
+The portability claim behind :mod:`repro.arch.specs`: pointing the same
+pipeline at a different descriptor must (a) keep every realized version
+functionally identical to the source module and (b) actually *change*
+the tuning plan where the resource tables differ — a 96KB dedicated
+shared-memory SM pads differently than Kepler's 48KB split, and
+Maxwell's 255-register encoding cap changes the spill frontier.
+"""
+
+import pytest
+
+from repro.arch import GTX680, GTX980, GTX1080
+from repro.bench.kernels import BENCHMARKS
+from repro.harness.experiments import compiled
+from repro.sim.interp import LaunchConfig, run_kernel
+
+#: Kernels whose plans are known to move across generations: dxtc is
+#: shared-memory bound (conservative padding scales with the 96KB
+#: array), srad is occupancy-padded (pad sizes follow capacity).
+KERNELS = ("dxtc", "srad")
+
+LAUNCH = LaunchConfig(grid_blocks=1, block_size=32)
+
+
+def _memory():
+    return {i * 4: float(i % 7 + 1) for i in range(4096)}
+
+
+def _plan(binary):
+    return [
+        (v.label, v.regs_per_thread, v.smem_per_block, v.achieved_warps)
+        for v in binary.versions
+    ]
+
+
+@pytest.mark.parametrize("name", KERNELS)
+@pytest.mark.parametrize("arch", [GTX980, GTX1080], ids=lambda a: a.name)
+def test_every_version_matches_the_original(name, arch):
+    spec = BENCHMARKS[name]
+    binary = compiled(spec, arch)
+    reference = run_kernel(spec.build(), LAUNCH, global_memory=_memory())
+    assert reference, "source module stored nothing"
+    for version in (*binary.versions, *binary.failsafe):
+        actual = run_kernel(
+            version.outcome.module, LAUNCH, global_memory=_memory()
+        )
+        assert actual == reference, (
+            f"{name}/{version.label} on {arch.name} diverges from source"
+        )
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_plan_differs_from_kepler(name):
+    kepler = _plan(compiled(BENCHMARKS[name], GTX680))
+    maxwell = _plan(compiled(BENCHMARKS[name], GTX980))
+    assert maxwell != kepler, (
+        f"{name}: GTX980 plan identical to GTX680 — descriptor unused?"
+    )
+
+
+def test_versions_stay_within_arch_limits():
+    from repro.arch import CacheConfig
+
+    for name in KERNELS:
+        for arch in (GTX980, GTX1080):
+            binary = compiled(BENCHMARKS[name], arch)
+            for version in binary.versions:
+                assert (
+                    version.regs_per_thread <= arch.max_registers_per_thread
+                )
+                assert version.smem_per_block <= arch.shared_memory_bytes(
+                    CacheConfig.SMALL_CACHE
+                )

@@ -1,0 +1,111 @@
+"""Strategy-aware candidate plans: defaults frozen, mixed plans merged.
+
+The compile-time tuner enumerates candidates per (strategy × occupancy
+level).  Three contracts matter: the default plan is *exactly* the
+pre-strategy plan (labels, budgets, version hashes), a single
+non-default strategy tags every candidate it realizes, and a mixed
+plan interleaves strategies level by level while keeping the original
+and fail-safes anchored to the primary (reference) strategy.
+"""
+
+import pytest
+
+from repro.arch import GTX680
+from repro.compiler.multiversion import MultiVersionBinary
+from repro.compiler.pipeline import CompileOptions, compile_binary
+from repro.compiler.tuning import compile_time_tuning
+from tests.compiler.test_tuning import pressure_module
+from tests.helpers import loop_kernel
+
+
+@pytest.fixture(autouse=True)
+def _reference_default(monkeypatch):
+    # These tests pin the *no-environment* default; the CI strategy
+    # matrix exports ORION_STRATEGY, which must not leak in here.
+    monkeypatch.delenv("ORION_STRATEGY", raising=False)
+
+
+def _compile(strategy=None, module=None):
+    options = CompileOptions(arch=GTX680, block_size=128, max_versions=4)
+    if strategy is not None:
+        options = CompileOptions(
+            arch=GTX680, block_size=128, max_versions=4, strategy=strategy
+        )
+    return compile_binary(module or pressure_module(), "k", options)
+
+
+class TestDefaultPlanFrozen:
+    def test_explicit_reference_matches_omitted_strategy(self):
+        default = _compile()
+        explicit = _compile("local-spill")
+        assert default.strategies() == ("local-spill",)
+        assert [v.label for v in default.versions] == [
+            v.label for v in explicit.versions
+        ]
+        assert default.to_bytes() == explicit.to_bytes()
+
+    def test_no_strategy_suffix_on_default_labels(self):
+        for version in _compile().versions:
+            assert "[" not in version.label
+
+    def test_serialization_round_trip_keeps_strategy(self):
+        binary = _compile("smem-spill")
+        decoded = MultiVersionBinary.from_bytes(binary.to_bytes())
+        assert decoded.strategies() == ("smem-spill",)
+        assert [v.strategy for v in decoded.versions] == [
+            v.strategy for v in binary.versions
+        ]
+
+
+class TestSingleStrategyPlans:
+    def test_smem_spill_tags_candidates(self):
+        binary = _compile("smem-spill")
+        # The original version realises under the requested strategy
+        # too, so the whole plan is one strategy.
+        assert binary.strategies() == ("smem-spill",)
+        for version in binary.versions[1:]:
+            if version.label != "original":
+                assert version.strategy == "smem-spill"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CompileOptions(
+                arch=GTX680, block_size=128, strategy="bank-remap"
+            )
+
+
+class TestMixedPlans:
+    def test_mixed_interleaves_and_anchors_to_reference(self):
+        plan = compile_time_tuning(
+            pressure_module(),
+            "k",
+            GTX680,
+            256,
+            strategies=("local-spill", "smem-spill"),
+        )
+        assert plan.versions[0].label == "original"
+        assert plan.versions[0].strategy == "local-spill"
+        # Candidates stay sorted by target occupancy; within one level
+        # the reference strategy comes first.
+        warps = [v.achieved_warps for v in plan.versions[1:]]
+        assert warps == sorted(warps)
+        strategies = {v.strategy for v in plan.versions}
+        assert "local-spill" in strategies
+        # Fail-safes are primary-strategy only.
+        for version in plan.failsafe:
+            assert version.strategy == "local-spill"
+
+    def test_mixed_compile_options(self):
+        binary = _compile("mixed")
+        assert set(binary.strategies()) <= {"local-spill", "smem-spill"}
+        assert "local-spill" in binary.strategies()
+
+    def test_downward_plans_use_primary_only(self):
+        # loop_kernel tunes downward (padding); padding never spills,
+        # so a mixed request degenerates to the reference plan.
+        mixed = _compile("mixed", module=loop_kernel())
+        default = _compile(None, module=loop_kernel())
+        assert mixed.strategies() == ("local-spill",)
+        assert [v.label for v in mixed.versions] == [
+            v.label for v in default.versions
+        ]

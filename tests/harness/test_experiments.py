@@ -47,7 +47,9 @@ class TestOccupancySweep:
         assert "gaussian" in text and "occupancy" in text
 
     def test_sweep_cached(self, gaussian_sweep):
-        assert ("gaussian", TESLA_C2075.name, "small_cache") in _SWEEP_CACHE
+        assert (
+            "gaussian", TESLA_C2075.name, "small_cache", "local-spill"
+        ) in _SWEEP_CACHE
         again = occupancy_sweep("gaussian", TESLA_C2075)
         assert again is gaussian_sweep
 

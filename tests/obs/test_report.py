@@ -205,3 +205,56 @@ class TestCompareReports:
         assert compare_reports(base, cur)
         cur["kernels"][0]["total_cycles"] = 5
         assert compare_reports(base, cur) == []
+
+
+class TestStrategyFields:
+    def test_report_carries_strategies(self, charged_registry):
+        report = build(strategy="smem-spill")
+        assert report["strategy"] == "smem-spill"
+        (kernel,) = report["kernels"]
+        # The fake final version has no strategy attribute: the builder
+        # defaults it to the reference id rather than failing.
+        assert kernel["strategy"] == "local-spill"
+        assert validate_bench_report(report) == []
+
+    def test_default_strategy_recorded(self, charged_registry):
+        assert build()["strategy"] == "local-spill"
+
+    def test_non_string_strategy_rejected(self, charged_registry):
+        report = build()
+        report["strategy"] = 7
+        report["kernels"][0]["strategy"] = ["local-spill"]
+        problems = validate_bench_report(report)
+        assert any("strategy: not a string" in p for p in problems)
+        assert any("kernels[0].strategy" in p for p in problems)
+
+    def test_pre_strategy_reports_still_validate(self, charged_registry):
+        report = build()
+        del report["strategy"]
+        del report["kernels"][0]["strategy"]
+        assert validate_bench_report(report) == []
+
+    def test_cross_strategy_compare_rejected(self):
+        base = _timed_report()
+        base["strategy"] = "local-spill"
+        cur = _timed_report()
+        cur["strategy"] = "smem-spill"
+        problems = compare_reports(base, cur)
+        assert any("not comparable" in p for p in problems)
+
+    def test_winner_strategy_drift_flagged(self):
+        base = _timed_report()
+        base["kernels"][0]["strategy"] = "local-spill"
+        cur = _timed_report()
+        cur["kernels"][0]["strategy"] = "smem-spill"
+        problems = compare_reports(base, cur)
+        assert any("winning strategy changed" in p for p in problems)
+
+    def test_strategy_absent_in_baseline_is_not_drift(self):
+        # Comparing a new report against a pre-strategy baseline must
+        # not invent problems.
+        base = _timed_report()
+        cur = _timed_report()
+        cur["strategy"] = "local-spill"
+        cur["kernels"][0]["strategy"] = "local-spill"
+        assert compare_reports(base, cur) == []

@@ -1,0 +1,152 @@
+"""Keying audit regression tests: strategy and arch in every cache key.
+
+The failure mode this guards against is silent aliasing: a tuning
+record learned under ``smem-spill`` warm-starting a ``local-spill``
+client (or a GTX980 record warm-starting a GTX680 session) would skip
+tuning with a winner realized for a different machine.  Every layer of
+persistence — the tuning store key, the measurement cache key, the
+version content hash — must therefore separate strategies and
+architecture descriptors.
+"""
+
+import pytest
+
+from repro.arch import GTX680, GTX980
+from repro.compiler import CompileOptions, compile_binary
+from repro.perf.measure_cache import measurement_cache_key
+from repro.runtime import Workload
+from repro.service.fingerprint import kernel_fingerprint, tuning_key
+from repro.service.store import TuningRecord, TuningStore
+from repro.sim import LaunchConfig
+from tests.helpers import loop_kernel
+
+
+def _compile(strategy="local-spill", arch=GTX680):
+    return compile_binary(
+        loop_kernel(),
+        "k",
+        CompileOptions(
+            arch=arch, block_size=128, max_versions=4, strategy=strategy
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(
+        launch=LaunchConfig(grid_blocks=16, block_size=128), iterations=6
+    )
+
+
+class TestTuningKey:
+    def test_strategies_split_the_key(self, workload):
+        local = _compile("local-spill")
+        smem = _compile("smem-spill")
+        assert tuning_key(local, workload, "GTX680", "timing") != tuning_key(
+            smem, workload, "GTX680", "timing"
+        )
+
+    def test_arch_fingerprint_splits_the_key(self, workload):
+        binary = _compile()
+        assert tuning_key(
+            binary,
+            workload,
+            "GTX680",
+            "timing",
+            arch_fingerprint=GTX680.fingerprint(),
+        ) != tuning_key(
+            binary,
+            workload,
+            "GTX680",  # same marketing name, different resource table
+            "timing",
+            arch_fingerprint=GTX680.with_overrides(
+                registers_per_sm=32768, max_registers_per_thread=63
+            ).fingerprint(),
+        )
+
+    def test_default_strategy_key_is_stable(self, workload):
+        # Two independent default compiles agree — the strategy field
+        # cannot leak compile-order or environment noise into the key.
+        assert tuning_key(_compile(), workload, "GTX680", "timing") == (
+            tuning_key(_compile(), workload, "GTX680", "timing")
+        )
+
+
+class TestStoreRecords:
+    def test_two_strategies_two_records(self, tmp_path, workload):
+        """The ISSUE's regression test: records never alias by strategy."""
+        store = TuningStore(tmp_path / "tuning.jsonl")
+        records = {}
+        for strategy, winner in (
+            ("local-spill", "padded warps=56"),
+            ("smem-spill", "conservative warps=48 [smem-spill]"),
+        ):
+            binary = _compile(strategy)
+            key = tuning_key(
+                binary,
+                workload,
+                "GTX680",
+                "timing",
+                arch_fingerprint=GTX680.fingerprint(),
+            )
+            store.put(
+                TuningRecord(
+                    key=key,
+                    kernel=kernel_fingerprint(binary),
+                    kernel_name="k",
+                    arch="GTX680",
+                    backend="timing",
+                    winner_label=winner,
+                    winner_warps=48,
+                    occupancy=0.75,
+                    total_cycles=1000,
+                )
+            )
+            records[strategy] = key
+        assert records["local-spill"] != records["smem-spill"]
+        assert len(store) == 2
+        loaded = store.get(records["smem-spill"])
+        assert loaded.winner_label == "conservative warps=48 [smem-spill]"
+        assert (
+            store.get(records["local-spill"]).winner_label
+            == "padded warps=56"
+        )
+
+
+class TestMeasurementCacheKey:
+    def _key(self, **overrides):
+        from repro.sim.trace import MemoryTraits
+
+        params = dict(
+            version_hash="abc123",
+            backend_name="timing",
+            arch_name="GTX680",
+            grid_blocks=16,
+            block_size=128,
+            params={},
+            cache_config="small_cache",
+            traits=MemoryTraits(),
+            ilp=1.0,
+            max_events_per_warp=0,
+        )
+        params.update(overrides)
+        return measurement_cache_key(**params)
+
+    def test_strategy_splits_the_key(self):
+        assert self._key(strategy="local-spill") != self._key(
+            strategy="smem-spill"
+        )
+
+    def test_arch_fingerprint_splits_the_key(self):
+        assert self._key(
+            arch_fingerprint=GTX680.fingerprint()
+        ) != self._key(arch_fingerprint=GTX980.fingerprint())
+
+
+class TestVersionHashes:
+    def test_non_default_strategy_changes_version_hashes(self):
+        local = _compile("local-spill")
+        smem = _compile("smem-spill")
+        assert local.strategies() == ("local-spill",)
+        assert smem.strategies() == ("smem-spill",)
+        assert kernel_fingerprint(local) != kernel_fingerprint(smem)

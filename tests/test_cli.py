@@ -269,7 +269,8 @@ class TestFuzz:
     def test_failures_point_at_the_trace(self, tmp_path, capsys, monkeypatch):
         import repro.fuzz.oracle as oracle
 
-        def broken(seed, shape, arch, trace=None, store=None):
+        def broken(seed, shape, arch, trace=None, store=None,
+                   strategy="local-spill"):
             return [oracle.FuzzFailure(seed, shape, "crash", "kaboom",
                                        trace=trace)], 0
 
@@ -415,3 +416,66 @@ class TestMetricsCommand:
         bad.write_text('{"schema": "nope"}')
         assert main(["metrics", str(bad)]) == 1
         assert "invalid report" in capsys.readouterr().err
+
+
+class TestStrategyFlag:
+    @pytest.fixture(autouse=True)
+    def _reference_default(self, monkeypatch):
+        # These tests pin the *no-environment* default; the CI strategy
+        # matrix exports ORION_STRATEGY, which must not leak in here.
+        monkeypatch.delenv("ORION_STRATEGY", raising=False)
+
+    def test_compile_strategy_changes_output(self, call_asm_file, tmp_path, capsys):
+        default = tmp_path / "default.bin"
+        smem = tmp_path / "smem.bin"
+        assert main(["compile", str(call_asm_file), "-o", str(default)]) == 0
+        assert main(
+            ["compile", str(call_asm_file), "-o", str(smem),
+             "--strategy", "smem-spill"]
+        ) == 0
+        assert default.read_bytes() != smem.read_bytes()
+        capsys.readouterr()
+        assert main(["inspect", str(smem)]) == 0
+        assert "smem-spill" in capsys.readouterr().out
+
+    def test_explicit_local_spill_is_the_default(self, call_asm_file, tmp_path):
+        default = tmp_path / "default.bin"
+        explicit = tmp_path / "explicit.bin"
+        main(["compile", str(call_asm_file), "-o", str(default)])
+        main(["compile", str(call_asm_file), "-o", str(explicit),
+              "--strategy", "local-spill"])
+        assert default.read_bytes() == explicit.read_bytes()
+
+    def test_inspect_hides_strategy_column_for_default(
+        self, call_asm_file, tmp_path, capsys
+    ):
+        out = tmp_path / "fat.bin"
+        main(["compile", str(call_asm_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["inspect", str(out)])
+        assert "strategy" not in capsys.readouterr().out
+
+    def test_env_default_drives_compile(
+        self, call_asm_file, tmp_path, monkeypatch
+    ):
+        flagged = tmp_path / "flag.bin"
+        main(["compile", str(call_asm_file), "-o", str(flagged),
+              "--strategy", "smem-spill"])
+        via_env = tmp_path / "env.bin"
+        monkeypatch.setenv("ORION_STRATEGY", "smem-spill")
+        main(["compile", str(call_asm_file), "-o", str(via_env)])
+        assert via_env.read_bytes() == flagged.read_bytes()
+
+    def test_sweep_strategy_tagged(self, asm_file, capsys):
+        code = main(
+            ["sweep", str(asm_file), "--arch", "c2075", "--grid", "16",
+             "--block-size", "128", "--max-events", "300",
+             "--strategy", "smem-spill"]
+        )
+        assert code == 0
+        assert "smem-spill" in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self, call_asm_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compile", str(call_asm_file), "-o",
+                  str(tmp_path / "x.bin"), "--strategy", "zorua"])
