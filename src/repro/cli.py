@@ -23,10 +23,14 @@ CLI exposes the same workflow over ORAS files:
   report's embedded metrics snapshot;
 * ``serve``    — run the tuning daemon: a localhost socket service in
   front of a persistent tuning store (see :mod:`repro.service` and
-  ``docs/service.md``);
+  ``docs/service.md``); ``--ring`` joins a sharded/replicated daemon
+  cluster, ``--http-port`` adds ``/metrics`` + ``/healthz`` over HTTP;
 * ``submit``   — tune a multi-version binary through the daemon (warm
   store hits skip measurement entirely), degrading to in-process
-  tuning when the daemon is unreachable;
+  tuning when the daemon is unreachable; ``--ring`` routes to the
+  kernel's ring owner with failover;
+* ``loadtest`` — drive concurrent tune requests across a daemon ring
+  and report p50/p99 latency and the warm/cold source mix;
 * ``store``    — inspect the persistent tuning store: ``stats``,
   ``gc`` (compact the log), ``export`` (dump live records as JSON).
 
@@ -478,6 +482,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.daemon import DaemonConfig, TuningDaemon
     from repro.service.store import TuningStore
 
+    cluster = None
+    if args.ring:
+        from repro.service.cluster import ClusterConfig
+
+        node_id = args.node_id or f"{args.host}:{args.port}"
+        if args.port == 0 and not args.node_id:
+            raise ValueError(
+                "--ring needs a fixed --port or an explicit --node-id "
+                "(peers must be able to name this daemon)"
+            )
+        cluster = ClusterConfig(
+            node_id=node_id,
+            ring=args.ring,
+            replicas=args.replicas,
+        )
     store = TuningStore(args.store, max_entries=args.max_entries)
     engine = ExecutionEngine(
         ARCHS[args.arch],
@@ -495,15 +514,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             request_timeout=args.request_timeout,
             jobs=args.jobs,
+            http_port=args.http_port,
+            cluster=cluster,
         ),
     )
 
     async def _serve() -> None:
         await daemon.start()
+        extras = ""
+        if daemon.http_port is not None:
+            extras += f", http :{daemon.http_port}"
+        if cluster is not None:
+            extras += (
+                f", ring node {cluster.node_id} of {len(cluster.ring)}"
+            )
         print(
             f"tuning daemon listening on {daemon.config.host}:{daemon.port} "
             f"({engine.arch.name}, {engine.backend.name} backend, "
-            f"store {store.path})",
+            f"store {store.path}{extras})",
             flush=True,
         )
         await daemon.serve_forever()
@@ -525,6 +553,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.compiler.multiversion import MultiVersionBinary
     from repro.runtime.session import Workload
     from repro.service.client import (
+        RingClient,
         ServiceRejected,
         TuningClient,
         tune_with_fallback,
@@ -546,13 +575,18 @@ def cmd_submit(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         max_events_per_warp=args.max_events,
     )
-    client = TuningClient(
-        host=args.host,
-        port=args.port,
-        port_file=args.port_file,
-        timeout=args.timeout,
-        retries=args.retries,
-    )
+    if args.ring:
+        client = RingClient(
+            args.ring, timeout=args.timeout, retries=args.retries
+        )
+    else:
+        client = TuningClient(
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
     if args.no_fallback:
         try:
             response = client.tune(binary, workload)
@@ -576,6 +610,110 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if response.get("degraded_reason"):
         print(f"degraded to local tuning: {response['degraded_reason']}")
     return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive concurrent clients across a daemon ring; report latency."""
+    import json as _json
+    import threading
+    import time as _time
+
+    from repro.compiler.multiversion import MultiVersionBinary
+    from repro.runtime.session import Workload
+    from repro.service.client import RingClient, ServiceRejected
+    from repro.sim.interp import LaunchConfig
+
+    binary = MultiVersionBinary.from_bytes(Path(args.input).read_bytes())
+    workload = Workload(
+        launch=LaunchConfig(
+            grid_blocks=args.grid,
+            block_size=args.block_size or binary.block_size,
+        ),
+        iterations=args.iterations,
+        max_events_per_warp=args.max_events,
+    )
+    total = args.requests
+    clients = max(1, min(args.clients, total))
+    shares = [total // clients] * clients
+    for index in range(total % clients):
+        shares[index] += 1
+
+    latencies: list[float] = []
+    sources: dict[str, int] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def _worker(count: int) -> None:
+        # One RingClient per worker: nothing shared, nothing to contend.
+        ring = RingClient(
+            args.ring, timeout=args.timeout, retries=args.retries
+        )
+        for _ in range(count):
+            started = _time.perf_counter()
+            try:
+                response = ring.tune(binary, workload)
+            except (ServiceRejected, OSError) as exc:
+                with lock:
+                    errors.append(str(exc))
+                continue
+            elapsed = _time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                source = response.get("source", "unknown")
+                sources[source] = sources.get(source, 0) + 1
+
+    threads = [
+        threading.Thread(target=_worker, args=(share,), daemon=True)
+        for share in shares
+        if share
+    ]
+    wall_start = _time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = _time.perf_counter() - wall_start
+
+    def _percentile(values: list[float], q: float) -> float:
+        ordered = sorted(values)
+        index = max(0, min(len(ordered) - 1, int(round(q * len(ordered))) - 1))
+        return ordered[index]
+
+    summary = {
+        "requests": total,
+        "clients": len(threads),
+        "ring": RingClient(args.ring).nodes,
+        "ok": len(latencies),
+        "dropped": len(errors),
+        "wall_seconds": wall,
+        "sources": dict(sorted(sources.items())),
+    }
+    if latencies:
+        summary["p50_ms"] = _percentile(latencies, 0.50) * 1000.0
+        summary["p99_ms"] = _percentile(latencies, 0.99) * 1000.0
+        summary["throughput_rps"] = len(latencies) / wall if wall else 0.0
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"loadtest: {total} request(s) via {len(threads)} client(s) "
+            f"over a {len(summary['ring'])}-node ring in {wall:.2f}s"
+        )
+        print(f"  ok {len(latencies)}, dropped {len(errors)}")
+        if latencies:
+            print(
+                f"  p50 {summary['p50_ms']:.2f} ms   "
+                f"p99 {summary['p99_ms']:.2f} ms   "
+                f"{summary['throughput_rps']:.1f} req/s"
+            )
+        if sources:
+            mix = ", ".join(
+                f"{name} {count}" for name, count in sorted(sources.items())
+            )
+            print(f"  sources: {mix}")
+        for message in errors[:3]:
+            print(f"  error: {message}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -815,6 +953,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 30)")
     p.add_argument("--jobs", type=int, default=2,
                    help="concurrent tuning workers (default: 2)")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="also serve GET /metrics (Prometheus) and "
+                        "GET /healthz on this HTTP port (0 = ephemeral)")
+    p.add_argument("--ring", metavar="H:P,H:P,...",
+                   help="cluster mode: the full host:port member list "
+                        "of the daemon ring (this node included)")
+    p.add_argument("--node-id", metavar="HOST:PORT",
+                   help="this node's advertised ring identity "
+                        "(default: --host:--port)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="copies of each record beyond the ring owner "
+                        "(default: 2)")
     _add_arch(p)
     _add_engine_options(p)
     p.set_defaults(func=cmd_serve)
@@ -831,6 +981,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port-file", metavar="FILE",
                    help="read the daemon port from FILE (repro serve "
                         "--port-file)")
+    p.add_argument("--ring", metavar="H:P,H:P,...",
+                   help="submit through a daemon ring: route to the "
+                        "kernel's owner, fail over ring-wise")
     p.add_argument("--grid", type=int, default=64)
     p.add_argument("--block-size", type=int, default=None,
                    help="default: the binary's compiled block size")
@@ -854,6 +1007,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend for the in-process fallback (default: timing)",
     )
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive concurrent tune requests across a daemon ring and "
+             "report p50/p99 latency",
+    )
+    p.add_argument("input", help="a multi-version binary (repro compile)")
+    p.add_argument("--ring", required=True, metavar="H:P,H:P,...",
+                   help="the daemon ring to drive")
+    p.add_argument("--requests", type=int, default=64,
+                   help="total requests to issue (default: 64)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent client threads (default: 8)")
+    p.add_argument("--grid", type=int, default=64)
+    p.add_argument("--block-size", type=int, default=None,
+                   help="default: the binary's compiled block size")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--max-events", type=int, default=3000)
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client-side socket timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="per-node retries before failing over (default: 1)")
+    p.add_argument("--json", action="store_true",
+                   help="print the summary as JSON")
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "store", help="inspect or maintain a persistent tuning store"

@@ -21,14 +21,27 @@ knowledge away at process exit.  The service layer keeps it:
   its worker pool;
 * :mod:`repro.service.client` — the warm-start client: sync, with
   retry/backoff and graceful degradation to in-process tuning when the
-  daemon is unreachable.
+  daemon is unreachable; :class:`~repro.service.client.RingClient`
+  routes and fails over across a cluster;
+* :mod:`repro.service.cluster` — sharding and replication: the
+  consistent-hash ring, per-node cluster config, and the asynchronous
+  replicator that ships op-log records to replica peers;
+* :mod:`repro.service.http` — the ``/metrics`` + ``/healthz`` HTTP
+  sidecar (``repro serve --http-port``).
 
-The CLI exposes the layer as ``repro serve``, ``repro submit``, and
-``repro store {stats,gc,export}``; `docs/service.md` specifies the
-protocol, the warm-start semantics, and the failure modes.
+The CLI exposes the layer as ``repro serve`` (``--ring`` for cluster
+mode), ``repro submit``, ``repro loadtest``, and ``repro store
+{stats,gc,export}``; `docs/service.md` specifies the protocol, the
+warm-start semantics, the cluster topology, and the failure modes.
 """
 
-from repro.service.client import ServiceUnavailable, TuningClient, tune_with_fallback
+from repro.service.client import (
+    RingClient,
+    ServiceUnavailable,
+    TuningClient,
+    tune_with_fallback,
+)
+from repro.service.cluster import ClusterConfig, HashRing, Replicator
 from repro.service.daemon import DaemonConfig, TuningDaemon
 from repro.service.fingerprint import (
     kernel_fingerprint,
@@ -39,9 +52,13 @@ from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.store import StoreStats, TuningRecord, TuningStore
 
 __all__ = [
+    "ClusterConfig",
     "DaemonConfig",
+    "HashRing",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "Replicator",
+    "RingClient",
     "ServiceUnavailable",
     "StoreStats",
     "TuningClient",

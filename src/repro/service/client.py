@@ -13,7 +13,16 @@ A small synchronous client over the length-prefixed JSON protocol:
   in-process tuning through a local
   :class:`~repro.runtime.engine.ExecutionEngine` (charging
   ``orion_client_fallbacks_total`` so silent degradation shows up in
-  metrics).
+  metrics);
+* **ring awareness** — :class:`RingClient` speaks to a ``--ring``
+  cluster: it derives the same consistent-hash placement the daemons
+  use (kernel fingerprint → owner), sends each request to the best
+  node first, and fails over ring-wise when a node is down (charging
+  ``orion_client_failovers_total``).
+
+Every retry sleep is floored at :data:`MIN_BACKOFF`: a zero ``backoff``
+or a zero ``retry_after`` hint from the daemon must never turn the
+retry loop into a hot spin against a struggling service.
 
 The client never holds a connection across requests: each request is
 one connect/send/receive/close round trip, which keeps it trivially
@@ -31,6 +40,9 @@ from repro.compiler.multiversion import MultiVersionBinary
 from repro.runtime.session import Workload
 from repro.service import protocol
 from repro.service.protocol import ProtocolError
+
+#: lowest allowed retry sleep (seconds); see the module docstring
+MIN_BACKOFF = 0.01
 
 
 class ServiceUnavailable(ConnectionError):
@@ -118,10 +130,16 @@ class TuningClient:
         )
 
     def _delay(self, last_error: Exception | None, attempt: int) -> float:
+        """The sleep before retry ``attempt``, floored at MIN_BACKOFF.
+
+        Without the floor, ``backoff=0`` (or a daemon hinting
+        ``retry_after: 0``) degenerated into a hot loop hammering the
+        exact daemon that just said it was overloaded.
+        """
         hinted = getattr(last_error, "retry_after", None)
         if hinted is not None:
-            return float(hinted)
-        return self.backoff * attempt
+            return max(float(hinted), MIN_BACKOFF)
+        return max(self.backoff * attempt, MIN_BACKOFF)
 
     def _round_trip(self, payload: dict) -> dict:
         with socket.create_connection(
@@ -139,8 +157,13 @@ class TuningClient:
     def stats(self) -> dict:
         return self._checked(self.request(protocol.request("stats")))
 
-    def query(self, key: str) -> dict:
-        return self._checked(self.request(protocol.request("query", key=key)))
+    def query(self, key: str, kernel: str | None = None) -> dict:
+        """Look up a key; ``kernel`` (the kernel fingerprint) lets a
+        clustered daemon forward a local miss to the ring owner."""
+        fields: dict = {"key": key}
+        if kernel:
+            fields["kernel"] = kernel
+        return self._checked(self.request(protocol.request("query", **fields)))
 
     def invalidate(self, key: str) -> dict:
         return self._checked(
@@ -172,6 +195,103 @@ class TuningClient:
                 response.get("error", "daemon rejected the request"),
             )
         return response
+
+
+class RingClient:
+    """A client over a whole daemon ring (``repro submit --ring``).
+
+    Routing mirrors the daemons' placement exactly: the same
+    :class:`~repro.service.cluster.HashRing` over the same node list
+    computes the same owner for the same kernel fingerprint, so the
+    first connection usually lands on the node that holds (or will
+    own) the answer.  When that node is unreachable the request fails
+    over to the next ring-wise node — which, for warm keys, is a
+    replica holding a copy — until the ring is exhausted.
+    """
+
+    def __init__(
+        self,
+        ring: str | list[str],
+        timeout: float = 10.0,
+        retries: int = 1,
+        backoff: float = 0.05,
+        vnodes: int | None = None,
+    ) -> None:
+        from repro.service.cluster import DEFAULT_VNODES, HashRing
+
+        self.ring = HashRing(ring, vnodes or DEFAULT_VNODES)
+        self.nodes = self.ring.nodes
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._clients: dict[str, TuningClient] = {}
+
+    def client_for(self, node: str) -> TuningClient:
+        client = self._clients.get(node)
+        if client is None:
+            from repro.service.cluster import node_address
+
+            host, port = node_address(node)
+            client = TuningClient(
+                host=host,
+                port=port,
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.backoff,
+            )
+            self._clients[node] = client
+        return client
+
+    def route_order(self, kernel_fp: str) -> list[str]:
+        """Owner first, then every successor: the full failover order."""
+        return self.ring.replicas(kernel_fp, len(self.nodes))
+
+    # ------------------------------------------------------------------
+    def tune(self, binary: MultiVersionBinary, workload: Workload) -> dict:
+        from repro.service.fingerprint import kernel_fingerprint
+
+        order = self.route_order(kernel_fingerprint(binary))
+        return self._failover(order, lambda c: c.tune(binary, workload))
+
+    def query(self, key: str, kernel: str | None = None) -> dict:
+        order = self.route_order(kernel) if kernel else list(self.nodes)
+        return self._failover(order, lambda c: c.query(key, kernel=kernel))
+
+    def invalidate(self, key: str) -> dict:
+        # Any node works: the daemon broadcasts the del op ring-wide.
+        return self._failover(
+            list(self.nodes), lambda c: c.invalidate(key)
+        )
+
+    def ping(self) -> dict:
+        return self._failover(list(self.nodes), lambda c: c.ping())
+
+    def stats(self) -> dict:
+        return self._failover(list(self.nodes), lambda c: c.stats())
+
+    # ------------------------------------------------------------------
+    def _failover(self, order: list[str], call) -> dict:
+        last_error: Exception | None = None
+        for index, node in enumerate(order):
+            try:
+                return call(self.client_for(node))
+            except ServiceUnavailable as exc:
+                last_error = exc
+                if index + 1 < len(order):
+                    _count_failover(node)
+                continue
+        raise ServiceUnavailable(
+            f"no ring node answered ({', '.join(order)}): {last_error}"
+        )
+
+
+def _count_failover(node: str) -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "orion_client_failovers_total",
+        "Ring requests that failed over past an unreachable node.",
+    ).inc(node=node)
 
 
 def workload_payload(workload: Workload) -> dict:

@@ -26,11 +26,27 @@ Below the session layer, concurrent cold tunes share the engine's
 from different tune jobs are deduplicated per cache key and dispatched
 in batches (``ORION_ENGINE_BATCH``), exactly like ``run_many``.
 
-Every request is wrapped in a ``daemon_request`` span, charged to
-``orion_daemon_requests_total{type,outcome}`` and the
+Every request is wrapped in a ``daemon_request`` span, charged exactly
+once to ``orion_daemon_requests_total{type,outcome}`` and the
 ``orion_daemon_request_seconds`` histogram, and the live job count is
 mirrored in the ``orion_daemon_queue_depth`` gauge — so a trace plus a
-metrics snapshot fully narrates what the daemon did.
+metrics snapshot fully narrates what the daemon did.  Framing-level
+failures (the connection is unusable afterwards) are counted under the
+distinct outcome ``bad-frame`` so they can never alias a dispatched
+request's count.
+
+**Cluster mode** (``repro serve --ring``, see
+:mod:`repro.service.cluster`): the daemon knows its ring position and
+
+* serves *warm hits from its local store* no matter who owns the key
+  (replication puts copies everywhere they're allowed to be);
+* *forwards* cold tunes for keys it does not own to the owner over the
+  v2 ``forward`` verb, loop-guarded by a hop counter — and degrades to
+  tuning locally when the owner is unreachable, so a dead node never
+  takes its keyspace slice down with it;
+* *replicates* every winner it publishes to the key's replica set, and
+  answers peers' ``replicate``/``sync`` frames by applying their
+  op-log records to its own store.
 """
 
 from __future__ import annotations
@@ -41,7 +57,7 @@ import binascii
 import os
 import struct
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.compiler.multiversion import MultiVersionBinary
@@ -49,7 +65,8 @@ from repro.obs.spans import span, use_hub
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.session import TuningSession, Workload
 from repro.service import protocol
-from repro.service.fingerprint import tuning_key
+from repro.service.cluster import ClusterConfig, Replicator, node_address
+from repro.service.fingerprint import kernel_fingerprint, tuning_key
 from repro.service.store import TuningRecord, TuningStore, record_from_report
 from repro.sim.interp import LaunchConfig
 from repro.sim.trace import MemoryTraits
@@ -57,6 +74,10 @@ from repro.sim.trace import MemoryTraits
 #: request-latency histogram boundaries (seconds) — sub-millisecond
 #: store hits through multi-second cold tunes
 _LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: pull-side catch-up at startup: per-peer attempts and spacing
+_SYNC_ATTEMPTS = 3
+_SYNC_RETRY_DELAY = 0.2
 
 
 @dataclass
@@ -70,6 +91,8 @@ class DaemonConfig:
     request_timeout: float = 30.0  # seconds before a tune answers timeout
     retry_after: float = 0.05  # backpressure hint on queue-full rejections
     jobs: int = 2  # worker threads driving the engine
+    http_port: int | None = None  # /metrics + /healthz sidecar (None: off)
+    cluster: ClusterConfig | None = field(default=None)  # --ring membership
 
 
 def workload_from_payload(payload: dict) -> Workload:
@@ -148,6 +171,17 @@ class TuningDaemon:
         self._inflight: dict[str, asyncio.Future] = {}
         #: distinct tune jobs queued or running (admission control)
         self._pending = 0
+        #: open connection-handler tasks (drained on shutdown)
+        self._conn_tasks: set[asyncio.Task] = set()
+        # -- cluster state (all None/absent in single-daemon mode) -----
+        self.cluster = self.config.cluster
+        self._ring = self.cluster.hash_ring() if self.cluster else None
+        self._replicator: Replicator | None = None
+        self._sync_task: asyncio.Task | None = None
+        #: origin node → (generation, last applied seq), replication lag
+        self._replication_seen: dict[str, tuple[str | None, int]] = {}
+        self.http: "object | None" = None
+        self.http_port: int | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,16 +195,68 @@ class TuningDaemon:
             path = Path(self.config.port_file)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(f"{self.port}\n", encoding="utf-8")
+        if self.config.http_port is not None:
+            from repro.service.http import HttpAdmin
+
+            self.http = HttpAdmin(
+                self, host=self.config.host, port=self.config.http_port
+            )
+            await self.http.start()
+            self.http_port = self.http.port
+        if self.cluster is not None:
+            self._replicator = Replicator(
+                self.cluster.node_id,
+                self.cluster.peers,
+                snapshot_ops=self._snapshot_ops,
+                peer_timeout=self.cluster.peer_timeout,
+            )
+            self._replicator.start()
+            # Pull-side catch-up: a (re)starting node asks each peer for
+            # the records it should hold, off the serving path.
+            self._sync_task = asyncio.get_running_loop().create_task(
+                self._pull_sync()
+            )
 
     async def serve_forever(self) -> None:
-        """Serve until :meth:`stop` (or a shutdown request)."""
+        """Serve until :meth:`stop` (or a shutdown request).
+
+        Shutdown *drains*: in-flight tune jobs get up to the request
+        timeout to finish and publish, and their connection handlers
+        get a short grace period to flush responses, before any
+        executor is torn down — a winner computed mid-shutdown is never
+        dropped unpublished.
+        """
         if self._server is None:
             await self.start()
         async with self._server:
             await self._stop.wait()
+            await self._drain()
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+            try:
+                await self._sync_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._replicator is not None:
+            await self._replicator.stop()
+        if self.http is not None:
+            await self.http.close()
         self._pool.shutdown(wait=True)
         self._store_pool.shutdown(wait=True)
         self.engine.telemetry.flush()
+
+    async def _drain(self) -> None:
+        """Wait (bounded) for in-flight tunes and their responses."""
+        pending = [
+            future for future in self._inflight.values() if not future.done()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=self.config.request_timeout)
+        handlers = [task for task in self._conn_tasks if not task.done()]
+        if handlers:
+            # Enough for a completed job's response to hit the socket;
+            # idle keep-alive connections are abandoned at the bound.
+            await asyncio.wait(handlers, timeout=2.0)
 
     def stop(self) -> None:
         self._stop.set()
@@ -185,12 +271,19 @@ class TuningDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 try:
                     payload = await protocol.read_frame(reader)
                 except protocol.ProtocolError as exc:
-                    self._count("unknown", "bad-request")
+                    # A framing failure is not a dispatched request:
+                    # count it under its own outcome so a request can
+                    # never be charged twice (once here, once by
+                    # _dispatch for a later frame of this connection).
+                    self._count("unknown", "bad-frame")
                     await self._respond(
                         writer,
                         protocol.error(protocol.CODE_BAD_REQUEST, str(exc)),
@@ -205,6 +298,8 @@ class TuningDaemon:
         except (ConnectionError, asyncio.CancelledError):
             pass  # client went away; nothing to answer
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -220,24 +315,33 @@ class TuningDaemon:
             pass  # client vanished between request and response
 
     async def _dispatch(self, payload: dict) -> dict:
+        """Route one request frame; charge metrics *exactly once*.
+
+        Every dispatched frame — good, malformed envelope, or worker
+        failure — reaches the single ``_count`` call below with one
+        (type, outcome) pair, and the latency histogram observes the
+        same population.
+        """
         loop = asyncio.get_running_loop()
         start = loop.time()
+        type_ = "unknown"
         try:
             type_ = protocol.validate_request(payload)
         except protocol.ProtocolError as exc:
-            self._count("unknown", "bad-request")
-            return protocol.error(protocol.CODE_BAD_REQUEST, str(exc))
-        with use_hub(self.engine.telemetry), span(
-            "daemon_request", type=type_
-        ):
-            try:
-                response, outcome = await self._handle(type_, payload)
-            except Exception as exc:  # noqa: BLE001 — daemon must survive
-                response = protocol.error(
-                    protocol.CODE_INTERNAL,
-                    f"{type(exc).__name__}: {exc}",
-                )
-                outcome = "internal-error"
+            response = protocol.error(protocol.CODE_BAD_REQUEST, str(exc))
+            outcome = "bad-request"
+        else:
+            with use_hub(self.engine.telemetry), span(
+                "daemon_request", type=type_
+            ):
+                try:
+                    response, outcome = await self._handle(type_, payload)
+                except Exception as exc:  # noqa: BLE001 — daemon must survive
+                    response = protocol.error(
+                        protocol.CODE_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                    outcome = "internal-error"
         self._count(type_, outcome)
         _registry().histogram(
             "orion_daemon_request_seconds",
@@ -246,35 +350,37 @@ class TuningDaemon:
         ).observe(loop.time() - start, type=type_)
         return response
 
-    async def _handle(self, type_: str, payload: dict) -> tuple[dict, str]:
+    async def _handle(
+        self, type_: str, payload: dict, hops: int = 0
+    ) -> tuple[dict, str]:
         if type_ == "ping":
-            return protocol.ok(version=protocol.PROTOCOL_VERSION), "ok"
+            # Echo the negotiated version: a v1 client sees exactly the
+            # v1 response bytes it always did.
+            version = min(payload.get("v"), protocol.PROTOCOL_VERSION)
+            return protocol.ok(version=version), "ok"
         if type_ == "stats":
             return await self._stats_response(), "ok"
         if type_ == "shutdown":
             self.stop()
             return protocol.ok(stopping=True), "ok"
         if type_ == "query":
-            return await self._query(payload)
+            return await self._query(payload, hops)
         if type_ == "invalidate":
-            key = payload.get("key")
-            if not isinstance(key, str):
-                return (
-                    protocol.error(
-                        protocol.CODE_BAD_REQUEST, "invalidate needs a key"
-                    ),
-                    "bad-request",
-                )
-            removed = await self._store_call(self.store.invalidate, key)
-            return protocol.ok(removed=removed), "ok"
-        return await self._tune(payload)
+            return await self._invalidate(payload, hops)
+        if type_ == "forward":
+            return await self._forwarded(payload)
+        if type_ == "replicate":
+            return await self._replicate(payload)
+        if type_ == "sync":
+            return await self._sync(payload)
+        return await self._tune(payload, hops)
 
     async def _store_call(self, fn, *args):
         """Run one blocking store operation off the event-loop thread."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._store_pool, fn, *args)
 
-    async def _query(self, payload: dict) -> tuple[dict, str]:
+    async def _query(self, payload: dict, hops: int = 0) -> tuple[dict, str]:
         key = payload.get("key")
         if not isinstance(key, str):
             return (
@@ -284,14 +390,47 @@ class TuningDaemon:
                 "bad-request",
             )
         record = await self._store_call(self.store.peek, key)
-        if record is None:
-            return protocol.ok(found=False, key=key), "miss"
-        return protocol.ok(found=True, record=record.to_payload()), "hit"
+        if record is not None:
+            response = protocol.ok(found=True, record=record.to_payload())
+            return self._stamp_node(response), "hit"
+        # A local miss may be a misplaced key: when the client names the
+        # kernel fingerprint, route the query to the ring owner.
+        kernel = payload.get("kernel")
+        if (
+            self._ring is not None
+            and isinstance(kernel, str)
+            and kernel
+        ):
+            owner = self._ring.owner(kernel)
+            if owner != self.cluster.node_id:
+                forwarded = await self._forward_to(owner, payload, hops)
+                if forwarded is not None:
+                    return forwarded
+        return self._stamp_node(protocol.ok(found=False, key=key)), "miss"
+
+    async def _invalidate(
+        self, payload: dict, hops: int = 0
+    ) -> tuple[dict, str]:
+        key = payload.get("key")
+        if not isinstance(key, str):
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST, "invalidate needs a key"
+                ),
+                "bad-request",
+            )
+        removed = await self._store_call(self.store.invalidate, key)
+        # Replicas and even non-replica nodes may hold a copy (the ring
+        # may have been resized); a client-originated invalidation
+        # (hops == 0) therefore broadcasts the del op to every peer.
+        if self._replicator is not None and hops == 0:
+            self._replicator.publish({"op": "del", "key": key})
+        return self._stamp_node(protocol.ok(removed=removed)), "ok"
 
     # ------------------------------------------------------------------
     # The tune path
     # ------------------------------------------------------------------
-    async def _tune(self, payload: dict) -> tuple[dict, str]:
+    async def _tune(self, payload: dict, hops: int = 0) -> tuple[dict, str]:
         try:
             binary = decode_binary(payload.get("binary") or "")
             workload = workload_from_payload(payload.get("workload") or {})
@@ -310,15 +449,40 @@ class TuningDaemon:
         )
         record = await self._store_call(self.store.get, key)
         if record is not None:
+            # Replica-local warm hit: replication put a copy here, so
+            # even a non-owner answers with zero measurements and zero
+            # extra network hops.
             return (
-                protocol.ok(
-                    source="store", key=key, record=record.to_payload()
+                self._stamp_node(
+                    protocol.ok(
+                        source="store", key=key, record=record.to_payload()
+                    )
                 ),
                 "store-hit",
             )
+        kernel_fp = None
+        if self._ring is not None:
+            # Cold tune for a key this node does not own: hand it to
+            # the owner so the kernel's single-flight dedup stays on
+            # one daemon.  An unreachable owner degrades to tuning
+            # locally — a dead node never blackholes its key range.
+            kernel_fp = kernel_fingerprint(binary)
+            owner = self._ring.owner(kernel_fp)
+            if owner != self.cluster.node_id:
+                forwarded = await self._forward_to(owner, payload, hops)
+                if forwarded is not None:
+                    return forwarded
         future = self._inflight.get(key)
         joined = future is not None
         if not joined:
+            if self._stop.is_set():
+                return (
+                    protocol.error(
+                        protocol.CODE_SHUTTING_DOWN,
+                        "daemon is draining; no new tune jobs admitted",
+                    ),
+                    "shutting-down",
+                )
             if self._pending >= self.config.max_pending:
                 return (
                     protocol.error(
@@ -351,11 +515,17 @@ class TuningDaemon:
                 ),
                 "tune-failed",
             )
+        if not joined and self._replicator is not None:
+            await self._replicate_publish(
+                key, kernel_fp or kernel_fingerprint(binary)
+            )
         return (
-            protocol.ok(
-                source="deduped" if joined else "tuned",
-                key=key,
-                record=record.to_payload(),
+            self._stamp_node(
+                protocol.ok(
+                    source="deduped" if joined else "tuned",
+                    key=key,
+                    record=record.to_payload(),
+                )
             ),
             "deduped" if joined else "tuned",
         )
@@ -404,22 +574,322 @@ class TuningDaemon:
         return record
 
     # ------------------------------------------------------------------
+    # Cluster plane (forwarding, replication, catch-up)
+    # ------------------------------------------------------------------
+    def _stamp_node(self, response: dict) -> dict:
+        """Name the answering node on cluster responses.
+
+        Single-daemon responses stay byte-identical to a non-clustered
+        daemon's — no field is added unless ``--ring`` was given.
+        """
+        if self.cluster is not None:
+            response["node"] = self.cluster.node_id
+        return response
+
+    async def _forward_to(
+        self, owner: str, payload: dict, hops: int
+    ) -> tuple[dict, str] | None:
+        """Relay a client request to the ring owner.
+
+        Returns the (response, outcome) to answer with, or ``None``
+        when the owner is unreachable — the caller then serves the
+        request locally instead of failing it.
+        """
+        if hops + 1 > self.cluster.max_hops:
+            return (
+                protocol.error(
+                    protocol.CODE_FORWARD_LOOP,
+                    f"forward exceeded {self.cluster.max_hops} hop(s) "
+                    "without finding an owner; ring views disagree",
+                ),
+                "forward-loop",
+            )
+        host, port = node_address(owner)
+        try:
+            response = await protocol.async_round_trip(
+                host,
+                port,
+                protocol.request("forward", hops=hops + 1, request=payload),
+                timeout=self.config.request_timeout,
+            )
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            self._count_forward(owner, "peer-down")
+            return None
+        self._count_forward(owner, "ok")
+        return response, "forwarded"
+
+    async def _forwarded(self, payload: dict) -> tuple[dict, str]:
+        """Serve a ``forward`` frame from a peer daemon."""
+        if self.cluster is None:
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    "this daemon is not in cluster mode",
+                ),
+                "bad-request",
+            )
+        hops = payload.get("hops")
+        inner = payload.get("request")
+        if not isinstance(hops, int) or hops < 1 or not isinstance(inner, dict):
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    "forward needs hops >= 1 and a request object",
+                ),
+                "bad-request",
+            )
+        if hops > self.cluster.max_hops:
+            return (
+                protocol.error(
+                    protocol.CODE_FORWARD_LOOP,
+                    f"forward traversed {hops} hop(s) on a "
+                    f"{len(self.cluster.ring)}-node ring",
+                ),
+                "forward-loop",
+            )
+        try:
+            inner_type = protocol.validate_request(inner)
+        except protocol.ProtocolError as exc:
+            return (
+                protocol.error(protocol.CODE_BAD_REQUEST, str(exc)),
+                "bad-request",
+            )
+        if inner_type not in protocol.FORWARDABLE_TYPES:
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    f"request type {inner_type!r} cannot be forwarded",
+                ),
+                "bad-request",
+            )
+        return await self._handle(inner_type, inner, hops=hops)
+
+    async def _replicate(self, payload: dict) -> tuple[dict, str]:
+        """Apply a peer's shipped op-log records to the local store."""
+        if self.cluster is None:
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    "this daemon is not in cluster mode",
+                ),
+                "bad-request",
+            )
+        ops = payload.get("ops")
+        if not isinstance(ops, list):
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST, "replicate needs an ops list"
+                ),
+                "bad-request",
+            )
+        applied = await self._apply_ops(ops)
+        origin = payload.get("origin")
+        if isinstance(origin, str):
+            seqs = [
+                op.get("seq")
+                for op in ops
+                if isinstance(op, dict) and isinstance(op.get("seq"), int)
+            ]
+            previous = self._replication_seen.get(origin, (None, 0))[1]
+            self._replication_seen[origin] = (
+                payload.get("generation"),
+                max(seqs, default=previous),
+            )
+        return protocol.ok(applied=applied), "ok"
+
+    async def _sync(self, payload: dict) -> tuple[dict, str]:
+        """Answer a peer's pull-side catch-up with the ops it should hold."""
+        if self.cluster is None:
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    "this daemon is not in cluster mode",
+                ),
+                "bad-request",
+            )
+        requester = payload.get("requester")
+        if requester not in self.cluster.ring:
+            return (
+                protocol.error(
+                    protocol.CODE_BAD_REQUEST,
+                    f"sync requester {requester!r} is not a ring member",
+                ),
+                "bad-request",
+            )
+        generation, ops = await self._snapshot_ops()
+        wanted = [op for op in ops if self._belongs_on(requester, op)]
+        return protocol.ok(generation=generation, ops=wanted), "ok"
+
+    def _belongs_on(self, node: str, op: dict) -> bool:
+        """Should ``node`` hold the record this put op carries?
+
+        Records whose kernel fingerprint is missing (legacy or foreign
+        writes) are offered to everyone — over-replication is harmless,
+        a silent gap is not.
+        """
+        record = op.get("record")
+        kernel = record.get("kernel") if isinstance(record, dict) else None
+        if not isinstance(kernel, str) or not kernel:
+            return True
+        return node in self._ring.replicas(kernel, self.cluster.replicas)
+
+    async def _apply_ops(self, ops: list, only_missing: bool = False) -> int:
+        """Apply put/del ops from a peer; returns how many landed.
+
+        Malformed ops are skipped, not fatal — one bad record in a
+        batch must not block the rest of the catch-up.  Applied ops are
+        never re-published to the replicator (no replication loops).
+        """
+        applied = 0
+        for op in ops:
+            if not isinstance(op, dict):
+                continue
+            kind = op.get("op")
+            key = op.get("key")
+            if not isinstance(key, str) or not key:
+                continue
+            if kind == "put":
+                record_payload = op.get("record")
+                if not isinstance(record_payload, dict):
+                    continue
+                try:
+                    record = TuningRecord.from_payload(record_payload)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if only_missing:
+                    existing = await self._store_call(self.store.peek, key)
+                    if existing is not None:
+                        continue
+                await self._store_call(self.store.put, record)
+                applied += 1
+            elif kind == "del":
+                await self._store_call(self.store.invalidate, key)
+                applied += 1
+        if applied:
+            _registry().counter(
+                "orion_cluster_replication_ops_total",
+                "Replication ops by direction (shipped by origin, "
+                "applied by replica).",
+            ).inc(applied, direction="applied")
+        return applied
+
+    async def _replicate_publish(self, key: str, kernel_fp: str) -> None:
+        """Enqueue a freshly tuned winner for its replica peers."""
+        op = await self._store_call(self.store.op_for, key)
+        if op is None:
+            return  # evicted between publish and here; nothing to ship
+        targets = [
+            node
+            for node in self._ring.replicas(kernel_fp, self.cluster.replicas)
+            if node != self.cluster.node_id
+        ]
+        if targets:
+            self._replicator.publish(op, peers=targets)
+
+    async def _pull_sync(self) -> None:
+        """Startup catch-up: ask each peer for this node's records."""
+        for peer in self.cluster.peers:
+            host, port = node_address(peer)
+            for attempt in range(_SYNC_ATTEMPTS):
+                try:
+                    response = await protocol.async_round_trip(
+                        host,
+                        port,
+                        protocol.request(
+                            "sync", requester=self.cluster.node_id
+                        ),
+                        timeout=self.cluster.peer_timeout,
+                    )
+                except (
+                    OSError,
+                    protocol.ProtocolError,
+                    asyncio.TimeoutError,
+                ):
+                    if attempt + 1 < _SYNC_ATTEMPTS:
+                        await asyncio.sleep(_SYNC_RETRY_DELAY)
+                    continue
+                if response.get("ok") is True:
+                    ops = response.get("ops")
+                    if isinstance(ops, list):
+                        # Only fill gaps: local records are never
+                        # clobbered by a peer's possibly older copy.
+                        await self._apply_ops(
+                            [
+                                op
+                                for op in ops
+                                if isinstance(op, dict)
+                                and op.get("op") == "put"
+                            ],
+                            only_missing=True,
+                        )
+                break
+
+    async def _snapshot_ops(self) -> tuple[str | None, list[dict]]:
+        return await self._store_call(self.store.snapshot_ops)
+
+    def _count_forward(self, peer: str, outcome: str) -> None:
+        _registry().counter(
+            "orion_cluster_forwards_total",
+            "Requests forwarded to ring owners, by peer and outcome.",
+        ).inc(peer=peer, outcome=outcome)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     async def _stats_response(self) -> dict:
         stats = await self._store_call(self.store.stats)
-        return protocol.ok(
-            store=stats.to_payload(),
-            daemon={
-                "pending": self._pending,
-                "max_pending": self.config.max_pending,
-                "inflight_keys": len(self._inflight),
-                "jobs": self.config.jobs,
-                "request_timeout": self.config.request_timeout,
-                "arch": self.engine.arch.name,
-                "backend": self.engine.backend.name,
+        daemon = {
+            "pending": self._pending,
+            "max_pending": self.config.max_pending,
+            "inflight_keys": len(self._inflight),
+            "jobs": self.config.jobs,
+            "request_timeout": self.config.request_timeout,
+            "arch": self.engine.arch.name,
+            "backend": self.engine.backend.name,
+        }
+        response = protocol.ok(store=stats.to_payload(), daemon=daemon)
+        if self.cluster is not None:
+            response["cluster"] = self._cluster_stats()
+        return response
+
+    def _cluster_stats(self) -> dict:
+        replicator = self._replicator
+        return {
+            "node_id": self.cluster.node_id,
+            "ring": list(self.cluster.ring),
+            "replicas": self.cluster.replicas,
+            "vnodes": self.cluster.vnodes,
+            "backlog": replicator.backlog() if replicator else {},
+            "behind": replicator.behind() if replicator else [],
+            "applied_from": {
+                origin: {"generation": generation, "seq": seq}
+                for origin, (generation, seq) in sorted(
+                    self._replication_seen.items()
+                )
             },
-        )
+        }
+
+    async def health(self) -> dict:
+        """The ``/healthz`` document (see :mod:`repro.service.http`).
+
+        ``ok`` is liveness *and* readiness: false while draining, so a
+        load balancer stops routing to a daemon that is shutting down
+        before its socket actually closes.
+        """
+        stats = await self._store_call(self.store.stats)
+        body = {
+            "ok": not self._stop.is_set(),
+            "draining": self._stop.is_set(),
+            "pending": self._pending,
+            "max_pending": self.config.max_pending,
+            "inflight": len(self._inflight),
+            "store_entries": stats.entries,
+            "arch": self.engine.arch.name,
+            "backend": self.engine.backend.name,
+        }
+        if self.cluster is not None:
+            body["cluster"] = self._cluster_stats()
+        return body
 
     def _set_queue_depth(self) -> None:
         _registry().gauge(

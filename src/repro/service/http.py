@@ -1,0 +1,124 @@
+"""The daemon's HTTP sidecar: native Prometheus scraping + health.
+
+``repro serve --http-port N`` starts this tiny asyncio HTTP/1.1 server
+next to the frame-protocol socket.  It exists so fleet tooling that
+speaks HTTP — Prometheus, load balancers, Kubernetes probes — can
+observe a daemon without learning the length-prefixed JSON protocol:
+
+* ``GET /metrics``  — the process metrics registry in Prometheus text
+  exposition format (the same rendering as ``repro metrics``, but live
+  and scrapeable);
+* ``GET /healthz``  — a JSON liveness/readiness document: node
+  identity, ring membership, queue depth, store size, and replication
+  lag, so a probe can distinguish *up* from *healthy*.
+
+Deliberately minimal: GET only, ``Connection: close``, no TLS, no
+routing table.  Anything fancier belongs in front of the daemon, not
+inside it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+_MAX_REQUEST_LINE = 4096
+_MAX_HEADER_LINES = 64
+
+
+class HttpAdmin:
+    """Serve ``/metrics`` and ``/healthz`` for one tuning daemon."""
+
+    def __init__(
+        self,
+        daemon,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.daemon = daemon
+        self.host = host
+        self.port: int | None = port or None
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._respond_to(reader)
+            writer.write(_response(status, content_type, body))
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass  # scraper went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond_to(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+        except asyncio.TimeoutError:
+            return "408 Request Timeout", "text/plain", b"request timeout\n"
+        if len(request_line) > _MAX_REQUEST_LINE:
+            return "414 URI Too Long", "text/plain", b"request line too long\n"
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return "400 Bad Request", "text/plain", b"malformed request line\n"
+        method, path = parts[0], parts[1]
+        # Drain headers so well-behaved clients see a clean close.
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", b"GET only\n"
+        if path in ("/metrics", "/metrics/"):
+            return "200 OK", _PROMETHEUS_TYPE, self._metrics_body()
+        if path in ("/healthz", "/healthz/", "/health"):
+            body = await self.daemon.health()
+            status = "200 OK" if body.get("ok") else "503 Service Unavailable"
+            return (
+                status,
+                "application/json",
+                (json.dumps(body, sort_keys=True) + "\n").encode("utf-8"),
+            )
+        return "404 Not Found", "text/plain", b"try /metrics or /healthz\n"
+
+    def _metrics_body(self) -> bytes:
+        from repro.obs.metrics import get_registry, render_prometheus
+
+        return render_prometheus(get_registry().snapshot()).encode("utf-8")
+
+
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -15,6 +15,23 @@ Requests are objects with a protocol version and a ``type``::
     {"v": 1, "type": "ping"}
     {"v": 1, "type": "shutdown"}
 
+Protocol **version 2** adds the daemon-to-daemon cluster verbs (see
+:mod:`repro.service.cluster`); a v1 client keeps working unchanged —
+the daemon accepts every version in :data:`SUPPORTED_VERSIONS` and
+answers a v1 request exactly as a v1 daemon would::
+
+    {"v": 2, "type": "forward", "hops": 1, "request": {...}}
+    {"v": 2, "type": "replicate", "origin": "h:p", "generation": "...",
+     "ops": [{"op": "put", "seq": 3, "key": "<hex>", "record": {...}}]}
+    {"v": 2, "type": "sync", "requester": "h:p"}
+
+``forward`` wraps a misplaced client request on its way to the ring
+node that owns the key; ``hops`` counts daemon-to-daemon traversals
+and is rejected with ``forward-loop`` once it exceeds the ring size.
+``replicate`` ships op-log records (with the origin store's header
+generation id) to replicas; ``sync`` is the pull-side catch-up a
+(re)starting node sends each peer.
+
 Responses always carry ``ok``.  Failures add a machine-readable
 ``code`` and human-readable ``error``; ``queue-full`` rejections add
 ``retry_after`` (seconds), the backpressure signal clients honour
@@ -34,14 +51,36 @@ import json
 import socket
 import struct
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: every protocol version this daemon still speaks; v1 predates the
+#: cluster verbs and stays accepted so old clients keep working
+SUPPORTED_VERSIONS = (1, 2)
 
 #: largest accepted frame; a fat binary with dozens of versions is
 #: well under a megabyte, so 16 MiB is generous without letting a
 #: malformed length prefix allocate unbounded memory
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
-REQUEST_TYPES = ("tune", "query", "invalidate", "stats", "ping", "shutdown")
+REQUEST_TYPES = (
+    "tune",
+    "query",
+    "invalidate",
+    "stats",
+    "ping",
+    "shutdown",
+    "forward",
+    "replicate",
+    "sync",
+)
+
+#: request types that only exist from protocol version 2 on
+V2_REQUEST_TYPES = ("forward", "replicate", "sync")
+
+#: request types a ``forward`` frame may wrap (client-plane only;
+#: wrapping another forward — or a cluster verb — would allow loops
+#: the hop counter cannot see)
+FORWARDABLE_TYPES = ("tune", "query", "invalidate")
 
 #: failure codes responses may carry
 CODE_BAD_REQUEST = "bad-request"
@@ -49,6 +88,7 @@ CODE_QUEUE_FULL = "queue-full"
 CODE_TIMEOUT = "timeout"
 CODE_INTERNAL = "internal"
 CODE_SHUTTING_DOWN = "shutting-down"
+CODE_FORWARD_LOOP = "forward-loop"
 
 _LENGTH = struct.Struct(">I")
 
@@ -106,6 +146,32 @@ async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
     await writer.drain()
 
 
+async def async_round_trip(
+    host: str, port: int, payload: dict, timeout: float = 10.0
+) -> dict:
+    """One request/response exchange with a peer daemon (async side).
+
+    ``timeout`` bounds the connect and the response read separately —
+    a forwarded cold tune legitimately takes seconds, so callers pass
+    their request deadline rather than a connect-scale value.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        await write_frame(writer, payload)
+        response = await asyncio.wait_for(read_frame(reader), timeout)
+        if response is None:
+            raise ProtocolError("peer closed before responding")
+        return response
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
 # ----------------------------------------------------------------------
 # Blocking side (client)
 # ----------------------------------------------------------------------
@@ -153,15 +219,20 @@ def validate_request(payload: dict) -> str:
     """Check the envelope; returns the request type.
 
     Raises :class:`ProtocolError` with a client-presentable message on
-    any envelope problem (bad version, unknown type).
+    any envelope problem (bad version, unknown type, or a cluster verb
+    sent under protocol version 1).
     """
     version = payload.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version!r} "
-            f"(this daemon speaks {PROTOCOL_VERSION})"
+            f"(this daemon speaks {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
     type_ = payload.get("type")
     if type_ not in REQUEST_TYPES:
         raise ProtocolError(f"unknown request type {type_!r}")
+    if type_ in V2_REQUEST_TYPES and version < 2:
+        raise ProtocolError(
+            f"request type {type_!r} needs protocol version 2"
+        )
     return type_

@@ -454,8 +454,13 @@ class TuningStore:
                 else None
             )
 
-    def put(self, record: TuningRecord) -> None:
-        """Insert or replace one record; may evict under the LRU bound."""
+    def put(self, record: TuningRecord) -> int:
+        """Insert or replace one record; may evict under the LRU bound.
+
+        Returns the op-log sequence number of the write, so callers
+        that ship the op elsewhere (the cluster replicator) can quote
+        the exact record they appended.
+        """
         with self._locked():
             seq = self._next_seq()
             self._entries[record.key] = _Entry(
@@ -478,6 +483,7 @@ class TuningStore:
             _metrics().gauge(
                 "orion_store_entries", "Live tuning-store records."
             ).set(len(self._entries))
+            return seq
 
     def invalidate(self, key: str) -> bool:
         """Drop one record; returns whether it existed."""
@@ -498,6 +504,58 @@ class TuningStore:
             return [
                 self._entries[key].record for key in sorted(self._entries)
             ]
+
+    @property
+    def generation(self) -> str | None:
+        """The header generation id this instance last replayed.
+
+        Stamped fresh on every compaction/rewrite; replication frames
+        carry it so a replica can tell which incarnation of the origin
+        log an op came from.
+        """
+        return self._generation
+
+    def snapshot_ops(self) -> tuple[str | None, list[dict]]:
+        """The live state as (generation, replayable ``put`` ops).
+
+        Ops carry their records' current op-log sequence numbers and
+        are ordered by ``(last_used, key)`` — replaying them into an
+        empty store reproduces both the records and their LRU order.
+        This is the catch-up payload the cluster replicator ships to a
+        peer that reconnects after missing traffic.
+        """
+        with self._locked():
+            ordered = sorted(
+                self._entries.items(), key=lambda kv: (kv[1].last_used, kv[0])
+            )
+            return self._generation, [
+                {
+                    "op": "put",
+                    "seq": entry.last_used,
+                    "key": key,
+                    "record": dict(entry.record),
+                }
+                for key, entry in ordered
+            ]
+
+    def op_for(self, key: str) -> dict | None:
+        """The current ``put`` op for one live record, or ``None``.
+
+        This is what the daemon hands the replicator after a cold tune:
+        the exact op-log shape of the record as this store holds it,
+        including its sequence number, so replicas apply the same bytes
+        the origin logged.
+        """
+        with self._locked():
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return {
+                "op": "put",
+                "seq": entry.last_used,
+                "key": key,
+                "record": dict(entry.record),
+            }
 
     def stats(self) -> StoreStats:
         with self._locked():

@@ -184,6 +184,123 @@ class TestServeSubmit:
         assert "error:" in capsys.readouterr().err
 
 
+class TestRingCli:
+    @staticmethod
+    def _free_ports(count):
+        import socket
+
+        sockets = [socket.socket() for _ in range(count)]
+        try:
+            for sock in sockets:
+                sock.bind(("127.0.0.1", 0))
+            return [sock.getsockname()[1] for sock in sockets]
+        finally:
+            for sock in sockets:
+                sock.close()
+
+    def test_serve_ring_requires_identity(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--store",
+                str(tmp_path / "s.jsonl"),
+                "--ring",
+                "127.0.0.1:1,127.0.0.1:2",
+            ]
+        )
+        assert code == 1
+        assert "--node-id" in capsys.readouterr().err
+
+    def test_submit_and_loadtest_across_a_cli_ring(
+        self, tmp_path, fat_binary, capsys
+    ):
+        ports = self._free_ports(2)
+        ring = ",".join(f"127.0.0.1:{port}" for port in ports)
+        threads = []
+        for port in ports:
+            thread = threading.Thread(
+                target=main,
+                args=(
+                    [
+                        "serve",
+                        "--store",
+                        str(tmp_path / f"store-{port}.jsonl"),
+                        "--port",
+                        str(port),
+                        "--ring",
+                        ring,
+                    ],
+                ),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        deadline = time.monotonic() + 15
+        ready = set()
+        while len(ready) < len(ports) and time.monotonic() < deadline:
+            for port in ports:
+                if port in ready:
+                    continue
+                try:
+                    TuningClient(port=port, retries=0).ping()
+                    ready.add(port)
+                except OSError:
+                    pass
+            time.sleep(0.02)
+        assert len(ready) == len(ports), "ring daemons never came up"
+        try:
+            submit = [
+                "submit",
+                str(fat_binary),
+                "--ring",
+                ring,
+                "--grid",
+                "16",
+                "--iterations",
+                "6",
+                "--max-events",
+                "2000",
+            ]
+            assert main(submit) == 0
+            assert "source: tuned" in capsys.readouterr().out
+            assert (
+                main(
+                    [
+                        "loadtest",
+                        str(fat_binary),
+                        "--ring",
+                        ring,
+                        "--requests",
+                        "12",
+                        "--clients",
+                        "3",
+                        "--grid",
+                        "16",
+                        "--iterations",
+                        "6",
+                        "--max-events",
+                        "2000",
+                        "--json",
+                    ]
+                )
+                == 0
+            )
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["ok"] == 12
+            assert summary["dropped"] == 0
+            assert summary["p99_ms"] > 0
+            assert summary["sources"].get("store", 0) >= 11
+        finally:
+            for port in ports:
+                try:
+                    TuningClient(port=port, retries=0).shutdown()
+                except OSError:
+                    pass
+            for thread in threads:
+                thread.join(timeout=15)
+        assert not any(thread.is_alive() for thread in threads)
+
+
 class TestFuzzStoreFlag:
     def test_fuzz_with_store(self, tmp_path, capsys):
         path = tmp_path / "fuzz.jsonl"

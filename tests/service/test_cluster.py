@@ -1,0 +1,422 @@
+"""Cluster tests: ring placement, forwarding, replication, failover.
+
+Unit tests cover the :class:`HashRing` math and config validation;
+integration tests run several real daemons in one process (each on its
+own background event loop, exactly like the single-daemon tests) wired
+into a shared ring, and drive them with the real clients.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.arch import GTX680
+from repro.compiler import CompileOptions, compile_binary
+from repro.obs.metrics import get_registry
+from repro.runtime import Workload
+from repro.service import protocol
+from repro.service.client import (
+    MIN_BACKOFF,
+    RingClient,
+    ServiceRejected,
+    TuningClient,
+)
+from repro.service.cluster import (
+    ClusterConfig,
+    HashRing,
+    RingError,
+    node_address,
+    parse_ring,
+)
+from repro.service.daemon import DaemonConfig
+from repro.service.fingerprint import kernel_fingerprint
+from repro.service.store import TuningStore
+from repro.sim import LaunchConfig
+from tests.runtime.test_launcher import pressure_module
+from tests.service.test_daemon import DaemonHarness
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_binary(
+        pressure_module(), "k", CompileOptions(arch=GTX680)
+    )
+
+
+@pytest.fixture()
+def workload():
+    return Workload(
+        launch=LaunchConfig(grid_blocks=64, block_size=256),
+        iterations=10,
+        max_events_per_warp=1500,
+    )
+
+
+def _backend_invocations() -> float:
+    counter = get_registry().counter(
+        "orion_backend_invocations_total",
+        "Backend measurements actually executed (cache misses).",
+    )
+    return counter.value(backend="timing")
+
+
+# ----------------------------------------------------------------------
+# Ring math
+# ----------------------------------------------------------------------
+class TestParseRing:
+    def test_sorts_and_dedupes(self):
+        assert parse_ring("b:2, a:1 ,a:1,") == ["a:1", "b:2"]
+        assert parse_ring(["b:2", "a:1"]) == ["a:1", "b:2"]
+
+    def test_rejects_empty_and_malformed(self):
+        with pytest.raises(RingError, match="no nodes"):
+            parse_ring(" , ,")
+        for bad in ("hostonly", "host:", ":123", "host:abc"):
+            with pytest.raises(RingError, match="host:port"):
+                parse_ring(bad)
+
+    def test_node_address(self):
+        assert node_address("10.0.0.1:7301") == ("10.0.0.1", 7301)
+
+
+class TestHashRing:
+    RING = ["n1:1", "n2:2", "n3:3"]
+
+    def test_placement_is_deterministic_across_instances(self):
+        a, b = HashRing(self.RING), HashRing(list(reversed(self.RING)))
+        for i in range(200):
+            key = f"kernel-{i}"
+            assert a.owner(key) == b.owner(key)
+            assert a.replicas(key, 1) == b.replicas(key, 1)
+
+    def test_every_node_owns_some_keyspace(self):
+        ring = HashRing(self.RING)
+        owners = {ring.owner(f"kernel-{i}") for i in range(500)}
+        assert owners == set(self.RING)
+
+    def test_replicas_are_distinct_and_owner_first(self):
+        ring = HashRing(self.RING)
+        for i in range(50):
+            key = f"kernel-{i}"
+            replicas = ring.replicas(key, 2)
+            assert replicas[0] == ring.owner(key)
+            assert len(replicas) == len(set(replicas)) == 3
+
+    def test_replica_count_clamped_to_ring_size(self):
+        ring = HashRing(self.RING)
+        assert len(ring.replicas("k", 99)) == 3
+        assert ring.replicas("k", 0) == [ring.owner("k")]
+
+    def test_single_node_ring_owns_everything(self):
+        ring = HashRing(["solo:1"])
+        assert ring.owner("anything") == "solo:1"
+        assert ring.replicas("anything", 5) == ["solo:1"]
+
+    def test_rejects_bad_vnodes(self):
+        with pytest.raises(RingError, match="vnodes"):
+            HashRing(self.RING, vnodes=0)
+
+
+class TestClusterConfig:
+    def test_node_must_be_a_member(self):
+        with pytest.raises(RingError, match="not a ring member"):
+            ClusterConfig(node_id="x:9", ring=["a:1", "b:2"])
+
+    def test_rejects_negative_replicas(self):
+        with pytest.raises(RingError, match="replicas"):
+            ClusterConfig(node_id="a:1", ring=["a:1"], replicas=-1)
+
+    def test_peers_and_max_hops(self):
+        config = ClusterConfig(node_id="b:2", ring=["a:1", "b:2", "c:3"])
+        assert config.peers == ["a:1", "c:3"]
+        assert config.max_hops == 3
+
+
+class TestRingClientRouting:
+    def test_route_order_is_owner_then_successors(self):
+        ring = RingClient("a:1,b:2,c:3")
+        order = ring.route_order("some-kernel-fp")
+        assert order[0] == ring.ring.owner("some-kernel-fp")
+        assert sorted(order) == ["a:1", "b:2", "c:3"]
+
+
+# ----------------------------------------------------------------------
+# Client backoff floor (regression: _delay could return 0 and hot-loop)
+# ----------------------------------------------------------------------
+class TestRetryBackoffFloor:
+    def test_zero_backoff_is_floored(self):
+        client = TuningClient(port=1, backoff=0.0)
+        assert client._delay(None, 1) >= MIN_BACKOFF
+        assert client._delay(None, 2) >= MIN_BACKOFF
+
+    def test_zero_retry_after_hint_is_floored(self):
+        client = TuningClient(port=1)
+        rejected = ServiceRejected("queue-full", "busy")
+        rejected.retry_after = 0.0
+        assert client._delay(rejected, 1) >= MIN_BACKOFF
+
+    def test_honest_hints_and_backoffs_pass_through(self):
+        client = TuningClient(port=1, backoff=0.05)
+        rejected = ServiceRejected("queue-full", "busy")
+        rejected.retry_after = 0.5
+        assert client._delay(rejected, 1) == 0.5
+        assert client._delay(None, 2) == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Multi-daemon integration
+# ----------------------------------------------------------------------
+def _free_ports(count: int) -> list[int]:
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class RingCluster:
+    """N real daemons sharing one ring, each on its own loop thread."""
+
+    def __init__(self, tmp_path, size=3, replicas=2, start_all=True):
+        self.tmp_path = tmp_path
+        self.replicas = replicas
+        self.ring = sorted(
+            f"127.0.0.1:{port}" for port in _free_ports(size)
+        )
+        self.harnesses: dict[str, DaemonHarness] = {}
+        if start_all:
+            for node in self.ring:
+                self.start(node)
+
+    def start(self, node: str) -> DaemonHarness:
+        port = node_address(node)[1]
+        store = TuningStore(self.tmp_path / f"store-{port}.jsonl")
+        config = DaemonConfig(
+            port=port,
+            cluster=ClusterConfig(
+                node_id=node, ring=self.ring, replicas=self.replicas
+            ),
+        )
+        harness = DaemonHarness(store, config)
+        harness.__enter__()
+        self.harnesses[node] = harness
+        return harness
+
+    def stop(self, node: str) -> None:
+        harness = self.harnesses.pop(node, None)
+        if harness is not None:
+            harness.__exit__(None, None, None)
+
+    def stop_all(self) -> None:
+        for node in list(self.harnesses):
+            self.stop(node)
+
+    def client(self, node: str, **kwargs) -> TuningClient:
+        return self.harnesses[node].client(**kwargs)
+
+    def ring_client(self, **kwargs) -> RingClient:
+        return RingClient(self.ring, **kwargs)
+
+    def owner_of(self, fp: str) -> str:
+        return HashRing(self.ring).owner(fp)
+
+    def wait_replicated(self, key: str, nodes, timeout: float = 10.0):
+        """Poll each node's *local* store view until the key lands."""
+        deadline = time.monotonic() + timeout
+        missing = list(nodes)
+        while missing and time.monotonic() < deadline:
+            missing = [
+                node
+                for node in missing
+                if not self.client(node).query(key).get("found")
+            ]
+            if missing:
+                time.sleep(0.05)
+        assert not missing, f"key never replicated to {missing}"
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    ring = RingCluster(tmp_path)
+    try:
+        yield ring
+    finally:
+        ring.stop_all()
+
+
+class TestClusterIntegration:
+    def test_submit_through_non_owner_forwards_then_all_nodes_warm(
+        self, cluster, binary, workload
+    ):
+        fp = kernel_fingerprint(binary)
+        owner = cluster.owner_of(fp)
+        entry = next(node for node in cluster.ring if node != owner)
+        response = cluster.client(entry, timeout=60.0).tune(binary, workload)
+        # The cold tune ran on the owner, not on the entry node.
+        assert response["source"] == "tuned"
+        assert response["node"] == owner
+        key = response["key"]
+        # replicas=2 on a 3-node ring: every node ends up with a copy.
+        cluster.wait_replicated(key, cluster.ring)
+        before = _backend_invocations()
+        for node in cluster.ring:
+            warm = cluster.client(node, timeout=60.0).tune(binary, workload)
+            assert warm["source"] == "store"
+            assert warm["node"] == node  # served locally, no forward
+        assert _backend_invocations() == before  # zero-trial warm hits
+
+    def test_invalidate_broadcasts_ring_wide(
+        self, cluster, binary, workload
+    ):
+        entry = cluster.ring[0]
+        response = cluster.client(entry, timeout=60.0).tune(binary, workload)
+        key = response["key"]
+        cluster.wait_replicated(key, cluster.ring)
+        cluster.client(cluster.ring[-1]).invalidate(key)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            holders = [
+                node
+                for node in cluster.ring
+                if cluster.client(node).query(key).get("found")
+            ]
+            if not holders:
+                break
+            time.sleep(0.05)
+        assert not holders, f"{holders} still hold the invalidated key"
+
+    def test_misplaced_query_forwards_via_kernel_hint(
+        self, cluster, binary, workload
+    ):
+        fp = kernel_fingerprint(binary)
+        owner = cluster.owner_of(fp)
+        key = cluster.client(owner, timeout=60.0).tune(binary, workload)[
+            "key"
+        ]
+        other = next(node for node in cluster.ring if node != owner)
+        # Without the hint the lookup is local-only; with it, a local
+        # miss is forwarded to the owner.  (Replication may also land a
+        # local copy — either way the hinted query must find it.)
+        hinted = cluster.client(other).query(key, kernel=fp)
+        assert hinted["found"] is True
+
+    def test_forward_loop_guard_rejects_excess_hops(self, cluster):
+        node = cluster.ring[0]
+        inner = protocol.request("query", key="nope")
+        response = cluster.client(node).request(
+            protocol.request("forward", hops=99, request=inner)
+        )
+        assert response["ok"] is False
+        assert response["code"] == protocol.CODE_FORWARD_LOOP
+
+    def test_forward_cannot_wrap_cluster_verbs(self, cluster):
+        node = cluster.ring[0]
+        nested = protocol.request(
+            "forward", hops=1, request=protocol.request("ping")
+        )
+        response = cluster.client(node).request(
+            protocol.request("forward", hops=1, request=nested)
+        )
+        assert response["ok"] is False
+        assert response["code"] == protocol.CODE_BAD_REQUEST
+
+    def test_late_starting_node_pull_syncs(
+        self, tmp_path, binary, workload
+    ):
+        cluster = RingCluster(tmp_path, start_all=False)
+        try:
+            late = cluster.ring[-1]
+            for node in cluster.ring[:-1]:
+                cluster.start(node)
+            key = cluster.client(
+                cluster.ring[0], timeout=60.0
+            ).tune(binary, workload)["key"]
+            cluster.wait_replicated(key, cluster.ring[:-1])
+            cluster.start(late)
+            cluster.wait_replicated(key, [late])
+        finally:
+            cluster.stop_all()
+
+    def test_client_fails_over_when_owner_dies(
+        self, cluster, binary, workload
+    ):
+        ring_client = cluster.ring_client(timeout=60.0, retries=0)
+        first = ring_client.tune(binary, workload)
+        assert first["source"] == "tuned"
+        cluster.wait_replicated(first["key"], cluster.ring)
+        owner = cluster.owner_of(kernel_fingerprint(binary))
+        cluster.stop(owner)
+        survivor = cluster.ring_client(timeout=60.0, retries=0)
+        warm = survivor.tune(binary, workload)
+        assert warm["source"] == "store"
+        assert warm["node"] != owner
+
+    def test_dead_owner_degrades_to_local_tune(
+        self, cluster, binary, workload
+    ):
+        # The *daemon-side* self-healing: a node that cannot reach the
+        # owner of a cold key tunes locally instead of failing.
+        owner = cluster.owner_of(kernel_fingerprint(binary))
+        cluster.stop(owner)
+        entry = next(node for node in cluster.ring if node != owner)
+        response = cluster.client(entry, timeout=60.0).tune(
+            binary, workload
+        )
+        assert response["source"] == "tuned"
+        assert response["node"] == entry
+
+    def test_stats_and_health_report_cluster_state(self, cluster):
+        import asyncio
+
+        node = cluster.ring[0]
+        stats = cluster.client(node).stats()
+        assert stats["cluster"]["node_id"] == node
+        assert stats["cluster"]["ring"] == cluster.ring
+        assert stats["cluster"]["replicas"] == 2
+        harness = cluster.harnesses[node]
+        health = asyncio.run_coroutine_threadsafe(
+            harness.daemon.health(), harness._loop
+        ).result(timeout=10)
+        assert health["ok"] is True
+        assert health["cluster"]["node_id"] == node
+
+
+class TestSingleDaemonUnchanged:
+    """No ``--ring``: responses must look exactly like before."""
+
+    def test_no_node_field_without_cluster(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            client = harness.client(timeout=60.0)
+            tuned = client.tune(binary, workload)
+            assert "node" not in tuned
+            assert "node" not in client.query(tuned["key"])
+            assert "node" not in client.stats()
+            assert "cluster" not in client.stats()
+
+    def test_v1_ping_bytes_identical(self, tmp_path):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            with socket.create_connection(
+                ("127.0.0.1", harness.port)
+            ) as sock:
+                protocol.send_frame(sock, {"v": 1, "type": "ping"})
+                assert protocol.recv_frame(sock) == {
+                    "ok": True,
+                    "version": 1,
+                }
+
+    def test_cluster_verbs_rejected_without_cluster(self, tmp_path):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            client = harness.client()
+            for verb in ("forward", "replicate", "sync"):
+                response = client.request(protocol.request(verb))
+                assert response["ok"] is False
+                assert response["code"] == protocol.CODE_BAD_REQUEST

@@ -306,6 +306,149 @@ class TestDaemonRobustness:
             assert stats["daemon"]["backend"] == "timing"
 
 
+class TestShutdownDrain:
+    def test_inflight_tune_survives_shutdown(
+        self, tmp_path, binary, workload
+    ):
+        """A winner computed mid-shutdown is answered and published.
+
+        Regression: shutdown used to tear the executors down under the
+        in-flight ``_tune_sync`` jobs; now the daemon drains them
+        (bounded by the request timeout) before closing.
+        """
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(
+            store, DaemonConfig(request_timeout=60.0),
+            backend=SlowBackend(0.05),
+        ) as harness:
+            results: dict = {}
+
+            def submit() -> None:
+                try:
+                    results["response"] = harness.client(timeout=60.0).tune(
+                        binary, workload
+                    )
+                except Exception as exc:  # noqa: BLE001 — assert below
+                    results["error"] = exc
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            deadline = time.monotonic() + 10
+            while not harness.daemon._inflight:
+                assert time.monotonic() < deadline, "tune never admitted"
+                time.sleep(0.005)
+            # Shutdown while the tune is mid-measurement.
+            assert harness.client().shutdown()["stopping"] is True
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            assert "error" not in results, results.get("error")
+            assert results["response"]["source"] == "tuned"
+            key = results["response"]["key"]
+        # The drained job's winner reached the store before teardown.
+        assert TuningStore(tmp_path / "s.jsonl").peek(key) is not None
+
+    def test_new_tunes_rejected_while_draining(
+        self, tmp_path, binary, workload
+    ):
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(
+            store, DaemonConfig(request_timeout=60.0),
+            backend=SlowBackend(0.2),
+        ) as harness:
+            background = threading.Thread(
+                target=lambda: harness.client(timeout=60.0).tune(
+                    binary, workload
+                )
+            )
+            background.start()
+            deadline = time.monotonic() + 10
+            while not harness.daemon._inflight:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            with socket.create_connection(
+                ("127.0.0.1", harness.port)
+            ) as sock:
+                protocol.send_frame(sock, protocol.request("shutdown"))
+                assert protocol.recv_frame(sock)["stopping"] is True
+            # While the in-flight job drains, a NEW tune (different
+            # key: different grid) is refused rather than silently
+            # queued behind a closing daemon.
+            payload = protocol.request(
+                "tune",
+                binary=__import__("base64")
+                .b64encode(binary.to_bytes())
+                .decode(),
+                workload={
+                    "grid_blocks": 32,
+                    "block_size": 256,
+                    "iterations": 4,
+                },
+            )
+            with socket.create_connection(
+                ("127.0.0.1", harness.port)
+            ) as sock:
+                protocol.send_frame(sock, payload)
+                response = protocol.recv_frame(sock)
+            assert response["ok"] is False
+            assert response["code"] == protocol.CODE_SHUTTING_DOWN
+            background.join(timeout=60)
+
+
+class TestMetricsCountExactlyOnce:
+    @staticmethod
+    def _requests_total() -> float:
+        counter = get_registry().counter(
+            "orion_daemon_requests_total",
+            "Daemon requests by type and outcome.",
+        )
+        return sum(s["value"] for s in counter.snapshot_samples())
+
+    @staticmethod
+    def _outcome(type_: str, outcome: str) -> float:
+        counter = get_registry().counter(
+            "orion_daemon_requests_total",
+            "Daemon requests by type and outcome.",
+        )
+        return counter.value(type=type_, outcome=outcome)
+
+    def test_each_request_charged_exactly_once(self, tmp_path):
+        """One frame, one count — across good, bad-envelope, and
+        bad-frame paths (the ProtocolError double-count regression)."""
+        store = TuningStore(tmp_path / "s.jsonl")
+        with DaemonHarness(store) as harness:
+            total_before = self._requests_total()
+            ok_before = self._outcome("ping", "ok")
+            bad_env_before = self._outcome("unknown", "bad-request")
+            bad_frame_before = self._outcome("unknown", "bad-frame")
+
+            # 1: a good request.
+            harness.client().ping()
+            # 2: a bad envelope (dispatched, counted as bad-request).
+            with socket.create_connection(
+                ("127.0.0.1", harness.port)
+            ) as sock:
+                protocol.send_frame(sock, {"v": 99, "type": "ping"})
+                assert protocol.recv_frame(sock)["ok"] is False
+            # 3: a framing failure (never dispatched: bad-frame).
+            with socket.create_connection(
+                ("127.0.0.1", harness.port)
+            ) as sock:
+                sock.sendall(struct.pack(">I", 12) + b"not json :-(")
+                assert protocol.recv_frame(sock)["ok"] is False
+
+            assert self._outcome("ping", "ok") == ok_before + 1
+            assert (
+                self._outcome("unknown", "bad-request")
+                == bad_env_before + 1
+            )
+            assert (
+                self._outcome("unknown", "bad-frame")
+                == bad_frame_before + 1
+            )
+            # Exactly three charges for exactly three frames.
+            assert self._requests_total() == total_before + 3
+
+
 class TestClientFallback:
     def _dead_port(self) -> int:
         with socket.socket() as sock:

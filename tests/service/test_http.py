@@ -1,0 +1,75 @@
+"""HTTP sidecar tests: /metrics and /healthz next to a real daemon."""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.daemon import DaemonConfig
+from repro.service.store import TuningStore
+from tests.service.test_daemon import DaemonHarness
+
+
+@pytest.fixture()
+def http_daemon(tmp_path):
+    store = TuningStore(tmp_path / "s.jsonl")
+    with DaemonHarness(store, DaemonConfig(http_port=0)) as harness:
+        assert harness.daemon.http_port
+        yield harness
+
+
+def _get(harness, path: str):
+    url = f"http://127.0.0.1:{harness.daemon.http_port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestHttpAdmin:
+    def test_metrics_is_prometheus_text(self, http_daemon):
+        http_daemon.client().ping()  # generate at least one sample
+        status, headers, body = _get(http_daemon, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE orion_daemon_requests_total counter" in text
+        assert 'orion_daemon_requests_total{' in text
+
+    def test_healthz_reports_ok_json(self, http_daemon):
+        status, headers, body = _get(http_daemon, "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        health = json.loads(body)
+        assert health["ok"] is True
+        assert health["draining"] is False
+        assert health["store_entries"] == 0
+        assert health["pending"] == 0
+
+    def test_unknown_path_is_404(self, http_daemon):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(http_daemon, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_non_get_is_405(self, http_daemon):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{http_daemon.daemon.http_port}/metrics",
+            data=b"x",  # makes it a POST
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+
+    def test_malformed_request_line_is_400(self, http_daemon):
+        with socket.create_connection(
+            ("127.0.0.1", http_daemon.daemon.http_port), timeout=10
+        ) as sock:
+            sock.sendall(b"garbage\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_http_off_by_default(self, tmp_path):
+        store = TuningStore(tmp_path / "s2.jsonl")
+        with DaemonHarness(store) as harness:
+            assert harness.daemon.http_port is None
+            assert harness.daemon.http is None

@@ -1,5 +1,6 @@
 """Wire-format tests: framing, limits, envelope validation."""
 
+import asyncio
 import socket
 import struct
 import threading
@@ -94,3 +95,54 @@ class TestEnvelope:
         assert plain == {"ok": False, "code": "timeout", "error": "too slow"}
         hinted = protocol.error("queue-full", "busy", retry_after=0.25)
         assert hinted["retry_after"] == 0.25
+
+    def test_cluster_verbs_rejected_under_version_1(self):
+        for type_ in protocol.V2_REQUEST_TYPES:
+            with pytest.raises(ProtocolError, match="needs protocol version"):
+                protocol.validate_request({"v": 1, "type": type_})
+
+    def test_version_1_requests_still_validate(self):
+        for type_ in ("tune", "query", "invalidate", "stats", "ping",
+                      "shutdown"):
+            assert protocol.validate_request({"v": 1, "type": type_}) == type_
+
+    def test_forwardable_types_exclude_cluster_verbs(self):
+        # A forward wrapping a forward (or any cluster verb) would let
+        # loops hide from the hop counter.
+        assert not set(protocol.FORWARDABLE_TYPES) & set(
+            protocol.V2_REQUEST_TYPES
+        )
+        assert "shutdown" not in protocol.FORWARDABLE_TYPES
+
+
+class TestAsyncFraming:
+    """The daemon-side stream readers (satellite edge cases)."""
+
+    @staticmethod
+    def _read(data: bytes, *, eof: bool = True):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            if eof:
+                reader.feed_eof()
+            return await protocol.read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_clean_eof_before_any_prefix_returns_none(self):
+        assert self._read(b"") is None
+
+    def test_partial_length_prefix_at_eof_raises(self):
+        # 2 of the 4 length bytes, then the peer vanished: this must be
+        # a ProtocolError, never a hang or a silent None.
+        with pytest.raises(ProtocolError, match="mid length prefix"):
+            self._read(struct.pack(">I", 10)[:2])
+
+    def test_oversized_frame_rejected_before_buffering_async(self):
+        prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            self._read(prefix + b"x" * 32, eof=False)
+
+    def test_body_cut_mid_frame_raises(self):
+        with pytest.raises(ProtocolError, match="mid frame"):
+            self._read(struct.pack(">I", 100) + b'{"v":')
