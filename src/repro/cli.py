@@ -18,13 +18,20 @@ CLI exposes the same workflow over ORAS files:
   engine, scheduling the per-kernel tuning sessions concurrently;
   ``--report`` writes the versioned machine-readable bench report;
 * ``trace``    — analyse a JSONL telemetry trace: ``summary``,
-  ``filter``, ``diff`` and ``export --format chrome`` (Perfetto);
+  ``filter``, ``diff``, ``export --format chrome`` (Perfetto), plus
+  the distributed half — ``merge`` joins per-node trace files (or
+  live ``--url`` fetches from daemons' ``/debug/trace``) by trace id
+  into one cross-node timeline, and ``slow --top N`` ranks merged
+  requests by latency;
 * ``metrics``  — print the Prometheus-style text exposition of a bench
-  report's embedded metrics snapshot;
+  report's embedded metrics snapshot, or scrape a live daemon's
+  ``/metrics`` endpoint with ``--url``;
 * ``serve``    — run the tuning daemon: a localhost socket service in
   front of a persistent tuning store (see :mod:`repro.service` and
   ``docs/service.md``); ``--ring`` joins a sharded/replicated daemon
-  cluster, ``--http-port`` adds ``/metrics`` + ``/healthz`` over HTTP;
+  cluster, ``--http-port`` adds ``/metrics`` + ``/healthz`` +
+  ``/debug/*`` over HTTP, ``--log-file`` writes the structured JSONL
+  log;
 * ``submit``   — tune a multi-version binary through the daemon (warm
   store hits skip measurement entirely), degrading to in-process
   tuning when the daemon is unreachable; ``--ring`` routes to the
@@ -412,6 +419,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import tracefile
 
+    if args.trace_command in ("merge", "slow"):
+        return _cmd_trace_merged(args)
     events = tracefile.read_trace(Path(args.trace_file))
     if args.trace_command == "summary":
         print(tracefile.summarize_trace(events))
@@ -460,10 +469,133 @@ def cmd_trace(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown trace command {args.trace_command!r}")
 
 
+def _collect_traces(specs: list[str], urls: list[str]) -> dict[str, list[dict]]:
+    """Load per-node traces from ``label=path`` specs and daemon URLs.
+
+    A bare path gets its file stem as the node label; a URL gets its
+    ``host:port``.  Labels must be unique — they become the node names
+    of the merged timeline.
+    """
+    from repro.obs import tracefile
+
+    traces: dict[str, list[dict]] = {}
+
+    def _add(label: str, events: list[dict], origin: str) -> None:
+        if label in traces:
+            raise ValueError(
+                f"duplicate node label {label!r} (from {origin}); "
+                "disambiguate with label=path"
+            )
+        traces[label] = events
+
+    for spec in specs:
+        label, sep, path = spec.partition("=")
+        if not sep or not label or "/" in label:
+            label, path = Path(spec).stem, spec
+        _add(label, tracefile.read_trace(Path(path)), path)
+    for url in urls:
+        import urllib.request
+
+        full = url if "://" in url else f"http://{url}"
+        if "/debug/" not in full:
+            full = full.rstrip("/") + "/debug/trace"
+        label = full.split("://", 1)[1].split("/", 1)[0]
+        with urllib.request.urlopen(full, timeout=10.0) as response:
+            text = response.read().decode("utf-8")
+        _add(label, tracefile.parse_trace_text(text, source=full), full)
+    if not traces:
+        raise ValueError(
+            "no traces to merge: name trace files or pass --url"
+        )
+    return traces
+
+
+def _cmd_trace_merged(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import tracefile
+
+    traces = _collect_traces(args.traces, args.url or [])
+    merged = tracefile.merge_traces(traces)
+    if args.trace_command == "slow":
+        rows = tracefile.slow_traces(merged, top=args.top)
+        if not rows:
+            print("no traced requests found")
+            return 0
+        print(
+            format_table(
+                ["trace", "wall_s", "nodes", "events", "types"],
+                [
+                    [
+                        row["trace"],
+                        "-" if row["wall"] is None else f"{row['wall']:.6f}",
+                        ",".join(row["nodes"]),
+                        str(row["events"]),
+                        ",".join(row["types"]) or "-",
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+        return 0
+    traced = {
+        event["data"]["trace"]
+        for event in merged
+        if isinstance(event["data"].get("trace"), str)
+    }
+    cross = {
+        trace
+        for trace in traced
+        if len(
+            {
+                event["node"]
+                for event in merged
+                if event["data"].get("trace") == trace
+            }
+        )
+        > 1
+    }
+    if args.format == "jsonl":
+        text = "".join(
+            _json.dumps(event, sort_keys=True) + "\n" for event in merged
+        )
+    else:
+        text = _json.dumps(tracefile.merged_to_chrome(merged), sort_keys=True)
+        text += "\n"
+    summary = (
+        f"{len(merged)} event(s) from {len(traces)} node(s), "
+        f"{len(traced)} trace id(s) ({len(cross)} cross-node)"
+    )
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        viewer = (
+            "" if args.format == "jsonl"
+            else " (open in Perfetto / chrome://tracing)"
+        )
+        print(f"{summary} -> {args.output}{viewer}")
+    else:
+        print(text, end="")
+        print(summary, file=sys.stderr)
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.metrics import render_prometheus
     from repro.obs.report import load_report, validate_bench_report
 
+    if (args.report is None) == (args.url is None):
+        raise ValueError(
+            "metrics needs exactly one source: a bench-report file or --url"
+        )
+    if args.url:
+        import urllib.request
+
+        full = args.url if "://" in args.url else f"http://{args.url}"
+        if not full.rstrip("/").endswith("/metrics"):
+            full = full.rstrip("/") + "/metrics"
+        with urllib.request.urlopen(full, timeout=10.0) as response:
+            print(response.read().decode("utf-8"), end="")
+        return 0
     report = load_report(Path(args.report))
     errors = validate_bench_report(report)
     if errors and not args.no_validate:
@@ -516,6 +648,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             http_port=args.http_port,
             cluster=cluster,
+            log_file=args.log_file,
         ),
     )
 
@@ -587,15 +720,35 @@ def cmd_submit(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
         )
-    if args.no_fallback:
-        try:
-            response = client.tune(binary, workload)
-        except ServiceRejected as exc:
-            raise ValueError(str(exc)) from None
-    else:
-        response = tune_with_fallback(
-            client, binary, workload, ARCHS[args.arch], backend=args.backend
-        )
+    hub = None
+    if args.trace:
+        # A traced submit writes the *client side* of the distributed
+        # timeline: the client mints the trace id, opens the
+        # client_request span here, and stamps both onto the wire so
+        # the daemons' traces join up under `repro trace merge`.
+        from contextlib import ExitStack
+
+        from repro.obs.spans import use_hub
+        from repro.runtime.telemetry import JsonlSink, TelemetryHub
+
+        hub = TelemetryHub(JsonlSink(args.trace))
+        stack = ExitStack()
+        stack.enter_context(use_hub(hub))
+    try:
+        if args.no_fallback:
+            try:
+                response = client.tune(binary, workload)
+            except ServiceRejected as exc:
+                raise ValueError(str(exc)) from None
+        else:
+            response = tune_with_fallback(
+                client, binary, workload, ARCHS[args.arch],
+                backend=args.backend,
+            )
+    finally:
+        if hub is not None:
+            stack.close()
+            hub.close()
     if args.json:
         print(_json.dumps(response, indent=2, sort_keys=True))
         return 0
@@ -917,12 +1070,69 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("-o", "--output", help="write here (default: stdout)")
     pe.set_defaults(func=cmd_trace)
 
+    pm = tsub.add_parser(
+        "merge",
+        help="join per-node traces by trace id into one cross-node "
+             "timeline (clock offsets normalized from causality)",
+    )
+    pm.add_argument(
+        "traces",
+        nargs="*",
+        metavar="[NODE=]FILE",
+        help="per-node trace files; bare paths use the file stem as "
+             "the node label",
+    )
+    pm.add_argument(
+        "--url",
+        action="append",
+        metavar="HOST:PORT",
+        help="also fetch a live daemon's /debug/trace (repeatable)",
+    )
+    pm.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="chrome: one Perfetto timeline, a process per node "
+             "(default); jsonl: merged events with node/ts annotations",
+    )
+    pm.add_argument("-o", "--output", help="write here (default: stdout)")
+    pm.set_defaults(func=cmd_trace)
+
+    pw = tsub.add_parser(
+        "slow",
+        help="merge per-node traces and rank requests by latency",
+    )
+    pw.add_argument(
+        "traces", nargs="*", metavar="[NODE=]FILE",
+        help="per-node trace files (as for merge)",
+    )
+    pw.add_argument(
+        "--url",
+        action="append",
+        metavar="HOST:PORT",
+        help="also fetch a live daemon's /debug/trace (repeatable)",
+    )
+    pw.add_argument(
+        "--top", type=int, default=10,
+        help="show the N slowest traces (default: 10)",
+    )
+    pw.set_defaults(func=cmd_trace)
+
     p = sub.add_parser(
         "metrics",
         help="print the Prometheus-style exposition of a bench report's "
-             "metrics snapshot",
+             "metrics snapshot, or scrape a live daemon",
     )
-    p.add_argument("report", help="a bench-report JSON file (bench --report)")
+    p.add_argument(
+        "report",
+        nargs="?",
+        help="a bench-report JSON file (bench --report); omit with --url",
+    )
+    p.add_argument(
+        "--url",
+        metavar="HOST:PORT",
+        help="scrape a live daemon's /metrics endpoint instead",
+    )
     p.add_argument(
         "--no-validate",
         action="store_true",
@@ -954,8 +1164,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=2,
                    help="concurrent tuning workers (default: 2)")
     p.add_argument("--http-port", type=int, default=None, metavar="PORT",
-                   help="also serve GET /metrics (Prometheus) and "
-                        "GET /healthz on this HTTP port (0 = ephemeral)")
+                   help="also serve GET /metrics (Prometheus), "
+                        "GET /healthz and GET /debug/* on this HTTP "
+                        "port (0 = ephemeral)")
+    p.add_argument("--log-file", metavar="FILE",
+                   help="write the daemon's structured JSONL log here "
+                        "(default: $ORION_LOG, else off)")
     p.add_argument("--ring", metavar="H:P,H:P,...",
                    help="cluster mode: the full host:port member list "
                         "of the daemon ring (this node included)")
@@ -996,6 +1210,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fallback", action="store_true",
                    help="fail instead of degrading to in-process tuning "
                         "when the daemon is unreachable")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the client-side JSONL trace here; the "
+                        "minted trace id propagates to the daemons "
+                        "(join with repro trace merge)")
     p.add_argument("--json", action="store_true",
                    help="print the raw response as JSON")
     _add_arch(p)

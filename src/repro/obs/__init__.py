@@ -11,7 +11,15 @@ harness:
   emits paired ``SPAN_START``/``SPAN_END`` telemetry events and charges
   the phase timers exactly once per outermost occurrence;
 * :mod:`repro.obs.tracefile` — JSONL trace tooling (summary, filter,
-  diff, Chrome/Perfetto export) behind ``repro trace``;
+  diff, Chrome/Perfetto export, cross-node merge and slow-request
+  ranking) behind ``repro trace``;
+* :mod:`repro.obs.tracectx` — the ambient distributed trace context
+  (``trace_id`` / ``parent_span_id``) that rides protocol-v2 requests
+  across daemon hops;
+* :mod:`repro.obs.log` — leveled structured JSONL logging with
+  deterministic field ordering and automatic trace attachment;
+* :mod:`repro.obs.flight` — the per-daemon flight recorder (a bounded
+  ring of recent request summaries, served at ``/debug/requests``);
 * :mod:`repro.obs.report` — the versioned machine-readable bench
   report behind ``repro bench --report``.
 
@@ -36,38 +44,60 @@ from repro.obs.report import (
     validate_bench_report,
     write_report,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import StructuredLogger, get_logger
 from repro.obs.spans import current_hub, current_span, span, use_hub
+from repro.obs.tracectx import (
+    TraceContext,
+    current_trace,
+    new_trace_id,
+    use_trace,
+)
 from repro.obs.tracefile import (
     TRACE_SCHEMA_VERSION,
     diff_traces,
     filter_trace,
+    merge_traces,
+    merged_to_chrome,
+    parse_trace_text,
     read_trace,
+    slow_traces,
     summarize_trace,
     to_chrome,
 )
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SCHEMA",
     "SCHEMA_VERSION",
+    "StructuredLogger",
     "TRACE_SCHEMA_VERSION",
+    "TraceContext",
     "build_bench_report",
     "current_hub",
     "current_span",
+    "current_trace",
     "diff_traces",
     "filter_trace",
+    "get_logger",
     "get_registry",
     "load_report",
+    "merge_traces",
+    "merged_to_chrome",
+    "new_trace_id",
+    "parse_trace_text",
     "read_trace",
     "render_prometheus",
     "reset_registry",
+    "slow_traces",
     "span",
     "summarize_trace",
     "to_chrome",
-    "use_hub",
+    "use_trace",
     "validate_bench_report",
     "write_report",
 ]

@@ -1,0 +1,75 @@
+"""The flight recorder: a bounded ring of recent request summaries.
+
+Metrics aggregate and traces narrate, but neither answers "what were
+the last N requests this daemon served?" when a timeout fires at 3am
+with no trace file configured.  The :class:`FlightRecorder` is that
+always-on evidence: a fixed-capacity in-memory deque of small summary
+dicts (trace id, verb, outcome, latency, forward hops, answering
+peer), appended on every dispatched request and dropped oldest-first.
+
+Consumers:
+
+* the daemon dumps the recent entries into the structured log when a
+  request times out or fails internally;
+* the HTTP sidecar serves the live ring as ``GET /debug/requests``.
+
+Entries are plain JSON-safe dicts so both consumers serialize them
+as-is.  The recorder never grows beyond ``capacity`` and recording is
+one lock-protected append — cheap enough to run unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: requests remembered per daemon; enough to reconstruct the moments
+#: before a failure without ever mattering for memory
+DEFAULT_CAPACITY = 128
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of request-summary dicts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def record(self, **entry) -> dict:
+        """Append one summary; ``None``-valued fields are dropped.
+
+        Every entry gains ``n``, a monotonically increasing request
+        ordinal, so consumers can tell how much history the ring has
+        already evicted (``total - len(entries)``).
+        """
+        kept = {k: v for k, v in entry.items() if v is not None}
+        with self._lock:
+            self._total += 1
+            kept = {"n": self._total, **kept}
+            self._entries.append(kept)
+        return kept
+
+    def snapshot(self) -> list[dict]:
+        """The current ring contents, oldest first (copies)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def tail(self, count: int) -> list[dict]:
+        """The newest ``count`` entries, oldest first."""
+        with self._lock:
+            entries = list(self._entries)
+        return [dict(entry) for entry in entries[-count:]]
+
+    @property
+    def total(self) -> int:
+        """How many requests have ever been recorded."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -101,12 +101,13 @@ class Gauge:
 
 
 class _HistogramSample:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplar")
 
     def __init__(self, n_buckets: int) -> None:
         self.bucket_counts = [0] * n_buckets
         self.sum = 0.0
         self.count = 0
+        self.exemplar: dict | None = None
 
 
 class Histogram:
@@ -114,6 +115,13 @@ class Histogram:
 
     Boundaries are upper-inclusive (Prometheus ``le`` semantics) and an
     implicit ``+Inf`` bucket always exists.
+
+    ``observe`` optionally attaches an *exemplar* — a reference (an
+    Orion trace id, typically) to one concrete observation — kept as
+    last-write-wins per label set.  Exemplars appear in snapshots (and
+    therefore ``/debug/vars``) but are deliberately left out of the
+    text exposition: the classic Prometheus text format predates
+    OpenMetrics exemplar syntax and strict parsers reject it.
     """
 
     kind = "histogram"
@@ -132,7 +140,9 @@ class Histogram:
         self._lock = threading.Lock()
         self._samples: dict[LabelKey, _HistogramSample] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(
+        self, value: float, exemplar: str | None = None, **labels
+    ) -> None:
         key = _label_key(labels)
         with self._lock:
             sample = self._samples.get(key)
@@ -148,13 +158,16 @@ class Histogram:
                 sample.bucket_counts[-1] += 1
             sample.sum += value
             sample.count += 1
+            if exemplar is not None:
+                sample.exemplar = {"ref": str(exemplar), "value": value}
 
     def snapshot_samples(self) -> list[dict]:
         bounds = [_fmt_bound(b) for b in self.buckets] + ["+Inf"]
         with self._lock:
             items = sorted(self._samples.items(), key=lambda kv: kv[0])
-            return [
-                {
+            out = []
+            for key, sample in items:
+                entry = {
                     "labels": dict(key),
                     # cumulative counts, one per ``le`` boundary
                     "buckets": [
@@ -166,8 +179,12 @@ class Histogram:
                     "sum": sample.sum,
                     "count": sample.count,
                 }
-                for key, sample in items
-            ]
+                # Only present when one was ever attached, so snapshots
+                # of exemplar-free runs keep their exact prior shape.
+                if sample.exemplar is not None:
+                    entry["exemplar"] = dict(sample.exemplar)
+                out.append(entry)
+            return out
 
 
 def _cumulative(counts: list[int]) -> list[int]:

@@ -1,0 +1,82 @@
+"""Distributed trace context: one id that follows a request anywhere.
+
+A *trace* is everything one logical request caused, across every
+process it touched: the client's ``client_request`` span, the daemon's
+``daemon_request`` span, the forward hop to the ring owner, the engine
+session that tuned the kernel, the replication frames that shipped the
+winner.  The :class:`TraceContext` is the tiny piece of state that ties
+them together:
+
+* ``trace_id`` — a random 16-hex-char identifier minted once, at the
+  edge (the client, or the first daemon to see an untraced request),
+  and carried verbatim across every hop;
+* ``parent_span_id`` — the span id, *in the sender's trace file*, of
+  the span that caused this hop.  Together with the trace id it lets
+  ``repro trace merge`` re-link spans across per-node files.
+
+The ambient context is a :mod:`contextvars` variable, so it follows
+``async`` task switches correctly (two interleaved daemon requests each
+see their own context).  It does **not** cross
+``loop.run_in_executor`` — thread-pool work must be handed the context
+explicitly and re-enter it with :func:`use_trace` (the daemon's
+``_tune_sync`` does exactly that).
+
+The hot integration point is
+:meth:`repro.runtime.telemetry.TelemetryHub.emit`: while a context is
+installed, every emitted event gains a ``trace`` field in its data, so
+spans and plain events alike join the distributed trace with no
+per-call-site changes.  With no context installed nothing is added and
+traces stay byte-identical to pre-tracing runs.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one distributed request."""
+
+    trace_id: str
+    #: span id of the causing span *in the sender's trace*; ``None`` at
+    #: the root of a trace
+    parent_span_id: int | None = None
+
+
+_current: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "orion_trace_context", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The ambient trace context, or ``None`` outside any trace."""
+    return _current.get()
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id.
+
+    Random (not derived from inputs) on purpose: two submissions of the
+    same kernel are two distinct requests, and the id must never
+    collide across unrelated client processes.
+    """
+    return os.urandom(8).hex()
+
+
+@contextmanager
+def use_trace(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Install ``ctx`` as the ambient trace context for the block.
+
+    ``None`` is accepted and installs "no trace" — callers can pass an
+    optional context straight through without branching.
+    """
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)

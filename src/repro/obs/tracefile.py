@@ -22,18 +22,26 @@ TRACE_SCHEMA_VERSION = 1
 
 def read_trace(path: str | Path) -> list[dict]:
     """Parse a JSONL trace file into event dicts (seq order preserved)."""
+    return parse_trace_text(Path(path).read_text(encoding="utf-8"), str(path))
+
+
+def parse_trace_text(text: str, source: str = "<trace>") -> list[dict]:
+    """Parse JSONL trace *content* (a file's text, an HTTP body).
+
+    ``source`` only labels error messages.  This is :func:`read_trace`
+    without the filesystem, so ``repro trace merge --url`` can parse a
+    daemon's ``/debug/trace`` response with identical semantics.
+    """
     events = []
-    for lineno, line in enumerate(
-        Path(path).read_text(encoding="utf-8").splitlines(), start=1
-    ):
+    for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
             event = json.loads(line)
         except ValueError as exc:
-            raise ValueError(f"{path}:{lineno}: not a JSON event: {exc}")
+            raise ValueError(f"{source}:{lineno}: not a JSON event: {exc}")
         if not isinstance(event, dict) or "seq" not in event or "kind" not in event:
-            raise ValueError(f"{path}:{lineno}: missing seq/kind fields")
+            raise ValueError(f"{source}:{lineno}: missing seq/kind fields")
         events.append(event)
     return events
 
@@ -246,3 +254,228 @@ def to_chrome(events: list[dict]) -> dict:
         "displayTimeUnit": "ms",
         "otherData": {"trace_schema_version": TRACE_SCHEMA_VERSION},
     }
+
+
+# ----------------------------------------------------------------------
+# Cross-node merge (distributed traces)
+# ----------------------------------------------------------------------
+#: span names that wrap one whole request end (client or daemon side)
+_REQUEST_SPANS = ("client_request", "daemon_request")
+
+
+def merge_traces(traces: dict[str, list[dict]]) -> list[dict]:
+    """Join per-node traces into one causally ordered event list.
+
+    ``traces`` maps a node label (``host:port``, a file stem — anything
+    unique) to that node's parsed events.  Each returned event is a
+    copy annotated with its ``node`` and a merged timestamp ``ts``.
+
+    Per-node sequence numbers are process-local clocks with arbitrary
+    relative offsets, so the merge normalizes them the only way the
+    data allows: **causality across hops**.  A ``span_start`` carrying
+    ``data.parent_span`` (the remote parent's span id) and
+    ``data.trace`` must come *after* the ``span_start`` of that parent
+    span (same trace) on whichever node emitted it.  Each such link
+    yields the constraint ``off[child] + seq_child >= off[parent] +
+    seq_parent + 1`` over per-node offsets, solved by longest-path
+    relaxation (offsets only ever grow; ``len(traces)`` passes suffice
+    for any loop-free hop graph).  Nodes with no cross-links keep
+    offset 0 — their events simply interleave by local order.
+    """
+    nodes = sorted(traces)
+    # (trace_id, span_id) -> start seq, per node: the link targets.
+    span_starts: dict[str, dict[tuple[str, int], int]] = {}
+    for node in nodes:
+        index: dict[tuple[str, int], int] = {}
+        for event in traces[node]:
+            if event["kind"] != "span_start":
+                continue
+            data = event.get("data", {})
+            trace_id, span_id = data.get("trace"), data.get("span")
+            if isinstance(trace_id, str) and isinstance(span_id, int):
+                index.setdefault((trace_id, span_id), event["seq"])
+        span_starts[node] = index
+
+    constraints: list[tuple[str, int, str, int]] = []
+    for node in nodes:
+        for event in traces[node]:
+            if event["kind"] != "span_start":
+                continue
+            data = event.get("data", {})
+            trace_id = data.get("trace")
+            parent = data.get("parent_span")
+            if not isinstance(trace_id, str) or not isinstance(parent, int):
+                continue
+            for other in nodes:
+                if other == node:
+                    continue
+                parent_seq = span_starts[other].get((trace_id, parent))
+                if parent_seq is not None:
+                    constraints.append(
+                        (node, event["seq"], other, parent_seq)
+                    )
+                    break
+
+    offsets = {node: 0 for node in nodes}
+    for _ in range(max(1, len(nodes))):
+        changed = False
+        for child, child_seq, parent, parent_seq in constraints:
+            needed = offsets[parent] + parent_seq + 1 - child_seq
+            if offsets[child] < needed:
+                offsets[child] = needed
+                changed = True
+        if not changed:
+            break
+
+    merged: list[dict] = []
+    for node in nodes:
+        for event in traces[node]:
+            out = dict(event)
+            out["node"] = node
+            out["ts"] = offsets[node] + event["seq"]
+            merged.append(out)
+    merged.sort(key=lambda e: (e["ts"], e["node"], e["seq"]))
+    return merged
+
+
+def merged_to_chrome(events: list[dict]) -> dict:
+    """Chrome ``trace_event`` JSON of a merged cross-node trace.
+
+    Each node becomes its own *process* (named via ``process_name``
+    metadata), sessions stay threads within their node, and timestamps
+    are the merge's normalized ``ts`` — so Perfetto shows the full
+    client → owner → replica fan-out as parallel process tracks in
+    causal order.
+    """
+    trace_events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    def pid_for(node: str) -> int:
+        if node not in pids:
+            pids[node] = len(pids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[node],
+                    "tid": 0,
+                    "args": {"name": node},
+                }
+            )
+        return pids[node]
+
+    def tid_for(node: str, session: str | None) -> int:
+        key = (node, session if session is not None else "<engine>")
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == node]) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_for(node),
+                    "tid": tids[key],
+                    "args": {"name": key[1]},
+                }
+            )
+        return tids[key]
+
+    for event in events:
+        node = event.get("node", "<node>")
+        kind = event["kind"]
+        data = dict(event.get("data", {}))
+        base = {
+            "pid": pid_for(node),
+            "tid": tid_for(node, event.get("session")),
+            "ts": event.get("ts", event["seq"]),
+        }
+        if event.get("wall") is not None:
+            data["wall"] = event["wall"]
+        if kind == "span_start":
+            trace_events.append(
+                {
+                    **base,
+                    "ph": "B",
+                    "cat": "span",
+                    "name": data.pop("name", "span"),
+                    "args": data,
+                }
+            )
+        elif kind == "span_end":
+            trace_events.append(
+                {
+                    **base,
+                    "ph": "E",
+                    "cat": "span",
+                    "name": data.pop("name", "span"),
+                    "args": data,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "cat": "event",
+                    "name": kind,
+                    "args": data,
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_schema_version": TRACE_SCHEMA_VERSION},
+    }
+
+
+def slow_traces(events: list[dict], top: int = 10) -> list[dict]:
+    """The slowest distributed requests of a (merged) trace.
+
+    Groups events by their ``trace`` id and ranks by the largest
+    request-span wall-clock duration when durations were recorded,
+    falling back to merged-timestamp extent (event count of causal
+    span) for wall-suppressed traces.  Returns at most ``top`` summary
+    rows, slowest first.
+    """
+    groups: dict[str, list[dict]] = {}
+    for event in events:
+        trace_id = event.get("data", {}).get("trace")
+        if isinstance(trace_id, str):
+            groups.setdefault(trace_id, []).append(event)
+
+    rows: list[dict] = []
+    for trace_id, group in groups.items():
+        wall = None
+        types: set[str] = set()
+        for event in group:
+            data = event.get("data", {})
+            if data.get("name") in _REQUEST_SPANS:
+                if data.get("type") is not None:
+                    types.add(str(data["type"]))
+                if (
+                    event["kind"] == "span_end"
+                    and event.get("wall") is not None
+                ):
+                    wall = max(wall or 0.0, event["wall"])
+        stamps = [event.get("ts", event["seq"]) for event in group]
+        rows.append(
+            {
+                "trace": trace_id,
+                "events": len(group),
+                "nodes": sorted(
+                    {e["node"] for e in group if "node" in e}
+                ),
+                "types": sorted(types),
+                "wall": wall,
+                "extent": max(stamps) - min(stamps) + 1 if stamps else 0,
+            }
+        )
+    rows.sort(
+        key=lambda row: (
+            -(row["wall"] if row["wall"] is not None else -1.0),
+            -row["extent"],
+            row["trace"],
+        )
+    )
+    return rows[:top]

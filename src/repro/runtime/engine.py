@@ -36,6 +36,7 @@ import threading
 import traceback
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.arch.specs import CacheConfig, GpuArchitecture
 from repro.compiler.multiversion import MultiVersionBinary, version_content_hash
@@ -230,6 +231,10 @@ class ExecutionEngine:
         self.pool = MeasurementPool(self.backend, batch)
         self._lock = threading.Lock()
         trace = trace_file or os.environ.get("ORION_TRACE_FILE") or None
+        #: where this engine's JSONL trace lands (None: not tracing);
+        #: the daemon's HTTP sidecar serves it as /debug/trace and uses
+        #: its presence to decide whether to mint trace ids
+        self.trace_path = Path(trace) if trace else None
         if trace:
             self.telemetry.add_sink(JsonlSink(trace))
         # ``tuning_store``: a repro.service.store.TuningStore, a path to
@@ -570,10 +575,17 @@ class ExecutionEngine:
                 error=f"{type(exc).__name__}: {exc}",
                 traceback=tb,
             )
+            from repro.obs.log import get_logger
             from repro.obs.metrics import get_registry
 
             get_registry().counter(
                 "orion_session_failures_total",
                 "Tuning sessions isolated after raising in the engine.",
             ).inc(error=type(exc).__name__)
+            get_logger().error(
+                "session_failed",
+                session=session.name,
+                kernel=session.binary.kernel_name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None

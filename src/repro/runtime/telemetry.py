@@ -19,6 +19,12 @@ The hub also allocates **span ids**, scoped per session label: the
 ``SPAN_START``/``SPAN_END`` events of one session number their spans
 1, 2, 3, … independently of every other session, so a session's event
 subsequence is invariant under scheduler interleaving.
+
+While a distributed trace context (:mod:`repro.obs.tracectx`) is
+installed, every emitted event additionally gains a ``trace`` field in
+its data — the cross-process identifier ``repro trace merge`` joins
+per-node files by.  With no context installed nothing is added, so
+traces of untraced runs stay byte-identical.
 """
 
 from __future__ import annotations
@@ -143,6 +149,19 @@ def _default_record_wall() -> bool:
     return os.environ.get("ORION_TRACE_WALL", "") != "0"
 
 
+_current_trace = None  # resolved lazily to avoid an import cycle
+
+
+def _ambient_trace_id() -> str | None:
+    global _current_trace
+    if _current_trace is None:
+        from repro.obs.tracectx import current_trace
+
+        _current_trace = current_trace
+    ctx = _current_trace()
+    return None if ctx is None else ctx.trace_id
+
+
 class TelemetryHub:
     """Fans events out to sinks; owns the sequence counter.
 
@@ -191,6 +210,10 @@ class TelemetryHub:
     ) -> TelemetryEvent:
         if not self.record_wall:
             wall = None
+        if "trace" not in data:
+            trace_id = _ambient_trace_id()
+            if trace_id is not None:
+                data["trace"] = trace_id
         with self._lock:
             self._seq += 1
             event = TelemetryEvent(

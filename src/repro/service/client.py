@@ -18,7 +18,18 @@ A small synchronous client over the length-prefixed JSON protocol:
   cluster: it derives the same consistent-hash placement the daemons
   use (kernel fingerprint → owner), sends each request to the best
   node first, and fails over ring-wise when a node is down (charging
-  ``orion_client_failovers_total``).
+  ``orion_client_failovers_total``);
+* **observability** — every logical request (including all its
+  retries) is timed into the ``orion_client_request_seconds``
+  histogram by type and outcome, so loadtest percentiles are
+  cross-checkable against exported metrics; retries, failovers and
+  fallbacks land in the structured log (``$ORION_LOG``); and when the
+  client runs traced — an ambient trace context or telemetry hub is
+  installed, or ``trace=True`` was passed — it mints a trace id,
+  opens a ``client_request`` span, and stamps ``trace_id``/
+  ``parent_span_id`` onto the wire envelope so the daemon's spans
+  join the same distributed trace.  Untraced clients put exactly the
+  pre-tracing bytes on the wire.
 
 Every retry sleep is floored at :data:`MIN_BACKOFF`: a zero ``backoff``
 or a zero ``retry_after`` hint from the daemon must never turn the
@@ -43,6 +54,10 @@ from repro.service.protocol import ProtocolError
 
 #: lowest allowed retry sleep (seconds); see the module docstring
 MIN_BACKOFF = 0.01
+
+#: client-request-latency boundaries — the daemon's request buckets,
+#: so client-side and daemon-side histograms compare bucket-for-bucket
+_LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
 
 
 class ServiceUnavailable(ConnectionError):
@@ -81,6 +96,7 @@ class TuningClient:
         timeout: float = 10.0,
         retries: int = 2,
         backoff: float = 0.05,
+        trace: bool | None = None,
     ) -> None:
         if port is None and port_file is None:
             raise ValueError("need a port or a port file")
@@ -90,6 +106,9 @@ class TuningClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        #: None = trace when a trace context or telemetry hub is
+        #: ambient; True = always mint; False = never stamp the wire
+        self.trace = trace
 
     @property
     def port(self) -> int:
@@ -99,16 +118,93 @@ class TuningClient:
 
     # ------------------------------------------------------------------
     def request(self, payload: dict) -> dict:
-        """One request/response round trip with retry/backoff.
+        """One logical request: tracing, timing, then retry/backoff.
 
         Retryable: connection failures and ``queue-full`` rejections.
         Anything else — including other error responses — returns (or
-        raises) immediately.
+        raises) immediately.  The whole exchange (all attempts) is one
+        ``orion_client_request_seconds`` observation; when traced, it
+        is also one ``client_request`` span and the wire envelope
+        carries the trace context.
         """
+        type_ = str(payload.get("type", "unknown"))
+        started = time.perf_counter()
+        outcome = "unavailable"
+        try:
+            ctx = self._trace_context()
+            if ctx is None:
+                response = self._attempts(payload)
+            else:
+                response = self._traced_attempts(payload, ctx)
+            if response.get("ok") is False:
+                outcome = str(response.get("code", "error"))
+            else:
+                outcome = "ok"
+            return response
+        finally:
+            _charge_latency(
+                type_, outcome, time.perf_counter() - started
+            )
+
+    def _trace_context(self):
+        """The context this request runs under, or ``None`` untraced."""
+        if self.trace is False:
+            return None
+        from repro.obs.spans import current_hub
+        from repro.obs.tracectx import TraceContext, current_trace, new_trace_id
+
+        ctx = current_trace()
+        if ctx is not None:
+            return ctx
+        if self.trace or current_hub() is not None:
+            return TraceContext(new_trace_id())
+        return None
+
+    def _traced_attempts(self, payload: dict, ctx) -> dict:
+        """Run the retry loop inside ``ctx``, under a client span.
+
+        The span's id becomes the wire ``parent_span_id``, so the
+        daemon's ``daemon_request`` span can name its remote parent.
+        Without a hub there is no local span (nothing would record it)
+        and the request is stamped with the context's own parent.
+        """
+        from repro.obs.spans import current_hub, current_span, span
+        from repro.obs.tracectx import use_trace
+
+        with use_trace(ctx):
+            if current_hub() is None:
+                wire = protocol.stamp_trace(
+                    payload, ctx.trace_id, ctx.parent_span_id
+                )
+                return self._attempts(wire)
+            with span(
+                "client_request",
+                type=payload.get("type"),
+                target=f"{self.host}:{self.port}",
+            ):
+                active = current_span()
+                parent = (
+                    active.span_id
+                    if active is not None and active.span_id is not None
+                    else ctx.parent_span_id
+                )
+                wire = protocol.stamp_trace(payload, ctx.trace_id, parent)
+                return self._attempts(wire)
+
+    def _attempts(self, payload: dict) -> dict:
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self._delay(last_error, attempt))
+                delay = self._delay(last_error, attempt)
+                _log().warn(
+                    "client_retry",
+                    target=f"{self.host}:{self.port}",
+                    type=payload.get("type"),
+                    attempt=attempt,
+                    delay=delay,
+                    error=str(last_error),
+                )
+                time.sleep(delay)
             try:
                 response = self._round_trip(payload)
             except (ConnectionError, OSError, ProtocolError) as exc:
@@ -124,6 +220,13 @@ class TuningClient:
                 last_error.retry_after = response.get("retry_after")
                 continue
             return response
+        _log().error(
+            "client_unavailable",
+            target=f"{self.host}:{self.port}",
+            type=payload.get("type"),
+            attempts=self.retries + 1,
+            error=str(last_error),
+        )
         raise ServiceUnavailable(
             f"daemon at {self.host}:{self.port} unavailable after "
             f"{self.retries + 1} attempt(s): {last_error}"
@@ -292,6 +395,24 @@ def _count_failover(node: str) -> None:
         "orion_client_failovers_total",
         "Ring requests that failed over past an unreachable node.",
     ).inc(node=node)
+    _log().warn("client_failover", node=node)
+
+
+def _charge_latency(type_: str, outcome: str, elapsed: float) -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().histogram(
+        "orion_client_request_seconds",
+        "Client-observed request latency (all retries) by type and "
+        "outcome.",
+        buckets=_LATENCY_BUCKETS,
+    ).observe(elapsed, type=type_, outcome=outcome)
+
+
+def _log():
+    from repro.obs.log import get_logger
+
+    return get_logger()
 
 
 def workload_payload(workload: Workload) -> dict:
@@ -340,6 +461,9 @@ def tune_with_fallback(
         return client.tune(binary, workload)
     except (ServiceUnavailable, ServiceRejected) as exc:
         _count_fallback(type(exc).__name__)
+        _log().warn(
+            "client_fallback", reason=type(exc).__name__, error=str(exc)
+        )
         from repro.runtime.engine import ExecutionEngine
         from repro.runtime.session import TuningSession
         from repro.service.fingerprint import kernel_fingerprint, tuning_key

@@ -195,17 +195,29 @@ class Replicator:
         peers: list[str],
         snapshot_ops,  # async () -> (generation, [op dicts])
         peer_timeout: float = 5.0,
+        log=None,  # a repro.obs.log.StructuredLogger (default: process)
     ) -> None:
         self.node_id = node_id
         self.peers = list(peers)
         self._snapshot_ops = snapshot_ops
         self.peer_timeout = peer_timeout
+        self._log = log
+        #: per-peer queues of (op, trace_id) — the trace of the request
+        #: that published the op rides along to the replicate frame
         self._backlogs: dict[str, deque] = {peer: deque() for peer in peers}
         self._wakeups: dict[str, asyncio.Event] = {}
         self._behind: dict[str, bool] = {peer: False for peer in peers}
         self._failures: dict[str, int] = {peer: 0 for peer in peers}
         self._tasks: list[asyncio.Task] = []
         self._stopping = False
+
+    @property
+    def log(self):
+        if self._log is None:
+            from repro.obs.log import get_logger
+
+            self._log = get_logger()
+        return self._log
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -238,12 +250,18 @@ class Replicator:
         """Enqueue one op-log record for shipping.
 
         ``peers`` defaults to every peer; put replication passes the
-        key's replica set, invalidation broadcasts.
+        key's replica set, invalidation broadcasts.  The ambient trace
+        context (the request that caused this publish) is captured here
+        and stamped onto the eventual ``replicate`` frame.
         """
+        from repro.obs.tracectx import current_trace
+
+        ctx = current_trace()
+        trace_id = None if ctx is None else ctx.trace_id
         for peer in self.peers if peers is None else peers:
             if peer == self.node_id or peer not in self._backlogs:
                 continue
-            self._backlogs[peer].append(op)
+            self._backlogs[peer].append((op, trace_id))
             event = self._wakeups.get(peer)
             if event is not None:
                 event.set()
@@ -270,41 +288,60 @@ class Replicator:
                 continue
             try:
                 await self._ship(peer, batch)
-            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError) as exc:
                 self._behind[peer] = True
                 self._failures[peer] += 1
                 backlog.extendleft(reversed(batch))
                 self._gauge_backlog()
-                await asyncio.sleep(
-                    min(_BACKOFF_BASE * 2 ** self._failures[peer], _BACKOFF_CAP)
+                delay = min(
+                    _BACKOFF_BASE * 2 ** self._failures[peer], _BACKOFF_CAP
                 )
+                self.log.warn(
+                    "replicate_retry",
+                    peer=peer,
+                    failures=self._failures[peer],
+                    backlog=len(backlog),
+                    delay=delay,
+                    error=str(exc),
+                )
+                await asyncio.sleep(delay)
             else:
                 self._failures[peer] = 0
                 self._gauge_backlog()
 
-    async def _ship(self, peer: str, batch: list[dict]) -> None:
+    async def _ship(self, peer: str, batch: list[tuple[dict, str | None]]) -> None:
+        shipped = [op for op, _ in batch]
+        # The frame inherits a trace from its ops: the first traced op
+        # wins (a batch mixes requests; one exemplar is enough to find
+        # the frame from a merged trace).
+        trace_id = next(
+            (tid for _, tid in batch if tid is not None), None
+        )
         generation, catchup = await self._snapshot_ops()
         if self._behind[peer]:
             # Reconnect after a gap: lead with the full snapshot so the
             # replica converges in one exchange, minus anything the
             # batch itself already carries.
-            shipped_keys = {op.get("key") for op in batch}
+            shipped_keys = {op.get("key") for op in shipped}
             catchup = [
                 op for op in catchup if op.get("key") not in shipped_keys
             ]
         else:
             catchup = []
-        ops = catchup + batch
+        ops = catchup + shipped
+        wire = protocol.request(
+            "replicate",
+            origin=self.node_id,
+            generation=generation,
+            ops=ops,
+        )
+        if trace_id is not None:
+            wire = protocol.stamp_trace(wire, trace_id)
         host, port = node_address(peer)
         response = await protocol.async_round_trip(
             host,
             port,
-            protocol.request(
-                "replicate",
-                origin=self.node_id,
-                generation=generation,
-                ops=ops,
-            ),
+            wire,
             timeout=self.peer_timeout,
         )
         if response.get("ok") is not True:

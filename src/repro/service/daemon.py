@@ -35,6 +35,24 @@ failures (the connection is unusable afterwards) are counted under the
 distinct outcome ``bad-frame`` so they can never alias a dispatched
 request's count.
 
+Three always-on diagnostics ride on the same dispatch seam:
+
+* **distributed tracing** — a request carrying ``trace_id``/
+  ``parent_span_id`` envelope fields (or any request, when this daemon
+  writes a trace file: an untraced request gets a freshly minted id)
+  runs under that :class:`~repro.obs.tracectx.TraceContext`; every
+  telemetry event it causes — the ``daemon_request`` span, engine and
+  session spans on the worker threads, forward and replicate hops to
+  peers — carries the trace id, the latency histogram keeps the id as
+  an exemplar, and ``repro trace merge`` joins the per-node files back
+  into one timeline;
+* **structured logging** — lifecycle, failures, and retries go to the
+  JSONL log (``--log-file`` / ``$ORION_LOG``) with trace correlation;
+* **the flight recorder** — every dispatched request leaves a summary
+  (trace, verb, outcome, latency, hops, peer) in a bounded in-memory
+  ring, dumped to the log when a request times out or fails and served
+  live as ``GET /debug/requests`` on the HTTP sidecar.
+
 **Cluster mode** (``repro serve --ring``, see
 :mod:`repro.service.cluster`): the daemon knows its ring position and
 
@@ -60,8 +78,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from contextlib import nullcontext
+
 from repro.compiler.multiversion import MultiVersionBinary
-from repro.obs.spans import span, use_hub
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.spans import current_span, span, use_hub
+from repro.obs.tracectx import TraceContext, current_trace, new_trace_id, use_trace
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.session import TuningSession, Workload
 from repro.service import protocol
@@ -93,6 +116,8 @@ class DaemonConfig:
     jobs: int = 2  # worker threads driving the engine
     http_port: int | None = None  # /metrics + /healthz sidecar (None: off)
     cluster: ClusterConfig | None = field(default=None)  # --ring membership
+    log_file: str | os.PathLike | None = None  # structured JSONL log
+    flight_entries: int = 128  # flight-recorder ring capacity
 
 
 def workload_from_payload(payload: dict) -> Workload:
@@ -182,6 +207,15 @@ class TuningDaemon:
         self._replication_seen: dict[str, tuple[str | None, int]] = {}
         self.http: "object | None" = None
         self.http_port: int | None = None
+        #: recent request summaries (``/debug/requests``, failure dumps)
+        self.flight = FlightRecorder(self.config.flight_entries)
+        # A --log-file gets this daemon its own logger (tests run many
+        # daemons per process); otherwise share the $ORION_LOG one.
+        self.log = (
+            StructuredLogger(self.config.log_file)
+            if self.config.log_file
+            else get_logger()
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -209,6 +243,7 @@ class TuningDaemon:
                 self.cluster.peers,
                 snapshot_ops=self._snapshot_ops,
                 peer_timeout=self.cluster.peer_timeout,
+                log=self.log,
             )
             self._replicator.start()
             # Pull-side catch-up: a (re)starting node asks each peer for
@@ -216,6 +251,15 @@ class TuningDaemon:
             self._sync_task = asyncio.get_running_loop().create_task(
                 self._pull_sync()
             )
+        self.log.info(
+            "daemon_listening",
+            host=self.config.host,
+            port=self.port,
+            http_port=self.http_port,
+            node=self.cluster.node_id if self.cluster else None,
+            arch=self.engine.arch.name,
+            backend=self.engine.backend.name,
+        )
 
     async def serve_forever(self) -> None:
         """Serve until :meth:`stop` (or a shutdown request).
@@ -244,6 +288,9 @@ class TuningDaemon:
         self._pool.shutdown(wait=True)
         self._store_pool.shutdown(wait=True)
         self.engine.telemetry.flush()
+        self.log.info("daemon_stopped", port=self.port)
+        if self.config.log_file:
+            self.log.close()
 
     async def _drain(self) -> None:
         """Wait (bounded) for in-flight tunes and their responses."""
@@ -325,14 +372,25 @@ class TuningDaemon:
         loop = asyncio.get_running_loop()
         start = loop.time()
         type_ = "unknown"
+        trace_id, parent_span = protocol.trace_context(payload)
+        if trace_id is None and self.engine.trace_path is not None:
+            # This daemon records a trace: give even an untraced client
+            # request an identity, so its spans can be found later.
+            trace_id = new_trace_id()
+        ctx = TraceContext(trace_id, parent_span) if trace_id else None
         try:
             type_ = protocol.validate_request(payload)
         except protocol.ProtocolError as exc:
             response = protocol.error(protocol.CODE_BAD_REQUEST, str(exc))
             outcome = "bad-request"
         else:
-            with use_hub(self.engine.telemetry), span(
-                "daemon_request", type=type_
+            span_labels = {"type": type_}
+            if parent_span is not None:
+                # The remote parent: the join key repro trace merge
+                # uses to link this span under the sender's.
+                span_labels["parent_span"] = parent_span
+            with use_hub(self.engine.telemetry), use_trace(ctx), span(
+                "daemon_request", **span_labels
             ):
                 try:
                     response, outcome = await self._handle(type_, payload)
@@ -342,13 +400,58 @@ class TuningDaemon:
                         f"{type(exc).__name__}: {exc}",
                     )
                     outcome = "internal-error"
+        elapsed = loop.time() - start
         self._count(type_, outcome)
         _registry().histogram(
             "orion_daemon_request_seconds",
             "Daemon request latency by request type.",
             buckets=_LATENCY_BUCKETS,
-        ).observe(loop.time() - start, type=type_)
+        ).observe(elapsed, type=type_, exemplar=trace_id)
+        self._record_flight(type_, outcome, elapsed, trace_id, payload, response)
         return response
+
+    #: outcomes whose flight entry is worth dumping to the log
+    _FAILURE_OUTCOMES = frozenset(
+        ("timeout", "internal-error", "tune-failed", "forward-loop")
+    )
+
+    def _record_flight(
+        self,
+        type_: str,
+        outcome: str,
+        elapsed: float,
+        trace_id: str | None,
+        payload: dict,
+        response: dict,
+    ) -> None:
+        """One flight-recorder entry per dispatched request.
+
+        On a timeout or failure the entry — plus the recent ring tail —
+        is also dumped to the structured log, so the moments leading up
+        to a bad request survive even with no trace file configured.
+        """
+        hops = payload.get("hops")
+        peer = response.get("node") if isinstance(response, dict) else None
+        if self.cluster is not None and peer == self.cluster.node_id:
+            peer = None  # answered locally; only name *other* nodes
+        entry = self.flight.record(
+            trace=trace_id,
+            type=type_,
+            outcome=outcome,
+            ms=round(elapsed * 1000.0, 3),
+            hops=hops if isinstance(hops, int) else None,
+            peer=peer,
+        )
+        if outcome in self._FAILURE_OUTCOMES:
+            self.log.error(
+                "request_failed",
+                trace=trace_id,
+                type=type_,
+                outcome=outcome,
+                ms=entry["ms"],
+                error=response.get("error"),
+                recent=self.flight.tail(8),
+            )
 
     async def _handle(
         self, type_: str, payload: dict, hops: int = 0
@@ -534,8 +637,12 @@ class TuningDaemon:
         self, key: str, binary: MultiVersionBinary, workload: Workload
     ) -> asyncio.Future:
         loop = asyncio.get_running_loop()
+        # contextvars do not cross run_in_executor: hand the ambient
+        # trace context to the worker thread explicitly, so engine and
+        # session spans of this cold tune join the request's trace.
+        ctx = current_trace()
         future = loop.run_in_executor(
-            self._pool, self._tune_sync, key, binary, workload
+            self._pool, self._tune_sync, key, binary, workload, ctx
         )
         self._inflight[key] = future
         self._pending += 1
@@ -550,13 +657,18 @@ class TuningDaemon:
         return future
 
     def _tune_sync(
-        self, key: str, binary: MultiVersionBinary, workload: Workload
+        self,
+        key: str,
+        binary: MultiVersionBinary,
+        workload: Workload,
+        ctx: TraceContext | None = None,
     ) -> TuningRecord:
         """One cold tune on a worker thread: run, publish, return."""
         from repro.service.fingerprint import kernel_fingerprint
 
-        session = TuningSession(binary, workload)
-        report = self.engine.run(session)
+        with use_trace(ctx) if ctx is not None else nullcontext():
+            session = TuningSession(binary, workload)
+            report = self.engine.run(session)
         record = record_from_report(
             key,
             kernel_fingerprint(binary),
@@ -605,15 +717,30 @@ class TuningDaemon:
                 "forward-loop",
             )
         host, port = node_address(owner)
+        wire = protocol.request("forward", hops=hops + 1, request=payload)
+        ctx = current_trace()
+        if ctx is not None:
+            # The hop inherits this request's trace; our own
+            # daemon_request span (the innermost open span here) is the
+            # remote parent the owner's span will point back at.
+            active = current_span()
+            wire = protocol.stamp_trace(
+                wire,
+                ctx.trace_id,
+                active.span_id if active is not None else ctx.parent_span_id,
+            )
         try:
             response = await protocol.async_round_trip(
                 host,
                 port,
-                protocol.request("forward", hops=hops + 1, request=payload),
+                wire,
                 timeout=self.config.request_timeout,
             )
-        except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError) as exc:
             self._count_forward(owner, "peer-down")
+            self.log.warn(
+                "forward_peer_down", peer=owner, hops=hops + 1, error=str(exc)
+            )
             return None
         self._count_forward(owner, "ok")
         return response, "forwarded"

@@ -1,4 +1,4 @@
-"""The daemon's HTTP sidecar: native Prometheus scraping + health.
+"""The daemon's HTTP sidecar: Prometheus scraping, health, debug.
 
 ``repro serve --http-port N`` starts this tiny asyncio HTTP/1.1 server
 next to the frame-protocol socket.  It exists so fleet tooling that
@@ -10,24 +10,35 @@ observe a daemon without learning the length-prefixed JSON protocol:
   and scrapeable);
 * ``GET /healthz``  — a JSON liveness/readiness document: node
   identity, ring membership, queue depth, store size, and replication
-  lag, so a probe can distinguish *up* from *healthy*.
+  lag, so a probe can distinguish *up* from *healthy*;
+* ``GET /debug/requests`` — the flight recorder: the last N request
+  summaries (trace id, verb, outcome, latency, hops, peer) as JSON;
+* ``GET /debug/vars``     — varz-style dump: the health document plus
+  the full metrics snapshot (including histogram exemplars, which the
+  text exposition cannot carry);
+* ``GET /debug/trace``    — the daemon's JSONL trace file, flushed and
+  served as-is (404 when the daemon runs untraced); ``repro trace
+  merge --url`` fetches per-node traces from here.
 
-Deliberately minimal: GET only, ``Connection: close``, no TLS, no
-routing table.  Anything fancier belongs in front of the daemon, not
-inside it.
+``HEAD`` is answered for every route with exactly the ``GET`` headers
+and an empty body, and every response carries a ``Date`` header, so
+standard probes and scrapers behave.  Otherwise deliberately minimal:
+no other methods, ``Connection: close``, no TLS, no routing table.
+Anything fancier belongs in front of the daemon, not inside it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+from email.utils import formatdate
 
 _MAX_REQUEST_LINE = 4096
 _MAX_HEADER_LINES = 64
 
 
 class HttpAdmin:
-    """Serve ``/metrics`` and ``/healthz`` for one tuning daemon."""
+    """Serve ``/metrics``, ``/healthz`` and ``/debug/*`` for one daemon."""
 
     def __init__(
         self,
@@ -58,8 +69,8 @@ class HttpAdmin:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, content_type, body = await self._respond_to(reader)
-            writer.write(_response(status, content_type, body))
+            status, content_type, body, head = await self._respond_to(reader)
+            writer.write(_response(status, content_type, body, head=head))
             await writer.drain()
         except (ConnectionError, OSError, asyncio.TimeoutError):
             pass  # scraper went away mid-request
@@ -72,53 +83,124 @@ class HttpAdmin:
 
     async def _respond_to(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, bool]:
         try:
             request_line = await asyncio.wait_for(
                 reader.readline(), timeout=5.0
             )
         except asyncio.TimeoutError:
-            return "408 Request Timeout", "text/plain", b"request timeout\n"
+            return "408 Request Timeout", "text/plain", b"request timeout\n", False
         if len(request_line) > _MAX_REQUEST_LINE:
-            return "414 URI Too Long", "text/plain", b"request line too long\n"
+            return (
+                "414 URI Too Long",
+                "text/plain",
+                b"request line too long\n",
+                False,
+            )
         parts = request_line.decode("latin-1", "replace").split()
         if len(parts) < 2:
-            return "400 Bad Request", "text/plain", b"malformed request line\n"
+            return "400 Bad Request", "text/plain", b"malformed request line\n", False
         method, path = parts[0], parts[1]
         # Drain headers so well-behaved clients see a clean close.
         for _ in range(_MAX_HEADER_LINES):
             line = await asyncio.wait_for(reader.readline(), timeout=5.0)
             if line in (b"\r\n", b"\n", b""):
                 break
-        if method != "GET":
-            return "405 Method Not Allowed", "text/plain", b"GET only\n"
+        if method not in ("GET", "HEAD"):
+            return (
+                "405 Method Not Allowed",
+                "text/plain",
+                b"GET or HEAD only\n",
+                False,
+            )
+        # HEAD answers with exactly the GET headers and an empty body,
+        # so the route logic below never needs to know the method.
+        status, content_type, body = await self._route(path)
+        return status, content_type, body, method == "HEAD"
+
+    async def _route(self, path: str) -> tuple[str, str, bytes]:
         if path in ("/metrics", "/metrics/"):
             return "200 OK", _PROMETHEUS_TYPE, self._metrics_body()
         if path in ("/healthz", "/healthz/", "/health"):
             body = await self.daemon.health()
             status = "200 OK" if body.get("ok") else "503 Service Unavailable"
+            return status, "application/json", _json_body(body)
+        if path in ("/debug/requests", "/debug/requests/"):
+            flight = self.daemon.flight
             return (
-                status,
+                "200 OK",
                 "application/json",
-                (json.dumps(body, sort_keys=True) + "\n").encode("utf-8"),
+                _json_body(
+                    {
+                        "capacity": flight.capacity,
+                        "total": flight.total,
+                        "entries": flight.snapshot(),
+                    }
+                ),
             )
-        return "404 Not Found", "text/plain", b"try /metrics or /healthz\n"
+        if path in ("/debug/vars", "/debug/vars/"):
+            from repro.obs.metrics import get_registry
+
+            return (
+                "200 OK",
+                "application/json",
+                _json_body(
+                    {
+                        "health": await self.daemon.health(),
+                        "metrics": get_registry().snapshot()["metrics"],
+                    }
+                ),
+            )
+        if path in ("/debug/trace", "/debug/trace/"):
+            return self._trace_body()
+        return (
+            "404 Not Found",
+            "text/plain",
+            b"try /metrics, /healthz, /debug/requests, /debug/vars "
+            b"or /debug/trace\n",
+        )
 
     def _metrics_body(self) -> bytes:
         from repro.obs.metrics import get_registry, render_prometheus
 
         return render_prometheus(get_registry().snapshot()).encode("utf-8")
 
+    def _trace_body(self) -> tuple[str, str, bytes]:
+        trace_path = getattr(self.daemon.engine, "trace_path", None)
+        if trace_path is None:
+            return (
+                "404 Not Found",
+                "text/plain",
+                b"this daemon runs without a trace file\n",
+            )
+        # Flush first: the promise is that the served bytes include
+        # every event of every request already answered.
+        self.daemon.engine.telemetry.flush()
+        try:
+            body = trace_path.read_bytes()
+        except OSError:
+            body = b""  # tracing configured but nothing emitted yet
+        return "200 OK", "application/x-ndjson", body
+
 
 _PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-def _response(status: str, content_type: str, body: bytes) -> bytes:
-    head = (
+def _json_body(document: dict) -> bytes:
+    return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _response(
+    status: str, content_type: str, body: bytes, head: bool = False
+) -> bytes:
+    # Content-Length always describes the GET body — on HEAD the body
+    # is omitted but the headers stay identical, per RFC 9110.
+    head_lines = (
         f"HTTP/1.1 {status}\r\n"
+        f"Date: {formatdate(usegmt=True)}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"
     )
-    return head.encode("latin-1") + body
+    return head_lines.encode("latin-1") + (b"" if head else body)

@@ -32,6 +32,19 @@ and is rejected with ``forward-loop`` once it exceeds the ring size.
 generation id) to replicas; ``sync`` is the pull-side catch-up a
 (re)starting node sends each peer.
 
+Any version-2 request may additionally carry **trace context** — two
+optional envelope fields linking the request into a distributed trace
+(see :mod:`repro.obs.tracectx`)::
+
+    {"v": 2, "type": "tune", ..., "trace_id": "9f2ab31c77d0e884",
+     "parent_span_id": 3}
+
+Envelope validation only ever checks ``v`` and ``type``, so the fields
+are backward- and forward-compatible: a request without them is
+byte-identical to one from before tracing existed, and an old daemon
+ignores them.  :func:`trace_context` extracts them tolerantly (garbage
+degrades to "untraced", never to an error).
+
 Responses always carry ``ok``.  Failures add a machine-readable
 ``code`` and human-readable ``error``; ``queue-full`` rejections add
 ``retry_after`` (seconds), the backpressure signal clients honour
@@ -213,6 +226,37 @@ def error(code: str, message: str, retry_after: float | None = None) -> dict:
     if retry_after is not None:
         payload["retry_after"] = retry_after
     return payload
+
+
+def trace_context(payload: dict) -> tuple[str | None, int | None]:
+    """The optional ``(trace_id, parent_span_id)`` envelope fields.
+
+    Tolerant by design: a missing, empty, or mistyped ``trace_id``
+    yields ``(None, None)`` (the request simply is not traced) and a
+    mistyped ``parent_span_id`` is dropped while the trace id is kept.
+    Trace context must never be able to fail an otherwise valid
+    request.
+    """
+    trace_id = payload.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None, None
+    parent = payload.get("parent_span_id")
+    if isinstance(parent, bool) or not isinstance(parent, int):
+        parent = None
+    return trace_id, parent
+
+
+def stamp_trace(
+    payload: dict, trace_id: str, parent_span_id: int | None = None
+) -> dict:
+    """A copy of ``payload`` carrying the trace-context fields."""
+    stamped = dict(payload)
+    stamped["trace_id"] = trace_id
+    if parent_span_id is not None:
+        stamped["parent_span_id"] = parent_span_id
+    else:
+        stamped.pop("parent_span_id", None)
+    return stamped
 
 
 def validate_request(payload: dict) -> str:

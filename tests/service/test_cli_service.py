@@ -134,6 +134,77 @@ class TestServeSubmit:
         assert not serve.is_alive()
         assert len(TuningStore(store_path)) == 1
 
+    def test_traced_serve_submit_merge_round_trip(
+        self, tmp_path, fat_binary, capsys
+    ):
+        """The full distributed-tracing loop, driven via the CLI only:
+        a traced daemon, a traced submit, one merged timeline."""
+        store_path = tmp_path / "s.jsonl"
+        port_file = tmp_path / "port"
+        daemon_trace = tmp_path / "daemon.trace.jsonl"
+        daemon_log = tmp_path / "daemon.log.jsonl"
+        client_trace = tmp_path / "client.trace.jsonl"
+        serve = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--store", str(store_path),
+                    "--port-file", str(port_file),
+                    "--trace", str(daemon_trace),
+                    "--log-file", str(daemon_log),
+                ],
+            ),
+            daemon=True,
+        )
+        serve.start()
+        deadline = time.monotonic() + 15
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "daemon never wrote its port file"
+        try:
+            assert main(
+                [
+                    "submit", str(fat_binary),
+                    "--port-file", str(port_file),
+                    "--grid", "16",
+                    "--iterations", "6",
+                    "--max-events", "2000",
+                    "--trace", str(client_trace),
+                ]
+            ) == 0
+        finally:
+            TuningClient(port_file=port_file).shutdown()
+            serve.join(timeout=15)
+        capsys.readouterr()
+
+        merged = tmp_path / "merged.json"
+        assert main(
+            [
+                "trace", "merge",
+                f"client={client_trace}", f"daemon={daemon_trace}",
+                "--format", "chrome", "-o", str(merged),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # The client's minted trace id reached the daemon's file.
+        assert "(1 cross-node)" in out
+        document = json.loads(merged.read_text())
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert names == {"client", "daemon"}
+        # The structured log recorded the daemon lifecycle.
+        log = [
+            json.loads(line)
+            for line in daemon_log.read_text().splitlines()
+        ]
+        events = [record["event"] for record in log]
+        assert "daemon_listening" in events
+        assert "daemon_stopped" in events
+
     def test_submit_degrades_without_a_daemon(
         self, tmp_path, fat_binary, capsys
     ):

@@ -66,9 +66,10 @@ class SlowBackend:
 class DaemonHarness:
     """A daemon on a background event-loop thread, stopped on exit."""
 
-    def __init__(self, store, config=None, backend="timing"):
+    def __init__(self, store, config=None, backend="timing", trace_file=None):
         self.engine = ExecutionEngine(
-            GTX680, backend=backend, tuning_store=store
+            GTX680, backend=backend, tuning_store=store,
+            trace_file=trace_file,
         )
         self.daemon = TuningDaemon(self.engine, store, config)
         self._thread: threading.Thread | None = None

@@ -115,6 +115,64 @@ class TestEnvelope:
         assert "shutdown" not in protocol.FORWARDABLE_TYPES
 
 
+class TestTraceEnvelope:
+    """Optional trace fields: tolerated, never required, never leaked."""
+
+    def test_trace_free_request_bytes_are_unchanged(self):
+        # The trace fields must cost untraced traffic nothing: a plain
+        # v2 ping still encodes to exactly the pre-tracing bytes.
+        frame = protocol.encode_frame(protocol.request("ping"))
+        assert frame[4:] == b'{"type": "ping", "v": 2}'
+
+    def test_v1_request_bytes_are_unchanged(self):
+        frame = protocol.encode_frame({"v": 1, "type": "ping"})
+        assert frame[4:] == b'{"type": "ping", "v": 1}'
+
+    def test_stamp_trace_round_trip(self):
+        wire = protocol.stamp_trace(
+            protocol.request("tune"), "9f2ab31c77d0e884", 3
+        )
+        assert wire["trace_id"] == "9f2ab31c77d0e884"
+        assert wire["parent_span_id"] == 3
+        assert protocol.trace_context(wire) == ("9f2ab31c77d0e884", 3)
+        # Validation is indifferent to the extra fields.
+        assert protocol.validate_request(wire) == "tune"
+
+    def test_stamp_trace_does_not_mutate_the_original(self):
+        original = protocol.request("ping")
+        protocol.stamp_trace(original, "abcd" * 4)
+        assert "trace_id" not in original
+
+    def test_stamp_without_parent_drops_stale_parent(self):
+        wire = protocol.stamp_trace(protocol.request("ping"), "ab" * 8, 7)
+        restamped = protocol.stamp_trace(wire, "cd" * 8)
+        assert "parent_span_id" not in restamped
+
+    def test_trace_context_tolerates_absent_fields(self):
+        assert protocol.trace_context({"v": 2, "type": "ping"}) == (None, None)
+
+    def test_trace_context_tolerates_garbage(self):
+        # Mistyped or empty trace fields degrade to untraced, never to
+        # a protocol error — old clients, new daemons, and vice versa.
+        for trace_id in ("", 17, None, ["x"], {"id": "x"}):
+            payload = {"v": 2, "type": "ping", "trace_id": trace_id}
+            assert protocol.trace_context(payload) == (None, None)
+        for parent in ("3", 3.5, True, None, [3]):
+            payload = {
+                "v": 2,
+                "type": "ping",
+                "trace_id": "ab" * 8,
+                "parent_span_id": parent,
+            }
+            assert protocol.trace_context(payload) == ("ab" * 8, None)
+
+    def test_traced_v1_request_still_validates(self):
+        # A misbehaving client stamping trace fields onto v1 must not
+        # break the daemon: v1 validation ignores unknown fields.
+        payload = {"v": 1, "type": "ping", "trace_id": "ab" * 8}
+        assert protocol.validate_request(payload) == "ping"
+
+
 class TestAsyncFraming:
     """The daemon-side stream readers (satellite edge cases)."""
 

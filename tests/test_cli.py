@@ -398,6 +398,113 @@ class TestTraceTools:
         assert len(begins) == len(ends) > 0
 
 
+class TestTraceMerge:
+    @staticmethod
+    def _write_node(path, name, seq0, trace=None, parent_span=None):
+        import json
+
+        data = {"name": name, "span": 1, "parent": None, "type": "tune"}
+        if trace:
+            data["trace"] = trace
+        if parent_span is not None:
+            data["parent_span"] = parent_span
+        lines = [
+            {"seq": seq0, "kind": "span_start", "session": None,
+             "data": dict(data)},
+            {"seq": seq0 + 1, "kind": "span_end", "session": None,
+             "data": {**data, "status": "ok"}},
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        return path
+
+    @pytest.fixture()
+    def node_traces(self, tmp_path):
+        tid = "ab" * 8
+        client = self._write_node(
+            tmp_path / "client.jsonl", "client_request", 5, trace=tid
+        )
+        daemon = self._write_node(
+            tmp_path / "daemon.jsonl", "daemon_request", 1, trace=tid,
+            parent_span=1,
+        )
+        return client, daemon
+
+    def test_merge_writes_one_chrome_timeline(
+        self, node_traces, tmp_path, capsys
+    ):
+        import json
+
+        client, daemon = node_traces
+        out_file = tmp_path / "merged.json"
+        code = main(
+            ["trace", "merge", str(client), str(daemon),
+             "--format", "chrome", "-o", str(out_file)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "2 node(s)" in stdout and "1 cross-node" in stdout
+        document = json.loads(out_file.read_text())
+        processes = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert processes == {"client", "daemon"}
+
+    def test_merge_jsonl_annotates_node_and_ts(
+        self, node_traces, capsys
+    ):
+        import json
+
+        client, daemon = node_traces
+        assert main(
+            ["trace", "merge", str(client), str(daemon),
+             "--format", "jsonl"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        events = [
+            json.loads(line)
+            for line in stdout.splitlines()
+            if line.startswith("{")
+        ]
+        assert {e["node"] for e in events} == {"client", "daemon"}
+        assert all("ts" in e for e in events)
+
+    def test_merge_accepts_label_specs(self, node_traces, capsys):
+        client, daemon = node_traces
+        assert main(
+            ["trace", "merge", f"a={client}", f"b={daemon}",
+             "--format", "jsonl"]
+        ) == 0
+        assert '"node": "a"' in capsys.readouterr().out
+
+    def test_merge_rejects_duplicate_labels(self, node_traces, capsys):
+        client, _ = node_traces
+        assert main(["trace", "merge", f"x={client}", f"x={client}"]) == 1
+        assert "duplicate node label" in capsys.readouterr().err
+
+    def test_merge_needs_at_least_one_trace(self, capsys):
+        assert main(["trace", "merge"]) == 1
+        assert "no traces to merge" in capsys.readouterr().err
+
+    def test_slow_ranks_merged_requests(self, node_traces, capsys):
+        client, daemon = node_traces
+        assert main(["trace", "slow", str(client), str(daemon)]) == 0
+        out = capsys.readouterr().out
+        assert "ab" * 8 in out
+        assert "client,daemon" in out
+        assert "tune" in out
+
+    def test_slow_with_no_traced_requests(self, tmp_path, capsys):
+        plain = self._write_node(
+            tmp_path / "plain.jsonl", "session", 1
+        )
+        assert main(["trace", "slow", str(plain)]) == 0
+        assert "no traced requests" in capsys.readouterr().out
+
+
 class TestMetricsCommand:
     def test_renders_a_report_snapshot(self, tmp_path, capsys):
         report = tmp_path / "bench.json"
@@ -416,6 +523,13 @@ class TestMetricsCommand:
         bad.write_text('{"schema": "nope"}')
         assert main(["metrics", str(bad)]) == 1
         assert "invalid report" in capsys.readouterr().err
+
+    def test_needs_exactly_one_source(self, tmp_path, capsys):
+        assert main(["metrics"]) == 1
+        assert "exactly one source" in capsys.readouterr().err
+        assert main(["metrics", str(tmp_path / "r.json"),
+                     "--url", "127.0.0.1:1"]) == 1
+        assert "exactly one source" in capsys.readouterr().err
 
 
 class TestStrategyFlag:
